@@ -1,0 +1,73 @@
+// Command lrpcbench regenerates every table and figure of the paper's
+// evaluation on the simulated Firefly. With no arguments it runs
+// everything; otherwise pass any of: table1 figure1 table2 table3 table4
+// table5 figure2.
+//
+//	lrpcbench                 # all experiments
+//	lrpcbench table4 table5   # just Table 4 and Table 5
+//	lrpcbench -cpus 5 -machine microvax figure2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrpc/internal/experiments"
+	"lrpc/internal/machine"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 4, "processor count for figure2")
+	calls := flag.Int("calls", 1000, "calls per measurement")
+	ops := flag.Int("ops", 1_000_000, "operations for the table1 activity models")
+	sizes := flag.Int("sizes", 500_000, "calls for the figure1 size distribution")
+	seed := flag.Int64("seed", 1, "workload seed")
+	machineName := flag.String("machine", "cvax", "machine for figure2: cvax or microvax")
+	flag.Parse()
+
+	which := flag.Args()
+	if len(which) == 0 {
+		which = []string{"table1", "figure1", "table2", "table3", "table4", "table5", "figure2",
+			"ablations", "mix", "workday", "structure"}
+	}
+
+	cfg := machine.CVAXFirefly()
+	if *machineName == "microvax" {
+		cfg = machine.MicroVAXIIFirefly()
+	}
+
+	for _, w := range which {
+		switch w {
+		case "table1":
+			fmt.Println(experiments.Table1Table(experiments.Table1(*ops, *seed)).Render())
+		case "figure1":
+			fmt.Println(experiments.Figure1Render(experiments.Figure1(*sizes, *seed)))
+		case "table2":
+			fmt.Println(experiments.Table2Table(experiments.Table2(5, *calls)).Render())
+		case "table3":
+			fmt.Println(experiments.Table3Table(experiments.Table3()).Render())
+		case "table4":
+			fmt.Println(experiments.Table4Table(experiments.Table4(5, *calls)).Render())
+		case "table5":
+			fmt.Println(experiments.Table5Table(experiments.Table5()).Render())
+		case "figure2":
+			fmt.Println(experiments.Figure2Table(experiments.Figure2(cfg, *cpus, *calls)).Render())
+		case "ablations":
+			fmt.Println(experiments.AblationTLBTable(experiments.AblationTLB()).Render())
+			fmt.Println(experiments.AblationRegisterParamsTable(experiments.AblationRegisterParams(16), 16).Render())
+			fmt.Println(experiments.AblationSharingTable(experiments.AblationAStackSharing()).Render())
+			fmt.Println(experiments.AblationEStacksTable(experiments.AblationEStacks()).Render())
+			fmt.Println(experiments.AblationCachingTable(experiments.AblationDomainCachingThroughput(*cpus, *calls)).Render())
+		case "mix":
+			fmt.Println(experiments.TrafficMixTable(experiments.TrafficMix(20_000, *seed)).Render())
+		case "workday":
+			fmt.Println(experiments.WorkdayTable(experiments.Workday(50_000, *seed)).Render())
+		case "structure":
+			fmt.Println(experiments.StructureTaxTable(experiments.StructureTax(10_000, *seed)).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "lrpcbench: unknown experiment %q\n", w)
+			os.Exit(2)
+		}
+	}
+}

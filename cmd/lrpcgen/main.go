@@ -1,0 +1,72 @@
+// Command lrpcgen compiles an LRPC interface definition (.idl) into Go
+// client and server stubs over the lrpc package — the role the paper's
+// stub generator plays for Modula2+ definition files (section 3.3).
+//
+// Usage:
+//
+//	lrpcgen -pkg mypkg -o stubs_gen.go iface.idl
+//
+// With -o - (the default) the generated source goes to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lrpc/internal/idl"
+)
+
+func main() {
+	pkg := flag.String("pkg", "", "package name for the generated file (default: interface name, lowercased)")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	target := flag.String("target", "wallclock", "stub target: wallclock (package lrpc) or sim (internal/core)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lrpcgen [-pkg name] [-o file.go] [-target wallclock|sim] iface.idl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	iface, err := idl.Parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", filepath.Base(path), err))
+	}
+	p := *pkg
+	if p == "" {
+		p = strings.ToLower(iface.Name)
+	}
+	var code []byte
+	switch *target {
+	case "wallclock":
+		code, err = idl.Generate(iface, p)
+	case "sim":
+		code, err = idl.GenerateSim(iface, p)
+	default:
+		fatal(fmt.Errorf("unknown target %q (want wallclock or sim)", *target))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrpcgen:", err)
+	os.Exit(1)
+}

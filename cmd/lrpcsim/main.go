@@ -1,0 +1,107 @@
+// Command lrpcsim runs a small LRPC scenario on the simulated C-VAX
+// Firefly and prints the kernel event trace and the per-component cost
+// breakdown — a debugging lens onto the same machinery lrpcbench measures.
+//
+//	lrpcsim                      # 3 Null calls, single processor
+//	lrpcsim -calls 5 -args 200   # 200-byte arguments
+//	lrpcsim -caching             # second processor idling in the server
+//	lrpcsim -tagged              # process-tagged TLB
+//	lrpcsim -machine microvax    # the five-processor Firefly's CPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/nameserver"
+	"lrpc/internal/sim"
+)
+
+func main() {
+	calls := flag.Int("calls", 3, "number of calls to trace")
+	argBytes := flag.Int("args", 0, "argument bytes per call")
+	resBytes := flag.Int("res", 0, "result bytes per call")
+	caching := flag.Bool("caching", false, "park a second processor in the server's context")
+	tagged := flag.Bool("tagged", false, "use a process-tagged TLB")
+	machineName := flag.String("machine", "cvax", "machine preset: cvax or microvax")
+	flag.Parse()
+
+	cfg := machine.CVAXFirefly()
+	if *machineName == "microvax" {
+		cfg = machine.MicroVAXIIFirefly()
+	}
+	cfg.TLBTagged = *tagged
+
+	cpus := 1
+	if *caching {
+		cpus = 2
+	}
+	eng := sim.New()
+	mach := machine.New(eng, cfg, cpus)
+	kern := kernel.New(mach, 1)
+	kern.Tracer = kernel.NewTraceBuffer(0)
+	rt := core.NewRuntime(kern, nameserver.New())
+
+	client := kern.NewDomain("client", kernel.DomainConfig{Footprint: kernel.DefaultClientFootprint})
+	server := kern.NewDomain("server", kernel.DomainConfig{Footprint: kernel.DefaultServerFootprint})
+	if *caching {
+		kern.DomainCaching = true
+		kern.ParkIdle(mach.CPUs[1], server)
+	}
+
+	res := *resBytes
+	iface := &core.Interface{Name: "Svc", Procs: []core.Proc{{
+		Name:      "Op",
+		ArgValues: (*argBytes + 3) / 4, ArgBytes: *argBytes,
+		ResValues: (res + 3) / 4, ResBytes: res,
+		Handler: func(c *core.ServerCall) { c.ResultsBuf(res) },
+	}}}
+	if _, err := rt.Export(server, iface); err != nil {
+		log.Fatal(err)
+	}
+
+	meter := kernel.NewMeter()
+	args := make([]byte, *argBytes)
+	var warm, steady sim.Duration
+	kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := rt.Import(th, "Svc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		th.Meter = meter
+		for i := 0; i < *calls; i++ {
+			start := th.P.Now()
+			if _, err := cb.Call(th, 0, args); err != nil {
+				log.Fatal(err)
+			}
+			d := th.P.Now().Sub(start)
+			if i == 0 {
+				warm = d
+			}
+			steady = d
+			fmt.Printf("call %d: %v\n", i+1, d)
+		}
+		meter.Calls = uint64(*calls)
+	})
+	if err := eng.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lrpcsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nmachine: %s, %d CPU(s), tagged TLB %v, domain caching %v\n",
+		cfg.Name, cpus, *tagged, *caching)
+	fmt.Printf("first call %v (cold TLB), last call %v (steady state)\n\n", warm, steady)
+	fmt.Println("mean per-call cost breakdown:")
+	perCall := kernel.NewMeter()
+	for comp, d := range meter.Components {
+		perCall.Add(comp, d/sim.Duration(*calls))
+	}
+	fmt.Println(perCall)
+	fmt.Println("kernel event trace:")
+	fmt.Print(kern.Tracer)
+}

@@ -1,0 +1,108 @@
+// Command lrpcstat performs the static interface analysis of the paper's
+// section 2.2 over a set of .idl definition files: the census of
+// procedures and parameters whose published form is "four out of five
+// parameters were of fixed size known at compile time; sixty-five percent
+// were four bytes or fewer. Two-thirds of all procedures passed only
+// parameters of fixed size, and sixty percent transferred 32 or fewer
+// bytes."
+//
+// Usage:
+//
+//	lrpcstat iface1.idl iface2.idl ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lrpc/internal/idl"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lrpcstat file.idl...\n")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		interfaces, procs, params    int
+		fixedParams, smallParams     int
+		fixedOnlyProcs, small32Procs int
+		astackBytes                  int
+	)
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		iface, err := idl.Parse(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", filepath.Base(path), err))
+		}
+		interfaces++
+		procs += len(iface.Procs)
+		fmt.Printf("%s: interface %s version %d, %d procedures\n",
+			filepath.Base(path), iface.Name, iface.Version, len(iface.Procs))
+		for i := range iface.Procs {
+			p := &iface.Procs[i]
+			all := append(append([]idl.Param{}, p.Params...), p.Results...)
+			for _, pa := range all {
+				params++
+				if pa.Type.Fixed() {
+					fixedParams++
+					if pa.Type.FixedSize() <= 4 {
+						smallParams++
+					}
+				}
+			}
+			if p.FixedOnly() {
+				fixedOnlyProcs++
+				if p.ArgBytes()+p.ResBytes() <= 32 {
+					small32Procs++
+				}
+			}
+			size := p.ArgBytes()
+			if p.ResBytes() > size {
+				size = p.ResBytes()
+			}
+			astackBytes += size
+			fmt.Printf("  %-24s args %4dB  results %4dB  %s\n",
+				p.Name, p.ArgBytes(), p.ResBytes(), procKind(p))
+		}
+	}
+
+	fmt.Printf("\ncensus: %d interfaces, %d procedures, %d parameters\n", interfaces, procs, params)
+	if params > 0 {
+		fmt.Printf("fixed-size parameters:      %5.1f%%  (paper: ~80%%)\n", pct(fixedParams, params))
+		fmt.Printf("parameters <= 4 bytes:      %5.1f%%  (paper: ~65%%)\n", pct(smallParams, params))
+	}
+	if procs > 0 {
+		fmt.Printf("fixed-only procedures:      %5.1f%%  (paper: ~67%%)\n", pct(fixedOnlyProcs, procs))
+		fmt.Printf("procedures <= 32 bytes:     %5.1f%%  (paper: ~60%%)\n", pct(small32Procs, procs))
+		fmt.Printf("mean declared A-stack size: %d bytes\n", astackBytes/procs)
+	}
+}
+
+func procKind(p *idl.Proc) string {
+	switch {
+	case p.Protected:
+		return "protected"
+	case !p.FixedOnly():
+		return "variable-size"
+	default:
+		return "fixed-size"
+	}
+}
+
+func pct(n, d int) float64 { return 100 * float64(n) / float64(d) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrpcstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Termination: the uncommon cases of the paper's section 5.3, run on the
+// simulated kernel.
+//
+// Scenario 1: a server domain terminates (unhandled exception, CTRL-C)
+// while a client's thread is executing inside it. The call — completed or
+// not — returns to the client with the call-failed exception, and the
+// binding is revoked.
+//
+// Scenario 2: a malicious or buggy server "captures" the client's thread
+// by never returning. The client creates a replacement thread whose state
+// is as if the call had returned with the call-aborted exception; the
+// captured thread is destroyed by the kernel when the server finally
+// releases it.
+//
+// Run with: go run ./examples/termination
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/nameserver"
+	"lrpc/internal/sim"
+)
+
+func main() {
+	scenario1()
+	scenario2()
+}
+
+func scenario1() {
+	fmt.Println("== Scenario 1: server domain terminates mid-call ==")
+	eng := sim.New()
+	mach := machine.New(eng, machine.CVAXFirefly(), 1)
+	kern := kernel.New(mach, 1)
+	rt := core.NewRuntime(kern, nameserver.New())
+	client := kern.NewDomain("client", kernel.DomainConfig{})
+	server := kern.NewDomain("flaky-server", kernel.DomainConfig{})
+
+	if _, err := rt.Export(server, &core.Interface{
+		Name: "Flaky",
+		Procs: []core.Proc{{
+			Name: "SlowOp",
+			Handler: func(c *core.ServerCall) {
+				c.Compute(2 * sim.Millisecond) // long enough to die during
+				c.ResultsBuf(0)
+			},
+		}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	kern.Spawn("client-thread", client, mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := rt.Import(th, "Flaky")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  client: calling SlowOp...")
+		_, err = cb.Call(th, 0, nil)
+		switch {
+		case errors.Is(err, kernel.ErrCallFailed):
+			fmt.Printf("  client: call-failed exception at t=%v (as the paper specifies)\n", th.P.Now())
+		case err == nil:
+			fmt.Println("  client: call unexpectedly succeeded")
+		default:
+			fmt.Printf("  client: unexpected error: %v\n", err)
+		}
+		// The binding is revoked: no more in-calls to the dead domain.
+		_, err = cb.Call(th, 0, nil)
+		fmt.Printf("  client: retry after termination: %v\n", err)
+	})
+
+	// Binding takes ~500us of simulated time; the call then runs for 2ms.
+	// Terminate the server squarely in the middle of the call.
+	eng.At(sim.Time(1500*sim.Microsecond), func() {
+		fmt.Println("  kernel: terminating flaky-server (t=1.5ms, mid-call)")
+		kern.TerminateDomain(server)
+	})
+	if err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+func scenario2() {
+	fmt.Println("== Scenario 2: captured thread replaced ==")
+	eng := sim.New()
+	mach := machine.New(eng, machine.CVAXFirefly(), 1)
+	kern := kernel.New(mach, 1)
+	rt := core.NewRuntime(kern, nameserver.New())
+	client := kern.NewDomain("client", kernel.DomainConfig{})
+	server := kern.NewDomain("captor", kernel.DomainConfig{})
+
+	release := sim.NewEvent(eng, "release")
+	if _, err := rt.Export(server, &core.Interface{
+		Name: "Captor",
+		Procs: []core.Proc{{
+			Name: "Hold",
+			Handler: func(c *core.ServerCall) {
+				// Ignore all alerts; hold the caller's thread.
+				release.Wait(c.T.P)
+				c.ResultsBuf(0)
+			},
+		}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	victim := kern.Spawn("victim", client, mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := rt.Import(th, "Captor")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  victim: calling Hold (will be captured)...")
+		_, err = cb.Call(th, 0, nil)
+		if errors.Is(err, kernel.ErrThreadDestroyed) {
+			fmt.Printf("  victim: destroyed by the kernel on release (t=%v)\n", th.P.Now())
+		} else {
+			fmt.Printf("  victim: unexpected result: %v\n", err)
+		}
+	})
+
+	// After a decent timeout, the client gives up on the captured thread
+	// and creates a replacement.
+	eng.At(sim.Time(5*sim.Millisecond), func() {
+		_, err := kern.ReplaceCapturedThread(victim, mach.CPUs[0], func(nt *kernel.Thread, err error) {
+			fmt.Printf("  replacement: running in %v with %v (t=%v)\n", nt.Domain, err, nt.P.Now())
+			fmt.Println("  replacement: client continues its work")
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	// Much later the captor finally releases the thread.
+	eng.At(sim.Time(20*sim.Millisecond), func() {
+		fmt.Println("  captor: releasing the held thread (t=20ms)")
+		release.Fire()
+	})
+	if err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module lrpc
+
+go 1.22

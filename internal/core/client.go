@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"lrpc/internal/kernel"
+	"lrpc/internal/sim"
+)
+
+// AStackPolicy selects what a client stub does when every A-stack of a
+// procedure is in use (section 5.2: "the client can either wait for one to
+// become available (when an earlier call finishes), or allocate more").
+type AStackPolicy int
+
+const (
+	// WaitForAStack blocks the caller until a call in progress returns
+	// its A-stack.
+	WaitForAStack AStackPolicy = iota
+	// AllocateAStack asks the kernel for an additional A-stack outside
+	// the primary contiguous region (slightly slower to validate on every
+	// subsequent call that uses it).
+	AllocateAStack
+	// FailOnExhaustion returns ErrNoAStacks, for callers that prefer
+	// back-pressure.
+	FailOnExhaustion
+)
+
+// ClientBinding is the client's handle on an imported interface: the
+// Binding Object plus the per-procedure A-stack lists returned by the
+// kernel at bind time, managed as LIFO queues by the stubs (section 3.2).
+type ClientBinding struct {
+	rt     *Runtime
+	Iface  *Interface
+	BO     kernel.BindingObject
+	Policy AStackPolicy
+
+	remoteServer string
+	queues       []*astackQueue // per procedure index; shared pools share queues
+
+	// Stats.
+	Calls       uint64
+	OOBCalls    uint64
+	QueueWaits  uint64
+	ExtraStacks uint64
+}
+
+// astackQueue manages one pool's A-stacks LIFO, guarded by its own lock so
+// concurrent calls to different procedures (or through different bindings)
+// never contend on shared data — the design-for-concurrency property of
+// section 3.4.
+type astackQueue struct {
+	mu       *sim.Mutex
+	notEmpty *sim.Cond
+	stacks   []*kernel.AStack
+	procIdx  int
+}
+
+// oobSegment is the pairwise-shared out-of-band memory segment used when
+// arguments or results overflow the A-stack.
+type oobSegment struct {
+	args []byte
+	res  []byte
+	err  error // server-side failure to produce results (e.g. over the limit)
+}
+
+// Import binds client (on thread t) to the named exported interface. It
+// performs the conversation of section 3.1: name-server lookup, an import
+// call via the kernel that notifies the server's waiting clerk, the
+// clerk's PDL reply (the clerk may refuse), pairwise A-stack and linkage
+// allocation, and the return of the Binding Object plus A-stack lists.
+func (rt *Runtime) Import(t *kernel.Thread, name string) (*ClientBinding, error) {
+	v, err := rt.NS.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotExported, err)
+	}
+	clerk, ok := v.(*Clerk)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not an LRPC export", ErrNotExported, name)
+	}
+	// The import call traps to the kernel, which notifies the server's
+	// waiting clerk; "the importer waits".
+	t.CPU.Compute(t.P, rt.Costs.BindLatency)
+	req := &importRequest{client: t.Domain, done: sim.NewEvent(rt.Kern.Eng, "import "+name)}
+	clerk.queue.Put(t.P, req)
+	req.done.Wait(t.P)
+	if req.err != nil {
+		return nil, req.err
+	}
+	// The clerk enabled the binding by replying with the PDL; the kernel
+	// allocates the A-stacks and linkages and mints the Binding Object.
+	bo, b, err := rt.Kern.Bind(t.Domain, clerk.Domain, req.pdl)
+	if err != nil {
+		return nil, err
+	}
+	cb := &ClientBinding{rt: rt, Iface: clerk.Iface, BO: bo}
+	byPool := make(map[*kernel.AStackPool]*astackQueue)
+	for idx, pool := range b.Pools {
+		q, ok := byPool[pool]
+		if !ok {
+			q = &astackQueue{
+				mu:      sim.NewMutex(rt.Kern.Eng, fmt.Sprintf("astackq %s/%d", name, idx)),
+				procIdx: idx,
+			}
+			q.notEmpty = sim.NewCond(q.mu)
+			// LIFO: the most recently used A-stack (with its E-stack
+			// association warm) is on top.
+			q.stacks = append(q.stacks, pool.Stacks...)
+			byPool[pool] = q
+		}
+		cb.queues = append(cb.queues, q)
+	}
+	return cb, nil
+}
+
+// ImportRemote binds client to a server on another machine; calls branch to
+// the runtime's RemoteCaller at the first instruction of the stub (section
+// 5.1).
+func (rt *Runtime) ImportRemote(t *kernel.Thread, serverName string) (*ClientBinding, error) {
+	if rt.Remote == nil {
+		return nil, ErrNotRemote
+	}
+	bo, err := rt.Kern.BindRemote(t.Domain, serverName)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientBinding{rt: rt, BO: bo, remoteServer: serverName}, nil
+}
+
+// CallByName invokes the named procedure; see Call.
+func (cb *ClientBinding) CallByName(t *kernel.Thread, proc string, args []byte) ([]byte, error) {
+	idx := cb.Iface.ProcIndex(proc)
+	if idx < 0 {
+		return nil, kernel.ErrBadProcedure
+	}
+	return cb.Call(t, idx, args)
+}
+
+// Call is the client stub: it acquires an A-stack from the procedure's
+// LIFO queue, pushes the arguments, traps to the kernel for the domain
+// transfer, and on return copies result values to the caller. The deciding
+// branch between local and remote is the first instruction (section 5.1).
+func (cb *ClientBinding) Call(t *kernel.Thread, procIdx int, args []byte) ([]byte, error) {
+	rt := cb.rt
+	p, cpu := t.P, t.CPU
+
+	// The formal procedure call into the stub.
+	t.Charge(kernel.CompProcCall, cpu.ProcCall(p))
+
+	// First instruction: remote bit check.
+	if cb.BO.Remote {
+		if rt.Remote == nil {
+			return nil, ErrNotRemote
+		}
+		return rt.Remote.Call(t, cb.remoteServer, fmt.Sprintf("%d", procIdx), args)
+	}
+	if procIdx < 0 || procIdx >= len(cb.queues) {
+		return nil, kernel.ErrBadProcedure
+	}
+	proc := &cb.Iface.Procs[procIdx]
+
+	// Shared-bus interference from other processors making calls
+	// concurrently (Figure 2's sublinearity).
+	if rt.Interference != nil {
+		if n := rt.Interference(); n > 0 {
+			t.Charge(kernel.CompInterference, cpu.Interference(p, n))
+		}
+	}
+
+	// Acquire an A-stack (LIFO), holding the queue's own lock briefly.
+	as, err := cb.acquireAStack(t, procIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fixed stub path.
+	t.Charge(kernel.CompClientStub, cpu.Compute(p, rt.Costs.ClientFixed))
+
+	// Push arguments: the single copy from the client's stack onto the
+	// pairwise-shared A-stack (copy A of Table 3), or the out-of-band
+	// path for oversized arguments. With the register-parameter
+	// optimization enabled (an ablation, not LRPC's design), small
+	// argument sets travel in registers instead.
+	registers := rt.Costs.RegisterWindow > 0 && len(args) > 0 &&
+		len(args) <= rt.Costs.RegisterWindow && len(args) <= as.Size()
+	var seg *oobSegment
+	if registers {
+		copy(as.Bytes(), args) // physical transport; charged as register loads
+		as.SetLen(len(args))
+		t.Charge(kernel.CompClientStub, cpu.Compute(p, rt.Costs.RegisterLoad))
+	} else if len(args) > as.Size() {
+		if len(args) > MaxOOBSize {
+			cb.releaseAStack(t, procIdx, as)
+			return nil, ErrTooLarge
+		}
+		cb.OOBCalls++
+		seg = rt.oobAttach(as)
+		seg.args = make([]byte, len(args))
+		copy(seg.args, args)
+		rt.Copies.Record(CopyA, len(args))
+		t.Charge(kernel.CompOutOfBand, cpu.Compute(p, rt.Costs.OOBSetup))
+		t.Charge(kernel.CompOutOfBand, cpu.Copy(p, len(args)))
+		as.SetLen(0)
+	} else {
+		if len(args) > 0 {
+			copy(as.Bytes(), args)
+			rt.Copies.Record(CopyA, len(args))
+			t.Charge(kernel.CompClientStub, cpu.Copy(p, len(args)))
+		}
+		if proc.ArgValues > 0 {
+			t.Charge(kernel.CompClientStub, cpu.Compute(p, sim.Duration(proc.ArgValues)*rt.Costs.PerArg))
+		}
+		as.SetLen(len(args))
+		if rt.Costs.RegisterWindow > 0 && len(args) > rt.Costs.RegisterWindow {
+			// Register-optimized stubs that overflow pay the spill
+			// penalty — the discontinuity of section 2.2, footnote 2.
+			t.Charge(kernel.CompClientStub, cpu.Compute(p, rt.Costs.RegisterSpill))
+		}
+	}
+
+	// Trap to the kernel for the domain transfer; the thread itself
+	// crosses into the server and back.
+	err = rt.Kern.Transfer(t, cb.BO, procIdx, as)
+	cb.Calls++
+	if err != nil {
+		// Always clear the segment table entry: even with small
+		// arguments the server may have attached an out-of-band result
+		// before the failure, and a stale entry must not leak into the
+		// A-stack's next call.
+		rt.oobDetach(as)
+		if err != kernel.ErrThreadDestroyed {
+			cb.releaseAStack(t, procIdx, as)
+		}
+		return nil, err
+	}
+
+	// Copy return values from the A-stack to their final destination
+	// (copy F): "the client stub copies returned values from the A-stack
+	// into their final destination. No added safety comes from first
+	// copying these values out of the server's domain into the client's"
+	// (section 3.5).
+	var res []byte
+	resSrc := as.Data()
+	if seg2 := rt.oobFor(as); seg2 != nil {
+		if seg2.err != nil {
+			err := seg2.err
+			rt.oobDetach(as)
+			cb.releaseAStack(t, procIdx, as)
+			return nil, err
+		}
+		if seg2.res != nil {
+			resSrc = seg2.res
+			t.Charge(kernel.CompOutOfBand, cpu.Compute(p, rt.Costs.OOBSetup))
+		}
+	}
+	if len(resSrc) > 0 {
+		res = make([]byte, len(resSrc))
+		copy(res, resSrc)
+		rt.Copies.Record(CopyF, len(res))
+		t.Charge(kernel.CompClientStub, cpu.Copy(p, len(res)))
+		if proc.ResValues > 0 {
+			t.Charge(kernel.CompClientStub, cpu.Compute(p, sim.Duration(proc.ResValues)*rt.Costs.PerArg))
+		}
+	}
+	rt.oobDetach(as)
+
+	cb.releaseAStack(t, procIdx, as)
+	return res, nil
+}
+
+// acquireAStack pops the procedure's LIFO A-stack queue, applying the
+// binding's exhaustion policy.
+func (cb *ClientBinding) acquireAStack(t *kernel.Thread, procIdx int) (*kernel.AStack, error) {
+	q := cb.queues[procIdx]
+	q.mu.Lock(t.P)
+	// The queue manipulation is the only locking on the call path; it
+	// takes "less than 2% of the total call time" (section 3.4).
+	t.Charge(kernel.CompClientStub, t.CPU.Compute(t.P, cb.rt.Costs.QueueHold))
+	for len(q.stacks) == 0 {
+		switch cb.Policy {
+		case WaitForAStack:
+			cb.QueueWaits++
+			q.notEmpty.Wait(t.P)
+		case AllocateAStack:
+			as, err := cb.rt.Kern.AllocateExtraAStack(cb.BO, procIdx)
+			q.mu.Unlock(t.P)
+			if err != nil {
+				return nil, err
+			}
+			cb.ExtraStacks++
+			return as, nil
+		default:
+			q.mu.Unlock(t.P)
+			return nil, ErrNoAStacks
+		}
+	}
+	as := q.stacks[len(q.stacks)-1]
+	q.stacks = q.stacks[:len(q.stacks)-1]
+	q.mu.Unlock(t.P)
+	return as, nil
+}
+
+// releaseAStack pushes the A-stack back on top of its LIFO queue (keeping
+// its E-stack association warm for the next call).
+func (cb *ClientBinding) releaseAStack(t *kernel.Thread, procIdx int, as *kernel.AStack) {
+	q := cb.queues[procIdx]
+	q.mu.Lock(t.P)
+	q.stacks = append(q.stacks, as)
+	q.notEmpty.Signal()
+	q.mu.Unlock(t.P)
+}
+
+// AStacksFree reports the free A-stacks for a procedure (tests).
+func (cb *ClientBinding) AStacksFree(procIdx int) int {
+	return len(cb.queues[procIdx].stacks)
+}

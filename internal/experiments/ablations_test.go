@@ -1,0 +1,215 @@
+package experiments
+
+import "testing"
+
+func TestAblationTLB(t *testing.T) {
+	r := AblationTLB()
+	near := func(got, want float64) bool { return got > want-1 && got < want+1 }
+	if !near(r.UntaggedUs, 157) {
+		t.Errorf("untagged = %.1f, want 157", r.UntaggedUs)
+	}
+	// Tagged TLB removes the 38.7us of refill misses but keeps the raw
+	// register reloads: 157 - 38.7 = 118.3.
+	if !near(r.TaggedUs, 118.3) {
+		t.Errorf("tagged = %.1f, want 118.3", r.TaggedUs)
+	}
+	if !near(r.DomainCachedUs, 125) {
+		t.Errorf("domain cached = %.1f, want 125", r.DomainCachedUs)
+	}
+	// Ordering per section 3.4: tagged < cached < untagged for the Null
+	// call on this machine (caching pays the exchange; tagged pays only
+	// register reloads).
+	if !(r.TaggedUs < r.DomainCachedUs && r.DomainCachedUs < r.UntaggedUs) {
+		t.Errorf("ordering violated: %.1f / %.1f / %.1f", r.TaggedUs, r.DomainCachedUs, r.UntaggedUs)
+	}
+}
+
+func TestAblationRegisterParams(t *testing.T) {
+	const window = 16
+	points := AblationRegisterParams(window)
+	var within, beyond []RegisterParamPoint
+	for _, p := range points {
+		if p.ArgBytes <= window {
+			within = append(within, p)
+		} else {
+			beyond = append(beyond, p)
+		}
+	}
+	// Inside the window registers win (a no-argument call is identical
+	// either way).
+	for _, p := range within {
+		if p.ArgBytes == 0 {
+			if p.RegisterUs != p.LRPCUs {
+				t.Errorf("0B: registers %.1f != LRPC %.1f", p.RegisterUs, p.LRPCUs)
+			}
+			continue
+		}
+		if p.RegisterUs >= p.LRPCUs {
+			t.Errorf("%dB: registers %.1f >= LRPC %.1f inside the window", p.ArgBytes, p.RegisterUs, p.LRPCUs)
+		}
+	}
+	// Beyond it the spill makes registers strictly worse: the
+	// discontinuity of footnote 2.
+	for _, p := range beyond {
+		if p.RegisterUs <= p.LRPCUs {
+			t.Errorf("%dB: registers %.1f <= LRPC %.1f beyond the window", p.ArgBytes, p.RegisterUs, p.LRPCUs)
+		}
+	}
+	// The cliff itself: crossing the boundary costs more than the
+	// marginal bytes explain.
+	last := within[len(within)-1]
+	first := beyond[0]
+	jump := first.RegisterUs - last.RegisterUs
+	smooth := first.LRPCUs - last.LRPCUs
+	if jump < smooth+5 {
+		t.Errorf("no discontinuity: register jump %.1f vs smooth %.1f", jump, smooth)
+	}
+}
+
+func TestAblationAStackSharing(t *testing.T) {
+	r := AblationAStackSharing()
+	// 24 procedures x 5 A-stacks x 256 bytes unshared; one pool of 5
+	// shared.
+	if r.StacksUnshared != 120 || r.BytesUnshared != 120*256 {
+		t.Errorf("unshared = %d stacks / %d bytes", r.StacksUnshared, r.BytesUnshared)
+	}
+	if r.StacksShared != 5 || r.BytesShared != 5*256 {
+		t.Errorf("shared = %d stacks / %d bytes", r.StacksShared, r.BytesShared)
+	}
+	if r.BytesShared*10 > r.BytesUnshared {
+		t.Error("sharing saved less than 10x for a 24-procedure interface")
+	}
+}
+
+func TestAblationEStacks(t *testing.T) {
+	r := AblationEStacks()
+	if r.StaticEStacks != 20 {
+		t.Errorf("static = %d, want 20", r.StaticEStacks)
+	}
+	// A single-threaded workload touches one A-stack per procedure
+	// (LIFO), so lazy allocation needs at most 4 E-stacks.
+	if r.LazyEStacks > 4 {
+		t.Errorf("lazy allocated %d E-stacks for a single-threaded workload", r.LazyEStacks)
+	}
+	if r.LazyEStacks < 1 {
+		t.Errorf("lazy allocated %d E-stacks, want at least 1", r.LazyEStacks)
+	}
+}
+
+func TestTrafficMix(t *testing.T) {
+	r := TrafficMix(3000, 7)
+	if r.MeanSizeB < 30 || r.MeanSizeB > 250 {
+		t.Errorf("mean size = %.0fB, want small-call-dominated mix", r.MeanSizeB)
+	}
+	// LRPC stays near its small-call latency...
+	if r.LRPCMeanUs < 157 || r.LRPCMeanUs > 210 {
+		t.Errorf("LRPC mean = %.1fus", r.LRPCMeanUs)
+	}
+	// ...and the factor-of-three shape holds under the real mix.
+	if r.Ratio < 2.5 || r.Ratio > 3.2 {
+		t.Errorf("Taos/LRPC ratio = %.2f, want about 2.5-3", r.Ratio)
+	}
+}
+
+func TestWorkday(t *testing.T) {
+	r := Workday(20_000, 9)
+	if r.Ops != 20_000 {
+		t.Fatalf("ops = %d", r.Ops)
+	}
+	// The paper's ratio: about 5.3% of RPCs cross machines.
+	if r.PctRemote < 4.3 || r.PctRemote > 6.3 {
+		t.Errorf("remote RPCs = %.2f%%, want about 5.3%%", r.PctRemote)
+	}
+	// Local calls ride LRPC: a few hundred microseconds with the service
+	// work and argument sizes included.
+	if r.MeanLocalUs < 157 || r.MeanLocalUs > 400 {
+		t.Errorf("mean local = %.1fus", r.MeanLocalUs)
+	}
+	// Network calls are milliseconds: the incentive to avoid them.
+	if r.MeanRemoteUs < 2000 {
+		t.Errorf("mean remote = %.1fus, want milliseconds", r.MeanRemoteUs)
+	}
+	if r.MeanRemoteUs < 8*r.MeanLocalUs {
+		t.Errorf("remote/local ratio = %.1f, want >= 8", r.MeanRemoteUs/r.MeanLocalUs)
+	}
+	// All four services saw traffic.
+	for _, svc := range []string{"DomainMgmt", "WindowSystem", "FileSystem", "NetProto"} {
+		if r.ByService[svc] == 0 {
+			t.Errorf("service %s saw no calls", svc)
+		}
+	}
+}
+
+// TestWholeRunDeterminism: the complete workday integration produces
+// byte-identical results for a fixed seed — the property every simulated
+// experiment in this repository rests on.
+func TestWholeRunDeterminism(t *testing.T) {
+	a := Workday(5_000, 42)
+	b := Workday(5_000, 42)
+	if a.Local != b.Local || a.Remote != b.Remote ||
+		a.MeanLocalUs != b.MeanLocalUs || a.MeanRemoteUs != b.MeanRemoteUs ||
+		a.SimSeconds != b.SimSeconds {
+		t.Fatalf("nondeterministic workday:\n%+v\n%+v", a, b)
+	}
+	for k, v := range a.ByService {
+		if b.ByService[k] != v {
+			t.Fatalf("service counts differ for %s: %d vs %d", k, v, b.ByService[k])
+		}
+	}
+}
+
+// TestAblationDomainCachingThroughput: with four processors, devoting one
+// to domain caching must lower mean per-call latency for the remaining
+// callers while lowering aggregate throughput — the latency/throughput
+// trade of section 3.4.
+func TestAblationDomainCachingThroughput(t *testing.T) {
+	points := AblationDomainCachingThroughput(4, 400)
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	off, on := points[0], points[1]
+	if off.CachedIdle != 0 || on.CachedIdle != 1 {
+		t.Fatalf("unexpected configs: %+v %+v", off, on)
+	}
+	if on.MeanCallUs >= off.MeanCallUs {
+		t.Errorf("caching did not lower latency: %.1f vs %.1f us", on.MeanCallUs, off.MeanCallUs)
+	}
+	if on.Throughput >= off.Throughput {
+		t.Errorf("caching should cost aggregate throughput: %.0f vs %.0f calls/s",
+			on.Throughput, off.Throughput)
+	}
+	if on.Exchanges == 0 {
+		t.Error("caching configuration never exchanged processors")
+	}
+	if off.Exchanges != 0 {
+		t.Errorf("no-caching configuration exchanged %d times", off.Exchanges)
+	}
+}
+
+// TestStructureTax: the decomposed structure costs more than monolithic
+// under either transport, but LRPC cuts the tax by roughly the paper's
+// factor of three relative to SRC RPC.
+func TestStructureTax(t *testing.T) {
+	rows := StructureTax(2_000, 11)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	mono, lrpcRow, src := rows[0], rows[1], rows[2]
+	if mono.Slowdown != 1 {
+		t.Errorf("monolithic slowdown = %.2f", mono.Slowdown)
+	}
+	if !(mono.MeanOpUs < lrpcRow.MeanOpUs && lrpcRow.MeanOpUs < src.MeanOpUs) {
+		t.Errorf("ordering violated: %.1f / %.1f / %.1f",
+			mono.MeanOpUs, lrpcRow.MeanOpUs, src.MeanOpUs)
+	}
+	// V's decomposition: essentially every operation crosses.
+	if lrpcRow.CrossPct < 95 {
+		t.Errorf("cross fraction = %.1f%%, want ~97%%", lrpcRow.CrossPct)
+	}
+	// The communication tax ratio between the transports stays near the
+	// headline factor (service work dilutes it slightly).
+	ratio := src.MeanOpUs / lrpcRow.MeanOpUs
+	if ratio < 2.2 || ratio > 3.2 {
+		t.Errorf("SRC/LRPC structure-tax ratio = %.2f", ratio)
+	}
+}

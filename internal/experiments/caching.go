@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/sim"
+)
+
+// The domain-caching throughput ablation: section 3.4's idle-processor
+// optimization buys latency by keeping a processor idle in the server's
+// context — a processor that is then not making calls. On a machine where
+// every processor could be a caller, is the trade worth it? Figure 2
+// answers for throughput (the paper disables caching there); Table 4
+// answers for latency (125 vs 157 us). This experiment runs the middle
+// case: N processors total, with 0 or 1 parked for caching.
+
+// CachingPoint is one configuration of the ablation.
+type CachingPoint struct {
+	CPUs       int
+	CachedIdle int     // processors parked in the server's context
+	Callers    int     // processors making calls
+	Throughput float64 // aggregate calls/second
+	MeanCallUs float64
+	Exchanges  uint64 // processor exchanges that happened
+	IdleMisses uint64 // calls that wanted a cached processor and missed
+}
+
+// AblationDomainCachingThroughput measures aggregate throughput and mean
+// latency at cpus processors with and without one processor devoted to
+// domain caching.
+func AblationDomainCachingThroughput(cpus, callsPerCaller int) []CachingPoint {
+	var out []CachingPoint
+	for _, cached := range []int{0, 1} {
+		out = append(out, runCachingPoint(cpus, cached, callsPerCaller))
+	}
+	return out
+}
+
+func runCachingPoint(cpus, cachedIdle, callsPerCaller int) CachingPoint {
+	r := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: cpus})
+	callers := cpus - cachedIdle
+	if cachedIdle > 0 {
+		r.kern.DomainCaching = true
+		for i := 0; i < cachedIdle; i++ {
+			r.kern.ParkIdle(r.mach.CPUs[cpus-1-i], r.server)
+		}
+	}
+	active := 0
+	r.rt.Interference = func() int { return active - 1 }
+
+	done := 0
+	var finish sim.Time
+	var callTime sim.Duration
+	for i := 0; i < callers; i++ {
+		cpu := r.mach.CPUs[i]
+		r.kern.Spawn("caller", r.client, cpu, func(th *kernel.Thread) {
+			cb, err := r.rt.Import(th, "Test")
+			if err != nil {
+				panic(err)
+			}
+			active++
+			start := th.P.Now()
+			for j := 0; j < callsPerCaller; j++ {
+				if _, err := cb.Call(th, 0, nil); err != nil {
+					panic(err)
+				}
+			}
+			callTime += th.P.Now().Sub(start)
+			active--
+			done++
+			if done == callers {
+				finish = th.P.Now()
+			}
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	var exchanges uint64
+	for _, cpu := range r.mach.CPUs {
+		exchanges += cpu.Exchanges
+	}
+	totalCalls := callers * callsPerCaller
+	return CachingPoint{
+		CPUs:       cpus,
+		CachedIdle: cachedIdle,
+		Callers:    callers,
+		Throughput: float64(totalCalls) / finish.Seconds(),
+		MeanCallUs: (callTime / sim.Duration(totalCalls)).Microseconds(),
+		Exchanges:  exchanges / 2, // Exchange increments both processors
+		IdleMisses: r.server.IdleMisses + r.client.IdleMisses,
+	}
+}
+
+// AblationCachingTable renders the tradeoff.
+func AblationCachingTable(points []CachingPoint) *Table {
+	t := &Table{
+		Title: "Ablation: domain caching vs throughput (Null calls, C-VAX Firefly)",
+		Header: []string{"CPUs", "cached idle", "callers", "calls/s", "mean us/call",
+			"exchanges", "idle misses"},
+		Notes: []string{
+			"caching lowers per-call latency (toward Table 4's 125us) at the price of a",
+			"processor that is not making calls; Figure 2's experiment disables it for",
+			"exactly this reason",
+		},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.CPUs), fmt.Sprintf("%d", p.CachedIdle),
+			fmt.Sprintf("%d", p.Callers), us(p.Throughput), us1(p.MeanCallUs),
+			fmt.Sprintf("%d", p.Exchanges), fmt.Sprintf("%d", p.IdleMisses),
+		})
+	}
+	return t
+}

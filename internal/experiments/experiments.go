@@ -1,0 +1,65 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the relevant simulation (or workload
+// model), returns structured results, and renders the same rows/series the
+// paper reports. cmd/lrpcbench and the repository's benchmarks call these
+// drivers; EXPERIMENTS.md records their output against the published
+// numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func us(v float64) string   { return fmt.Sprintf("%.0f", v) }
+func us1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct1(v float64) string { return fmt.Sprintf("%.1f%%", v) }

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lrpc/internal/machine"
+)
+
+func TestTable1Driver(t *testing.T) {
+	results := Table1(300_000, 1)
+	if len(results) != 3 {
+		t.Fatalf("got %d systems, want 3", len(results))
+	}
+	for _, r := range results {
+		diff := r.CrossMachinePct - r.PaperCrossMachine
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.5 {
+			t.Errorf("%s: measured %.2f%%, paper %.1f%%", r.System, r.CrossMachinePct, r.PaperCrossMachine)
+		}
+	}
+	// Ordering of Table 1: V, Taos, UNIX.
+	if results[0].System != "V" || results[2].System != "Sun UNIX+NFS" {
+		t.Errorf("unexpected system order: %v, %v, %v", results[0].System, results[1].System, results[2].System)
+	}
+	out := Table1Table(results).Render()
+	if !strings.Contains(out, "Taos") {
+		t.Error("rendered table missing Taos row")
+	}
+}
+
+func TestFigure1Driver(t *testing.T) {
+	r := Figure1(100_000, 2)
+	if r.Below200 < 50 {
+		t.Errorf("below-200 fraction %.1f%%, want a majority", r.Below200)
+	}
+	if r.MaxSeen > 1800 || r.MaxSeen < 1000 {
+		t.Errorf("max transfer %d, want within (1000, 1800]", r.MaxSeen)
+	}
+	out := Figure1Render(r)
+	for _, want := range []string{"Figure 1", "366 procedures", "28 services"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	rows := Table2(3, 25)
+	if len(rows) != 6 {
+		t.Fatalf("got %d systems, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Actuals within 1% of the paper.
+		lo, hi := r.PaperActual*0.99, r.PaperActual*1.01
+		if r.ActualUs < lo || r.ActualUs > hi {
+			t.Errorf("%s actual = %.0fus, paper %.0fus", r.System, r.ActualUs, r.PaperActual)
+		}
+		// Minimums exact.
+		if r.MinimumUs != r.PaperMinimum {
+			t.Errorf("%s minimum = %.1fus, paper %.0fus", r.System, r.MinimumUs, r.PaperMinimum)
+		}
+	}
+	// Shape: SRC RPC is the fastest of the six (it "outperforms peer
+	// systems"); Accent the slowest.
+	for _, r := range rows {
+		if r.System != "SRC RPC (Taos)" && r.ActualUs < rows[1].ActualUs {
+			t.Errorf("%s (%.0fus) beats SRC RPC (%.0fus)", r.System, r.ActualUs, rows[1].ActualUs)
+		}
+	}
+}
+
+func TestTable3Driver(t *testing.T) {
+	rows := Table3()
+	want := []Table3Row{
+		{"call (mutable parameters)", "A", "ABCE", "ADE"},
+		{"call (immutable parameters)", "AE", "ABCE", "ADE"},
+		{"return", "F", "BCF", "BF"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+func TestTable4Driver(t *testing.T) {
+	rows := Table4(3, 50)
+	if len(rows) != 4 {
+		t.Fatalf("got %d tests, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// Serial LRPC within 1% of paper.
+		if r.LRPCUs < r.PaperLRPC*0.99 || r.LRPCUs > r.PaperLRPC*1.01 {
+			t.Errorf("%s LRPC = %.1f, paper %.0f", r.Test, r.LRPCUs, r.PaperLRPC)
+		}
+		// Taos within 2%.
+		if r.TaosUs < r.PaperTaos*0.98 || r.TaosUs > r.PaperTaos*1.02 {
+			t.Errorf("%s Taos = %.1f, paper %.0f", r.Test, r.TaosUs, r.PaperTaos)
+		}
+		// MP within 3% (Add is the loosest fit; see DESIGN.md).
+		if r.LRPCMPUs < r.PaperLRPCMP*0.97 || r.LRPCMPUs > r.PaperLRPCMP*1.03 {
+			t.Errorf("%s LRPC/MP = %.1f, paper %.0f", r.Test, r.LRPCMPUs, r.PaperLRPCMP)
+		}
+		// Shape: MP < serial < Taos, and Taos/LRPC is about a factor of
+		// three for the Null call.
+		if !(r.LRPCMPUs < r.LRPCUs && r.LRPCUs < r.TaosUs) {
+			t.Errorf("%s ordering violated: %.0f / %.0f / %.0f", r.Test, r.LRPCMPUs, r.LRPCUs, r.TaosUs)
+		}
+	}
+	ratio := rows[0].TaosUs / rows[0].LRPCUs
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Errorf("Null Taos/LRPC ratio = %.2f, want about 3 (\"a factor of three\")", ratio)
+	}
+}
+
+func TestTable5Driver(t *testing.T) {
+	r := Table5()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"procedure call", r.ProcCallUs, 7},
+		{"traps", r.TrapsUs, 36},
+		{"switches+TLB", r.SwitchesUs + r.TLBUs, 66},
+		{"client stub", r.ClientStubUs, 18},
+		{"server stub", r.ServerStubUs, 3},
+		{"kernel", r.KernelUs, 27},
+		{"total", r.TotalUs, 157},
+	}
+	for _, c := range checks {
+		if c.got < c.want-0.2 || c.got > c.want+0.2 {
+			t.Errorf("%s = %.2fus, want %.1fus", c.name, c.got, c.want)
+		}
+	}
+	// Section 3.3: LRPC stubs about 4x faster than SRC RPC stubs.
+	lrpcStubs := r.ClientStubUs + r.ServerStubUs
+	ratio := r.SRCStubUs / lrpcStubs
+	if ratio < 3 || ratio > 4.5 {
+		t.Errorf("SRC/LRPC stub ratio = %.1f, want about 3.3-4", ratio)
+	}
+}
+
+func TestFigure2Driver(t *testing.T) {
+	points := Figure2(machine.CVAXFirefly(), 4, 400)
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	p1, p4 := points[0], points[3]
+	// Paper: a single processor makes about 6300 LRPCs/second.
+	if p1.LRPCMeasured < 6100 || p1.LRPCMeasured > 6500 {
+		t.Errorf("1-CPU LRPC rate = %.0f/s, want about 6300/s", p1.LRPCMeasured)
+	}
+	// Paper: four processors make over 23000 calls/second, speedup 3.7.
+	if p4.LRPCMeasured < 22000 || p4.LRPCMeasured > 25000 {
+		t.Errorf("4-CPU LRPC rate = %.0f/s, want about 23000/s", p4.LRPCMeasured)
+	}
+	if p4.Speedup < 3.5 || p4.Speedup > 3.9 {
+		t.Errorf("4-CPU speedup = %.2f, want about 3.7", p4.Speedup)
+	}
+	// Paper: SRC RPC levels off at about 4000 calls/second with two
+	// processors; adding more does not help.
+	p2 := points[1]
+	if p2.SRCMeasured < 3600 || p2.SRCMeasured > 4400 {
+		t.Errorf("2-CPU SRC rate = %.0f/s, want about 4000/s", p2.SRCMeasured)
+	}
+	if p4.SRCMeasured > p2.SRCMeasured*1.1 {
+		t.Errorf("SRC rate kept scaling: %.0f/s at 2 CPUs -> %.0f/s at 4", p2.SRCMeasured, p4.SRCMeasured)
+	}
+	// LRPC measured never exceeds optimal.
+	for _, p := range points {
+		if p.LRPCMeasured > p.LRPCOptimal*1.001 {
+			t.Errorf("%d CPUs: measured %.0f exceeds optimal %.0f", p.CPUs, p.LRPCMeasured, p.LRPCOptimal)
+		}
+	}
+}
+
+// TestFigure2MicroVAX reproduces the section 4 datum: a five-processor
+// MicroVAX II Firefly showed a speedup of 4.3 with 5 processors.
+func TestFigure2MicroVAX(t *testing.T) {
+	points := Figure2(machine.MicroVAXIIFirefly(), 5, 200)
+	p5 := points[4]
+	if p5.Speedup < 4.1 || p5.Speedup > 4.5 {
+		t.Errorf("5-CPU MicroVAX II speedup = %.2f, want about 4.3", p5.Speedup)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"T\n", "a", "bb", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lrpc/internal/stats"
+	"lrpc/internal/workload"
+)
+
+// Figure1Result holds the call-size distribution and the static census.
+type Figure1Result struct {
+	Hist     *stats.Histogram
+	Static   workload.StaticStats
+	Calls    int
+	MaxSeen  int
+	Below50  float64
+	Below200 float64
+}
+
+// Figure1 generates the cross-domain call stream of section 2.2 and
+// histograms total argument/result bytes per call.
+func Figure1(calls int, seed int64) *Figure1Result {
+	rng := rand.New(rand.NewSource(seed))
+	pop := workload.NewPopulation(rng)
+	sizes := pop.CallSizes(rng, calls)
+	h := stats.NewHistogram(50, 36) // bins of 50 bytes out to 1800
+	maxSeen := 0
+	for _, s := range sizes {
+		h.Add(float64(s))
+		if s > maxSeen {
+			maxSeen = s
+		}
+	}
+	return &Figure1Result{
+		Hist:     h,
+		Static:   pop.Static(),
+		Calls:    calls,
+		MaxSeen:  maxSeen,
+		Below50:  100 * h.CumulativeBelow(50),
+		Below200: 100 * h.CumulativeBelow(200),
+	}
+}
+
+// Figure1Render renders the histogram and cumulative distribution plus the
+// static census facts of section 2.2.
+func Figure1Render(r *Figure1Result) string {
+	s := "Figure 1: RPC Size Distribution (total argument/result bytes per call)\n"
+	s += r.Hist.ASCII(48)
+	s += fmt.Sprintf("calls: %d   max single transfer: %d bytes (paper: ~1800)\n", r.Calls, r.MaxSeen)
+	s += fmt.Sprintf("below 50 bytes: %.1f%% (paper: the most frequent band)\n", r.Below50)
+	s += fmt.Sprintf("below 200 bytes: %.1f%% (paper: \"a majority\")\n", r.Below200)
+	s += fmt.Sprintf("static census: %d services, %d procedures, %d parameters\n",
+		r.Static.Services, r.Static.Procedures, r.Static.Parameters)
+	s += fmt.Sprintf("fixed-size parameters: %.0f%% (paper: 4 out of 5)\n", r.Static.PctFixedParams)
+	s += fmt.Sprintf("parameters <= 4 bytes: %.0f%% (paper: 65%%)\n", r.Static.PctSmallParams)
+	s += fmt.Sprintf("fixed-only procedures: %.0f%% (paper: two-thirds)\n", r.Static.PctFixedOnly)
+	s += fmt.Sprintf("procedures <= 32 bytes: %.0f%% (paper: 60%%)\n", r.Static.PctSmall32Procs)
+	return s
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+	"lrpc/internal/sim"
+)
+
+// Figure2Point is one x-position of Figure 2: calls per second at a given
+// processor count.
+type Figure2Point struct {
+	CPUs         int
+	LRPCMeasured float64 // calls/second, all processors making calls
+	LRPCOptimal  float64 // single-processor rate times CPU count
+	SRCMeasured  float64 // SRC RPC under its global lock
+	Speedup      float64 // LRPCMeasured / single-CPU LRPCMeasured
+}
+
+// Figure2 reproduces the multiprocessor throughput experiment of section
+// 4: each processor runs one thread making Null LRPCs in a tight loop,
+// with domain caching disabled so every call pays a context switch; SRC
+// RPC runs the same workload under its global transfer lock. callsPerCPU
+// sets the loop length (the paper used 100,000; the simulation is
+// deterministic so fewer suffice).
+func Figure2(cfg machine.Config, maxCPUs, callsPerCPU int) []Figure2Point {
+	var points []Figure2Point
+	var oneCPU float64
+	for n := 1; n <= maxCPUs; n++ {
+		lrpcRate := lrpcThroughput(cfg, n, callsPerCPU)
+		srcRate := srcThroughput(cfg, n, callsPerCPU)
+		if n == 1 {
+			oneCPU = lrpcRate
+		}
+		points = append(points, Figure2Point{
+			CPUs:         n,
+			LRPCMeasured: lrpcRate,
+			LRPCOptimal:  oneCPU * float64(n),
+			SRCMeasured:  srcRate,
+			Speedup:      lrpcRate / oneCPU,
+		})
+	}
+	return points
+}
+
+// lrpcThroughput measures aggregate Null LRPC calls/second with n caller
+// threads on n processors, domain caching disabled.
+func lrpcThroughput(cfg machine.Config, n, callsPerCPU int) float64 {
+	r := newLRPCRig(lrpcOptions{cfg: cfg, cpus: n})
+	// Shared-bus interference: every other processor is continuously
+	// making calls.
+	active := 0
+	r.rt.Interference = func() int { return active - 1 }
+
+	done := 0
+	var finish sim.Time
+	for i := 0; i < n; i++ {
+		cpu := r.mach.CPUs[i]
+		r.kern.Spawn("caller", r.client, cpu, func(th *kernel.Thread) {
+			cb, err := r.rt.Import(th, "Test")
+			if err != nil {
+				panic(err)
+			}
+			active++
+			for j := 0; j < callsPerCPU; j++ {
+				if _, err := cb.Call(th, 0, nil); err != nil {
+					panic(err)
+				}
+			}
+			active--
+			done++
+			if done == n {
+				finish = th.P.Now()
+			}
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	return float64(n*callsPerCPU) / finish.Seconds()
+}
+
+// srcThroughput measures aggregate Null SRC RPC calls/second with n caller
+// threads on n processors contending on the global transfer lock.
+func srcThroughput(cfg machine.Config, n, callsPerCPU int) float64 {
+	prof := msgrpc.SRCRPC()
+	prof.MaxOutstanding = n + 4
+	r := newMPRig(cfg, n, prof)
+	active := 0
+	r.tr.Interference = func() int { return active - 1 }
+	conn := r.tr.Connect(r.client, r.srv)
+
+	done := 0
+	var finish sim.Time
+	for i := 0; i < n; i++ {
+		cpu := r.mach.CPUs[i]
+		r.kern.Spawn("caller", r.client, cpu, func(th *kernel.Thread) {
+			active++
+			for j := 0; j < callsPerCPU; j++ {
+				if _, err := conn.Call(th, 0, nil); err != nil {
+					panic(err)
+				}
+			}
+			active--
+			done++
+			if done == n {
+				finish = th.P.Now()
+			}
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	return float64(n*callsPerCPU) / finish.Seconds()
+}
+
+// Figure2Table renders the series.
+func Figure2Table(points []Figure2Point) *Table {
+	t := &Table{
+		Title:  "Figure 2: Call Throughput on a Multiprocessor (Null calls/second)",
+		Header: []string{"CPUs", "LRPC measured", "LRPC optimal", "SRC RPC measured", "LRPC speedup"},
+		Notes: []string{
+			"domain caching disabled: every call pays a full context switch (paper section 4)",
+			"paper: 1 CPU ~6300/s, 4 CPUs >23000/s (speedup 3.7); SRC RPC flattens near 4000/s from 2 CPUs",
+		},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			us(float64(p.CPUs)),
+			us(p.LRPCMeasured), us(p.LRPCOptimal), us(p.SRCMeasured),
+			us1(p.Speedup),
+		})
+	}
+	return t
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+	"lrpc/internal/nameserver"
+	"lrpc/internal/sim"
+)
+
+// lrpcRig is a complete simulated LRPC installation: machine, kernel,
+// runtime, and a client/server domain pair exporting the paper's four-test
+// interface.
+type lrpcRig struct {
+	eng    *sim.Engine
+	mach   *machine.Machine
+	kern   *kernel.Kernel
+	rt     *core.Runtime
+	client *kernel.Domain
+	server *kernel.Domain
+}
+
+// lrpcOptions configures a rig.
+type lrpcOptions struct {
+	cfg     machine.Config
+	cpus    int
+	caching bool // domain caching with cpus-1 processors parked in the server
+}
+
+func newLRPCRig(o lrpcOptions) *lrpcRig {
+	eng := sim.New()
+	mach := machine.New(eng, o.cfg, o.cpus)
+	kern := kernel.New(mach, 11)
+	rt := core.NewRuntime(kern, nameserver.New())
+	r := &lrpcRig{
+		eng:    eng,
+		mach:   mach,
+		kern:   kern,
+		rt:     rt,
+		client: kern.NewDomain("client", kernel.DomainConfig{Footprint: kernel.DefaultClientFootprint}),
+		server: kern.NewDomain("server", kernel.DomainConfig{Footprint: kernel.DefaultServerFootprint, MaxEStacks: 32}),
+	}
+	if o.caching {
+		kern.DomainCaching = true
+		for _, cpu := range mach.CPUs[1:] {
+			kern.ParkIdle(cpu, r.server)
+		}
+	}
+	if _, err := rt.Export(r.server, fourTestInterface()); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// fourTestInterface returns the benchmark interface of Table 4.
+func fourTestInterface() *core.Interface {
+	return &core.Interface{
+		Name: "Test",
+		Procs: []core.Proc{
+			{Name: "Null", Handler: func(c *core.ServerCall) { c.ResultsBuf(0) }},
+			{Name: "Add", ArgValues: 2, ArgBytes: 8, ResValues: 1, ResBytes: 4,
+				Handler: func(c *core.ServerCall) {
+					a := binary.LittleEndian.Uint32(c.Args()[0:4])
+					b := binary.LittleEndian.Uint32(c.Args()[4:8])
+					binary.LittleEndian.PutUint32(c.ResultsBuf(4), a+b)
+				}},
+			{Name: "BigIn", ArgValues: 1, ArgBytes: 200,
+				Handler: func(c *core.ServerCall) { c.ResultsBuf(0) }},
+			{Name: "BigInOut", ArgValues: 1, ArgBytes: 200, ResValues: 1, ResBytes: 200,
+				Handler: func(c *core.ServerCall) { copy(c.ResultsBuf(200), c.Args()) }},
+		},
+	}
+}
+
+// testArgs returns the argument buffer for a four-test procedure index.
+func testArgs(procIdx int) []byte {
+	switch procIdx {
+	case 1:
+		return make([]byte, 8)
+	case 2, 3:
+		return make([]byte, 200)
+	}
+	return nil
+}
+
+// fourTestNames lists the procedures in Table 4 order.
+var fourTestNames = []string{"Null", "Add", "BigIn", "BigInOut"}
+
+// measureLRPC returns the steady-state mean latency of procIdx on the rig.
+func (r *lrpcRig) measureLRPC(procIdx, warmup, n int) sim.Duration {
+	var per sim.Duration
+	args := testArgs(procIdx)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := r.rt.Import(th, "Test")
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < warmup; i++ {
+			if _, err := cb.Call(th, procIdx, args); err != nil {
+				panic(err)
+			}
+		}
+		start := th.P.Now()
+		for i := 0; i < n; i++ {
+			if _, err := cb.Call(th, procIdx, args); err != nil {
+				panic(err)
+			}
+		}
+		per = th.P.Now().Sub(start) / sim.Duration(n)
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	return per
+}
+
+// mpRig is a message-passing RPC installation.
+type mpRig struct {
+	eng    *sim.Engine
+	mach   *machine.Machine
+	kern   *kernel.Kernel
+	tr     *msgrpc.Transport
+	client *kernel.Domain
+	server *kernel.Domain
+	srv    *msgrpc.Server
+}
+
+func newMPRig(cfg machine.Config, cpus int, prof msgrpc.Profile) *mpRig {
+	eng := sim.New()
+	mach := machine.New(eng, cfg, cpus)
+	kern := kernel.New(mach, 13)
+	tr := msgrpc.NewTransport(mach, prof)
+	client := kern.NewDomain("client", kernel.DomainConfig{Footprint: prof.ClientFootprint})
+	server := kern.NewDomain("server", kernel.DomainConfig{Footprint: prof.ServerFootprint})
+	svc := &msgrpc.Service{
+		Name: "Test",
+		Procs: []msgrpc.Proc{
+			{Name: "Null", Handler: func(args []byte) []byte { return nil }},
+			{Name: "Add", ArgValues: 2, ResValues: 1, Handler: func(args []byte) []byte { return args[:4] }},
+			{Name: "BigIn", ArgValues: 1, Handler: func(args []byte) []byte { return nil }},
+			{Name: "BigInOut", ArgValues: 1, ResValues: 1, Handler: func(args []byte) []byte {
+				out := make([]byte, len(args))
+				copy(out, args)
+				return out
+			}},
+		},
+	}
+	return &mpRig{eng: eng, mach: mach, kern: kern, tr: tr,
+		client: client, server: server, srv: tr.Serve(server, svc)}
+}
+
+func (r *mpRig) measureMP(procIdx, warmup, n int) sim.Duration {
+	var per sim.Duration
+	args := testArgs(procIdx)
+	conn := r.tr.Connect(r.client, r.srv)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		for i := 0; i < warmup; i++ {
+			if _, err := conn.Call(th, procIdx, args); err != nil {
+				panic(err)
+			}
+		}
+		start := th.P.Now()
+		for i := 0; i < n; i++ {
+			if _, err := conn.Call(th, procIdx, args); err != nil {
+				panic(err)
+			}
+		}
+		per = th.P.Now().Sub(start) / sim.Duration(n)
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	return per
+}
+
+func procLabel(i int) string {
+	if i >= 0 && i < len(fourTestNames) {
+		return fourTestNames[i]
+	}
+	return fmt.Sprintf("proc%d", i)
+}

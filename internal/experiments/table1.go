@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"lrpc/internal/workload"
+)
+
+// Table1Result is one system's measured activity split.
+type Table1Result struct {
+	System            string
+	Operations        uint64
+	CrossMachinePct   float64
+	CrossDomainPct    float64
+	PaperCrossMachine float64
+}
+
+// Table1 runs the three activity models of section 2.1 and reports the
+// percentage of operations that cross machine boundaries.
+func Table1(ops int, seed int64) []Table1Result {
+	paper := map[string]float64{"V": 3.0, "Taos": 5.3, "Sun UNIX+NFS": 0.6}
+	var out []Table1Result
+	for _, m := range workload.Table1Models() {
+		rng := rand.New(rand.NewSource(seed))
+		res := m.Run(rng, ops)
+		out = append(out, Table1Result{
+			System:            m.System,
+			Operations:        res.Total,
+			CrossMachinePct:   res.PercentCrossMachine(),
+			CrossDomainPct:    res.PercentCrossDomain(),
+			PaperCrossMachine: paper[m.System],
+		})
+	}
+	return out
+}
+
+// Table1Table renders Table 1.
+func Table1Table(results []Table1Result) *Table {
+	t := &Table{
+		Title:  "Table 1: Frequency of Remote Activity",
+		Header: []string{"Operating System", "% Cross-Machine (measured)", "% Cross-Machine (paper)", "% Cross-Domain (same machine)"},
+		Notes: []string{
+			"measured over synthetic activity models parameterized from section 2.1 (DESIGN.md)",
+		},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.System,
+			pct1(r.CrossMachinePct),
+			pct1(r.PaperCrossMachine),
+			pct1(r.CrossDomainPct),
+		})
+	}
+	return t
+}

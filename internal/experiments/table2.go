@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+)
+
+// Table2Row is one system of Table 2.
+type Table2Row struct {
+	System        string
+	Processor     string
+	MinimumUs     float64 // theoretical minimum Null time
+	ActualUs      float64 // simulated Null time
+	OverheadUs    float64
+	PaperMinimum  float64
+	PaperActual   float64
+	PaperOverhead float64
+}
+
+// table2System pairs a profile with its machine and published numbers.
+type table2System struct {
+	prof      msgrpc.Profile
+	cfg       machine.Config
+	minMisses int // TLB misses of the theoretical-minimum path
+	paperMin  float64
+	paperNull float64
+}
+
+func table2Systems() []table2System {
+	return []table2System{
+		{msgrpc.AccentRPC(), machine.PERQ(), 100, 444, 2300},
+		{msgrpc.SRCRPC(), machine.CVAXFirefly(), 43, 109, 464},
+		{msgrpc.MachRPC(), machine.CVAXMach(), 40, 90, 754},
+		{msgrpc.VRPC(), machine.M68020(), 50, 170, 730},
+		{msgrpc.AmoebaRPC(), machine.M68020(), 50, 170, 800},
+		{msgrpc.DASHRPC(), machine.M68020(), 50, 170, 1590},
+	}
+}
+
+// Table2 measures the Null cross-domain call on each of the six systems
+// and reports theoretical minimum, actual, and overhead.
+func Table2(warmup, calls int) []Table2Row {
+	var rows []Table2Row
+	for _, s := range table2Systems() {
+		r := newMPRig(s.cfg, 1, s.prof)
+		actual := r.measureMP(0, warmup, calls)
+		minimum := s.cfg.NullMinimum(s.minMisses)
+		rows = append(rows, Table2Row{
+			System:        s.prof.Name,
+			Processor:     s.cfg.Name,
+			MinimumUs:     minimum.Microseconds(),
+			ActualUs:      actual.Microseconds(),
+			OverheadUs:    (actual - minimum).Microseconds(),
+			PaperMinimum:  s.paperMin,
+			PaperActual:   s.paperNull,
+			PaperOverhead: s.paperNull - s.paperMin,
+		})
+	}
+	return rows
+}
+
+// Table2Table renders Table 2.
+func Table2Table(rows []Table2Row) *Table {
+	t := &Table{
+		Title: "Table 2: Cross-Domain Performance (times in microseconds)",
+		Header: []string{"System", "Processor",
+			"Null (minimum)", "Null (actual)", "Overhead",
+			"paper minimum", "paper actual", "paper overhead"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.System, r.Processor,
+			us(r.MinimumUs), us(r.ActualUs), us(r.OverheadUs),
+			us(r.PaperMinimum), us(r.PaperActual), us(r.PaperOverhead),
+		})
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+)
+
+// Table3Row reports the copy operations of one transport.
+type Table3Row struct {
+	Operation string
+	LRPC      string
+	MP        string // message passing
+	RMP       string // restricted message passing
+}
+
+// Table3 instruments one call with 64-byte arguments and 64-byte results
+// on each transport and reports the copy operations observed, by Table 3's
+// code letters. The immutable flag selects the row pair: when parameter
+// immutability matters, LRPC's server stub adds copy E.
+func Table3() []Table3Row {
+	lrpcCall, lrpcRet := lrpcCopies(false)
+	lrpcCallImm, _ := lrpcCopies(true)
+	mpCall, mpRet := mpCopies(msgrpc.GenericMP())
+	rmpCall, rmpRet := mpCopies(msgrpc.RestrictedMP())
+	return []Table3Row{
+		{"call (mutable parameters)", lrpcCall, mpCall, rmpCall},
+		{"call (immutable parameters)", lrpcCallImm, mpCall, rmpCall},
+		{"return", lrpcRet, mpRet, rmpRet},
+	}
+}
+
+// lrpcCopies runs one instrumented LRPC and splits the recorded codes into
+// call-direction (A,B,C,D,E) and return-direction (F) sets.
+func lrpcCopies(protect bool) (call, ret string) {
+	r := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 1})
+	rec := core.NewCopyRecorder()
+	r.rt.Copies = rec
+	iface := &core.Interface{
+		Name: "Copies",
+		Procs: []core.Proc{{
+			Name: "Op", ArgValues: 1, ArgBytes: 64, ResValues: 1, ResBytes: 64,
+			ProtectArgs: protect,
+			Handler:     func(c *core.ServerCall) { copy(c.ResultsBuf(64), c.Args()) },
+		}},
+	}
+	if _, err := r.rt.Export(r.server, iface); err != nil {
+		panic(err)
+	}
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := r.rt.Import(th, "Copies")
+		if err != nil {
+			panic(err)
+		}
+		if _, err := cb.Call(th, 0, make([]byte, 64)); err != nil {
+			panic(err)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	var callCodes, retCodes []byte
+	for c := core.CopyA; c <= core.CopyF; c++ {
+		if rec.Ops[c] == 0 {
+			continue
+		}
+		if c == core.CopyF {
+			retCodes = append(retCodes, byte(c))
+		} else {
+			callCodes = append(callCodes, byte(c))
+		}
+	}
+	return string(callCodes), string(retCodes)
+}
+
+// mpCopies runs one instrumented message-RPC call.
+func mpCopies(prof msgrpc.Profile) (call, ret string) {
+	r := newMPRig(machine.CVAXFirefly(), 1, prof)
+	r.tr.CallCopies = core.NewCopyRecorder()
+	r.tr.ReturnCopies = core.NewCopyRecorder()
+	conn := r.tr.Connect(r.client, r.srv)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		if _, err := conn.Call(th, 3, make([]byte, 64)); err != nil {
+			panic(err)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	return r.tr.CallCopies.Codes(), r.tr.ReturnCopies.Codes()
+}
+
+// Table3Table renders Table 3.
+func Table3Table(rows []Table3Row) *Table {
+	t := &Table{
+		Title:  "Table 3: Copy Operations For LRPC Vs. Message-Based RPC",
+		Header: []string{"Operation", "LRPC", "Message Passing", "Restricted Message Passing"},
+		Notes: []string{
+			"A: client stack->message(A-stack)  B: sender->kernel  C: kernel->receiver",
+			"D: sender/kernel->receiver (mapped buffers)  E: message->server stack  F: message->client results",
+			"paper: call mutable A/ABCE/ADE; call immutable AE/ABCE/ADE; return F/BCF/BF",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Operation, r.LRPC, r.MP, r.RMP})
+	}
+	return t
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+)
+
+// Table4Row is one test of Table 4 across the three columns.
+type Table4Row struct {
+	Test        string
+	LRPCMPUs    float64 // LRPC with the idle-processor optimization
+	LRPCUs      float64 // LRPC, single-processor domain switch
+	TaosUs      float64 // SRC RPC
+	PaperLRPCMP float64
+	PaperLRPC   float64
+	PaperTaos   float64
+}
+
+var table4Paper = map[string][3]float64{
+	"Null":     {125, 157, 464},
+	"Add":      {130, 164, 480},
+	"BigIn":    {173, 192, 539},
+	"BigInOut": {219, 227, 636},
+}
+
+// Table4 runs the four tests on the C-VAX Firefly: LRPC with domain
+// caching (two processors, one idling in the server), serial LRPC, and
+// SRC RPC. The paper measured 100,000 calls in a tight loop; the simulated
+// times are deterministic, so a smaller count suffices.
+func Table4(warmup, calls int) []Table4Row {
+	var rows []Table4Row
+	for procIdx, name := range fourTestNames {
+		mp := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 2, caching: true})
+		serial := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 1})
+		taos := newMPRig(machine.CVAXFirefly(), 1, msgrpc.SRCRPC())
+		paper := table4Paper[name]
+		rows = append(rows, Table4Row{
+			Test:        name,
+			LRPCMPUs:    mp.measureLRPC(procIdx, 5, calls).Microseconds(),
+			LRPCUs:      serial.measureLRPC(procIdx, 5, calls).Microseconds(),
+			TaosUs:      taos.measureMP(procIdx, warmup, calls).Microseconds(),
+			PaperLRPCMP: paper[0],
+			PaperLRPC:   paper[1],
+			PaperTaos:   paper[2],
+		})
+	}
+	return rows
+}
+
+// Table4Table renders Table 4.
+func Table4Table(rows []Table4Row) *Table {
+	t := &Table{
+		Title: "Table 4: LRPC Performance of Four Tests (in microseconds)",
+		Header: []string{"Test", "LRPC/MP", "LRPC", "Taos",
+			"paper LRPC/MP", "paper LRPC", "paper Taos"},
+		Notes: []string{
+			"Null: no arguments or results; Add: two 4-byte in, one 4-byte out;",
+			"BigIn: one 200-byte in; BigInOut: 200 bytes in and out",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Test,
+			us(r.LRPCMPUs), us(r.LRPCUs), us(r.TaosUs),
+			us(r.PaperLRPCMP), us(r.PaperLRPC), us(r.PaperTaos),
+		})
+	}
+	return t
+}

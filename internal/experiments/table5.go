@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/msgrpc"
+)
+
+// Table5Result is the component breakdown of the serial Null LRPC.
+type Table5Result struct {
+	// Minimum components (paper: 109 us total).
+	ProcCallUs float64 // Modula2+ procedure call (7)
+	TrapsUs    float64 // two kernel traps (36)
+	SwitchesUs float64 // two context switches, raw register reload
+	TLBUs      float64 // TLB refill misses forced by the switches
+	// LRPC overhead components (paper: 48 us total).
+	ClientStubUs float64 // 18
+	ServerStubUs float64 // 3
+	KernelUs     float64 // binding validation and linkage management (27)
+	TotalUs      float64 // 157
+	// Stub comparison of section 3.3: LRPC stubs vs SRC RPC stubs.
+	SRCStubUs float64
+}
+
+// Table5 meters 100 steady-state Null calls on a single C-VAX processor
+// and reports the per-call component breakdown.
+func Table5() *Table5Result {
+	r := newLRPCRig(lrpcOptions{cfg: machine.CVAXFirefly(), cpus: 1})
+	meter := kernel.NewMeter()
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := r.rt.Import(th, "Test")
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := cb.Call(th, 0, nil); err != nil {
+				panic(err)
+			}
+		}
+		th.Meter = meter
+		for i := 0; i < 100; i++ {
+			if _, err := cb.Call(th, 0, nil); err != nil {
+				panic(err)
+			}
+		}
+		meter.Calls = 100
+	})
+	if err := r.eng.Run(); err != nil {
+		panic(err)
+	}
+	us := func(c string) float64 { return meter.PerCall(c).Microseconds() }
+	res := &Table5Result{
+		ProcCallUs:   us(kernel.CompProcCall),
+		TrapsUs:      us(kernel.CompTrap),
+		SwitchesUs:   us(kernel.CompSwitch),
+		TLBUs:        us(kernel.CompTLB),
+		ClientStubUs: us(kernel.CompClientStub),
+		ServerStubUs: us(kernel.CompServerStub),
+		KernelUs:     us(kernel.CompKernel),
+		TotalUs:      meter.TotalPerCall().Microseconds(),
+	}
+	// SRC RPC stub cost for the Null call (client + server stubs), for the
+	// section 3.3 four-fold stub comparison.
+	src := newMPRig(machine.CVAXFirefly(), 1, msgrpc.SRCRPC())
+	srcMeter := kernel.NewMeter()
+	conn := src.tr.Connect(src.client, src.srv)
+	src.kern.Spawn("caller", src.client, src.mach.CPUs[0], func(th *kernel.Thread) {
+		if _, err := conn.Call(th, 0, nil); err != nil {
+			panic(err)
+		}
+		th.Meter = srcMeter
+		for i := 0; i < 10; i++ {
+			if _, err := conn.Call(th, 0, nil); err != nil {
+				panic(err)
+			}
+		}
+		srcMeter.Calls = 10
+	})
+	if err := src.eng.Run(); err != nil {
+		panic(err)
+	}
+	res.SRCStubUs = srcMeter.PerCall(kernel.CompClientStub).Microseconds() +
+		srcMeter.PerCall(kernel.CompServerStub).Microseconds()
+	return res
+}
+
+// Table5Table renders the breakdown in the paper's layout.
+func Table5Table(r *Table5Result) *Table {
+	t := &Table{
+		Title:  "Table 5: Breakdown of Time (us) for Single-Processor Null LRPC",
+		Header: []string{"Operation", "Minimum", "LRPC Overhead", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Modula2+ procedure call", us1(r.ProcCallUs), "", "7"},
+		[]string{"Two kernel traps", us1(r.TrapsUs), "", "36"},
+		[]string{"Two context switches (registers)", us1(r.SwitchesUs), "", "66 incl. TLB"},
+		[]string{"TLB misses (43 @ 0.9us)", us1(r.TLBUs), "", "(in switches)"},
+		[]string{"Client stub", "", us1(r.ClientStubUs), "18"},
+		[]string{"Server stub", "", us1(r.ServerStubUs), "3"},
+		[]string{"Kernel transfer", "", us1(r.KernelUs), "27"},
+		[]string{"TOTAL", "", us1(r.TotalUs), "157"},
+	)
+	t.Notes = append(t.Notes,
+		"paper groups raw switches + TLB refill as 'two context switches' = 66us; minimum = 109us",
+		"stub comparison (section 3.3): LRPC stubs "+us1(r.ClientStubUs+r.ServerStubUs)+
+			"us vs SRC RPC stubs "+us1(r.SRCStubUs)+"us per Null call (paper: about 4x)",
+	)
+	return t
+}

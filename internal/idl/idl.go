@@ -1,0 +1,207 @@
+// Package idl implements the LRPC interface definition language and stub
+// generator — the analog of the paper's stub generator, which "produces
+// run-time stubs ... directly from Modula2+ definition files" (section
+// 3.3). Here definitions are .idl files and the generator emits Go client
+// and server stubs over the root lrpc package: typed wrappers that marshal
+// by byte copy onto the argument stack, exactly the simple stylized stubs
+// the paper's performance depends on.
+//
+// The definition language:
+//
+//	// Comments run to end of line.
+//	interface Arith version 1
+//
+//	proc Add(a int32, b int32) returns (sum int32)
+//	proc Write(fd int32, data bytes<4096>) returns (n int32)
+//	    option astacks 8
+//	proc Lookup(name string<128>) returns (found bool, handle int64)
+//	    option protected
+//	proc Null()
+//
+// Types: bool, int8/16/32/64, uint8/16/32/64, byte, bytes<N> (variable,
+// at most N bytes), string<N>. Options: "astacks N" (simultaneous calls),
+// "astacksize N" (override the computed A-stack size), "share NAME"
+// (A-stack sharing group), "protected" (copy arguments before the handler
+// runs — the immutability-sensitive case of the paper's section 3.5).
+package idl
+
+import "fmt"
+
+// Kind is a parameter type kind.
+type Kind int
+
+// The IDL type kinds.
+const (
+	KindBool Kind = iota
+	KindInt8
+	KindInt16
+	KindInt32
+	KindInt64
+	KindUint8
+	KindUint16
+	KindUint32
+	KindUint64
+	KindBytes  // variable-length byte buffer with a maximum
+	KindString // variable-length string with a maximum
+)
+
+var kindNames = map[string]Kind{
+	"bool": KindBool,
+	"int8": KindInt8, "int16": KindInt16, "int32": KindInt32, "int64": KindInt64,
+	"uint8": KindUint8, "uint16": KindUint16, "uint32": KindUint32, "uint64": KindUint64,
+	"byte":  KindUint8,
+	"bytes": KindBytes, "string": KindString,
+}
+
+// Type is a parameter type.
+type Type struct {
+	Kind Kind
+	Max  int // for bytes<N> / string<N>
+}
+
+// Fixed reports whether the type has fixed size.
+func (t Type) Fixed() bool { return t.Kind != KindBytes && t.Kind != KindString }
+
+// FixedSize returns the wire size of a fixed type.
+func (t Type) FixedSize() int {
+	switch t.Kind {
+	case KindBool, KindInt8, KindUint8:
+		return 1
+	case KindInt16, KindUint16:
+		return 2
+	case KindInt32, KindUint32:
+		return 4
+	case KindInt64, KindUint64:
+		return 8
+	}
+	panic("idl: FixedSize of variable type")
+}
+
+// MaxSize returns the maximum wire size: fixed size, or a 4-byte length
+// prefix plus the declared maximum.
+func (t Type) MaxSize() int {
+	if t.Fixed() {
+		return t.FixedSize()
+	}
+	return 4 + t.Max
+}
+
+// GoType returns the generated Go type.
+func (t Type) GoType() string {
+	switch t.Kind {
+	case KindBool:
+		return "bool"
+	case KindInt8:
+		return "int8"
+	case KindInt16:
+		return "int16"
+	case KindInt32:
+		return "int32"
+	case KindInt64:
+		return "int64"
+	case KindUint8:
+		return "uint8"
+	case KindUint16:
+		return "uint16"
+	case KindUint32:
+		return "uint32"
+	case KindUint64:
+		return "uint64"
+	case KindBytes:
+		return "[]byte"
+	case KindString:
+		return "string"
+	}
+	panic("idl: unknown kind")
+}
+
+// String renders the type in IDL syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindBytes:
+		return fmt.Sprintf("bytes<%d>", t.Max)
+	case KindString:
+		return fmt.Sprintf("string<%d>", t.Max)
+	}
+	for name, k := range kindNames {
+		if k == t.Kind && name != "byte" {
+			return name
+		}
+	}
+	return "?"
+}
+
+// Param is one parameter or result.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Proc is one procedure declaration.
+type Proc struct {
+	Name    string
+	Params  []Param
+	Results []Param
+
+	// Options.
+	AStacks    int    // option astacks N
+	AStackSize int    // option astacksize N
+	ShareGroup string // option share NAME
+	Protected  bool   // option protected
+
+	Line int
+}
+
+// ArgBytes returns the maximum marshaled size of the parameters.
+func (p *Proc) ArgBytes() int {
+	n := 0
+	for _, pa := range p.Params {
+		n += pa.Type.MaxSize()
+	}
+	return n
+}
+
+// ResBytes returns the maximum marshaled size of the results.
+func (p *Proc) ResBytes() int {
+	n := 0
+	for _, pa := range p.Results {
+		n += pa.Type.MaxSize()
+	}
+	return n
+}
+
+// FixedOnly reports whether every parameter and result is fixed-size.
+func (p *Proc) FixedOnly() bool {
+	for _, pa := range p.Params {
+		if !pa.Type.Fixed() {
+			return false
+		}
+	}
+	for _, pa := range p.Results {
+		if !pa.Type.Fixed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Interface is a parsed definition file.
+type Interface struct {
+	Name    string
+	Version int
+	Procs   []Proc
+}
+
+// ParseError is a definition-file error with position.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("idl: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,305 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleIDL = `
+// The benchmark interface of Table 4 plus a file-ish procedure.
+interface Bench version 2
+
+proc Null()
+proc Add(a int32, b int32) returns (sum int32)
+proc BigIn(data bytes<200>)
+    option astacks 8
+proc BigInOut(data bytes<200>) returns (echo bytes<200>)
+    option share big
+proc Lookup(name string<64>) returns (found bool, handle int64)
+    option protected
+proc Stat(fd int32) returns (size uint64, mode uint16)
+    option astacksize 64
+`
+
+func TestParseSample(t *testing.T) {
+	iface, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iface.Name != "Bench" || iface.Version != 2 {
+		t.Fatalf("iface = %s v%d", iface.Name, iface.Version)
+	}
+	if len(iface.Procs) != 6 {
+		t.Fatalf("procs = %d, want 6", len(iface.Procs))
+	}
+	null := iface.Procs[0]
+	if null.Name != "Null" || len(null.Params) != 0 || len(null.Results) != 0 {
+		t.Errorf("Null parsed wrong: %+v", null)
+	}
+	add := iface.Procs[1]
+	if len(add.Params) != 2 || add.Params[0].Type.Kind != KindInt32 {
+		t.Errorf("Add params: %+v", add.Params)
+	}
+	if len(add.Results) != 1 || add.Results[0].Name != "sum" {
+		t.Errorf("Add results: %+v", add.Results)
+	}
+	bigIn := iface.Procs[2]
+	if bigIn.AStacks != 8 {
+		t.Errorf("BigIn astacks = %d, want 8", bigIn.AStacks)
+	}
+	if bigIn.Params[0].Type.Kind != KindBytes || bigIn.Params[0].Type.Max != 200 {
+		t.Errorf("BigIn data type: %+v", bigIn.Params[0].Type)
+	}
+	if iface.Procs[3].ShareGroup != "big" {
+		t.Errorf("BigInOut share = %q", iface.Procs[3].ShareGroup)
+	}
+	lookup := iface.Procs[4]
+	if !lookup.Protected {
+		t.Error("Lookup not protected")
+	}
+	if lookup.Results[0].Type.Kind != KindBool || lookup.Results[1].Type.Kind != KindInt64 {
+		t.Errorf("Lookup results: %+v", lookup.Results)
+	}
+	if iface.Procs[5].AStackSize != 64 {
+		t.Errorf("Stat astacksize = %d", iface.Procs[5].AStackSize)
+	}
+}
+
+func TestSizeComputation(t *testing.T) {
+	iface, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := iface.Procs[1]
+	if add.ArgBytes() != 8 || add.ResBytes() != 4 {
+		t.Errorf("Add sizes = %d/%d, want 8/4", add.ArgBytes(), add.ResBytes())
+	}
+	if !add.FixedOnly() {
+		t.Error("Add should be fixed-only")
+	}
+	bigIn := iface.Procs[2]
+	if bigIn.ArgBytes() != 204 { // 4-byte length prefix + 200
+		t.Errorf("BigIn ArgBytes = %d, want 204", bigIn.ArgBytes())
+	}
+	if bigIn.FixedOnly() {
+		t.Error("BigIn should not be fixed-only")
+	}
+	stat := iface.Procs[5]
+	if stat.ResBytes() != 10 {
+		t.Errorf("Stat ResBytes = %d, want 10", stat.ResBytes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "missing interface"},
+		{"no procs", "interface X version 1", "no procedures"},
+		{"proc first", "proc F()", "before interface"},
+		{"bad version", "interface X version zero", "bad version"},
+		{"bad name", "interface 9x version 1", "bad interface name"},
+		{"dup iface", "interface X version 1\ninterface Y version 1", "duplicate interface"},
+		{"unknown type", "interface X version 1\nproc F(a float64)", "unknown type"},
+		{"missing bound", "interface X version 1\nproc F(a bytes)", "needs a size bound"},
+		{"bound on fixed", "interface X version 1\nproc F(a int32<4>)", "does not take a size bound"},
+		{"unclosed parens", "interface X version 1\nproc F(a int32", "unclosed"},
+		{"dup proc", "interface X version 1\nproc F()\nproc F()", "duplicate procedure"},
+		{"dup param", "interface X version 1\nproc F(a int32, a int32)", "duplicate parameter"},
+		{"empty returns", "interface X version 1\nproc F() returns ()", "empty returns"},
+		{"orphan option", "interface X version 1\noption astacks 3\nproc F()", "outside a procedure"},
+		{"bad option", "interface X version 1\nproc F()\noption turbo", "unknown option"},
+		{"bad astacks", "interface X version 1\nproc F()\noption astacks many", "bad astacks"},
+		{"junk directive", "interface X version 1\nprocedure F()", "unknown directive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+// leading comment
+interface   C   version 3   // trailing comment
+
+proc   F( a   int32 )   returns ( b int32 )  // spaces everywhere
+`
+	iface, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iface.Name != "C" || iface.Version != 3 || len(iface.Procs) != 1 {
+		t.Fatalf("parsed %+v", iface)
+	}
+}
+
+func TestGenerateCompilesShape(t *testing.T) {
+	iface, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(iface, "benchgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(code)
+	for _, want := range []string{
+		"package benchgen",
+		"type BenchServer interface",
+		"type BenchClient struct",
+		"func RegisterBench(sys *lrpc.System, srv BenchServer) (*lrpc.Export, error)",
+		"func ImportBench(sys *lrpc.System) (*BenchClient, error)",
+		"func (c *BenchClient) Add(a int32, b int32) (sum int32, err error)",
+		"func (c *BenchClient) Lookup(name string) (found bool, handle int64, err error)",
+		"ProtectArgs: true", // Lookup's protected option
+		"AStackSize: 64",    // Stat's astacksize option
+		"NumAStacks: 8",     // BigIn's astacks option
+		"BenchProcNull",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateMinimalInterfaceNoImportsBeyondLRPC(t *testing.T) {
+	iface, err := Parse("interface Ping version 1\nproc Ping()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(iface, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(code)
+	if strings.Contains(src, "encoding/binary") || strings.Contains(src, "\"fmt\"") {
+		t.Errorf("no-argument interface pulled in unnecessary imports:\n%s", src)
+	}
+}
+
+// TestPropertyParserNeverPanics: the parser returns errors, never panics,
+// on arbitrary input.
+func TestPropertyParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTypeSizesConsistent: MaxSize is FixedSize for fixed types
+// and 4+Max for variable ones.
+func TestPropertyTypeSizesConsistent(t *testing.T) {
+	for name, kind := range kindNames {
+		ty := Type{Kind: kind, Max: 100}
+		if ty.Fixed() {
+			if ty.MaxSize() != ty.FixedSize() {
+				t.Errorf("%s: MaxSize %d != FixedSize %d", name, ty.MaxSize(), ty.FixedSize())
+			}
+		} else if ty.MaxSize() != 104 {
+			t.Errorf("%s: MaxSize = %d, want 104", name, ty.MaxSize())
+		}
+	}
+}
+
+func TestGenerateSimShape(t *testing.T) {
+	iface, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := GenerateSim(iface, "benchsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(code)
+	for _, want := range []string{
+		"package benchsim",
+		"lrpc/internal/core",
+		"lrpc/internal/kernel",
+		"func RegisterBenchSim(rt *core.Runtime, d *kernel.Domain, srv BenchServer) (*core.Clerk, error)",
+		"func ImportBenchSim(rt *core.Runtime, t *kernel.Thread) (*BenchSimClient, error)",
+		"func (c *BenchSimClient) Add(t *kernel.Thread, a int32, b int32) (sum int32, err error)",
+		"ArgValues: 2, ArgBytes: 8, ResValues: 1, ResBytes: 4", // Add's census
+		"ArgBytes: -1",        // variable-size BigIn
+		"ShareGroup: \"big\"", // BigInOut's share option
+		"ProtectArgs: true",   // Lookup's protected option
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated sim code missing %q", want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"int32":      {Kind: KindInt32},
+		"bool":       {Kind: KindBool},
+		"bytes<128>": {Kind: KindBytes, Max: 128},
+		"string<64>": {Kind: KindString, Max: 64},
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("Type.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGoTypeAllKinds(t *testing.T) {
+	want := map[Kind]string{
+		KindBool: "bool", KindInt8: "int8", KindInt16: "int16",
+		KindInt32: "int32", KindInt64: "int64", KindUint8: "uint8",
+		KindUint16: "uint16", KindUint32: "uint32", KindUint64: "uint64",
+		KindBytes: "[]byte", KindString: "string",
+	}
+	for k, w := range want {
+		if got := (Type{Kind: k}).GoType(); got != w {
+			t.Errorf("GoType(%v) = %q, want %q", k, got, w)
+		}
+	}
+}
+
+// FuzzParse: the definition-file parser must never panic and must either
+// return a valid interface or a positioned error.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleIDL)
+	f.Add("interface X version 1\nproc F(a int32)")
+	f.Add("interface X version 1\nproc F(a bytes<10>) returns (b string<5>)\n option protected")
+	f.Add("proc Orphan()")
+	f.Add("interface 文 version 1\nproc F()")
+	f.Fuzz(func(t *testing.T, src string) {
+		iface, err := Parse(src)
+		if err == nil {
+			if iface.Name == "" || len(iface.Procs) == 0 {
+				t.Fatalf("nil error but invalid interface: %+v", iface)
+			}
+			// Whatever parses must also generate for both backends.
+			if _, gerr := Generate(iface, "fuzz"); gerr != nil {
+				t.Fatalf("parsed but wall-clock generation failed: %v", gerr)
+			}
+			if _, gerr := GenerateSim(iface, "fuzz"); gerr != nil {
+				t.Fatalf("parsed but sim generation failed: %v", gerr)
+			}
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Fatalf("error without position: %v", err)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package idl
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a definition file.
+func Parse(src string) (*Interface, error) {
+	iface := &Interface{}
+	var cur *Proc
+	names := map[string]bool{}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		n := lineNo + 1
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "interface":
+			if iface.Name != "" {
+				return nil, errf(n, "duplicate interface declaration")
+			}
+			if len(fields) != 4 || fields[2] != "version" {
+				return nil, errf(n, "want: interface NAME version N")
+			}
+			if !isIdent(fields[1]) {
+				return nil, errf(n, "bad interface name %q", fields[1])
+			}
+			v, err := strconv.Atoi(fields[3])
+			if err != nil || v < 1 {
+				return nil, errf(n, "bad version %q", fields[3])
+			}
+			iface.Name, iface.Version = fields[1], v
+
+		case "proc":
+			if iface.Name == "" {
+				return nil, errf(n, "proc before interface declaration")
+			}
+			p, err := parseProc(n, strings.TrimSpace(strings.TrimPrefix(line, "proc")))
+			if err != nil {
+				return nil, err
+			}
+			if names[p.Name] {
+				return nil, errf(n, "duplicate procedure %q", p.Name)
+			}
+			names[p.Name] = true
+			iface.Procs = append(iface.Procs, *p)
+			cur = &iface.Procs[len(iface.Procs)-1]
+
+		case "option":
+			if cur == nil {
+				return nil, errf(n, "option outside a procedure")
+			}
+			if err := parseOption(n, cur, fields[1:]); err != nil {
+				return nil, err
+			}
+
+		default:
+			return nil, errf(n, "unknown directive %q", fields[0])
+		}
+	}
+	if iface.Name == "" {
+		return nil, errf(1, "missing interface declaration")
+	}
+	if len(iface.Procs) == 0 {
+		return nil, errf(1, "interface %q declares no procedures", iface.Name)
+	}
+	return iface, nil
+}
+
+// parseProc parses "Name(params) [returns (results)]".
+func parseProc(line int, s string) (*Proc, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return nil, errf(line, "procedure needs a parameter list")
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return nil, errf(line, "bad procedure name %q", name)
+	}
+	closeIdx := strings.IndexByte(s[open:], ')')
+	if closeIdx < 0 {
+		return nil, errf(line, "unclosed parameter list")
+	}
+	closeIdx += open
+	params, err := parseParams(line, s[open+1:closeIdx])
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{Name: name, Params: params, Line: line}
+
+	rest := strings.TrimSpace(s[closeIdx+1:])
+	if rest == "" {
+		return p, nil
+	}
+	if !strings.HasPrefix(rest, "returns") {
+		return nil, errf(line, "unexpected %q after parameter list", rest)
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, "returns"))
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return nil, errf(line, "returns needs a parenthesized result list")
+	}
+	results, err := parseParams(line, rest[1:len(rest)-1])
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, errf(line, "empty returns clause (omit it instead)")
+	}
+	p.Results = results
+	return p, nil
+}
+
+// parseParams parses "a int32, data bytes<100>".
+func parseParams(line int, s string) ([]Param, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Param
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return nil, errf(line, "want NAME TYPE in parameter %q", strings.TrimSpace(part))
+		}
+		name := fields[0]
+		if !isIdent(name) {
+			return nil, errf(line, "bad parameter name %q", name)
+		}
+		if seen[name] {
+			return nil, errf(line, "duplicate parameter %q", name)
+		}
+		seen[name] = true
+		ty, err := parseType(line, fields[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param{Name: name, Type: ty})
+	}
+	return out, nil
+}
+
+// parseType parses "int32" or "bytes<1024>".
+func parseType(line int, s string) (Type, error) {
+	base := s
+	max := 0
+	if i := strings.IndexByte(s, '<'); i >= 0 {
+		if !strings.HasSuffix(s, ">") {
+			return Type{}, errf(line, "unclosed size bound in %q", s)
+		}
+		var err error
+		max, err = strconv.Atoi(s[i+1 : len(s)-1])
+		if err != nil || max < 1 {
+			return Type{}, errf(line, "bad size bound in %q", s)
+		}
+		base = s[:i]
+	}
+	kind, ok := kindNames[base]
+	if !ok {
+		return Type{}, errf(line, "unknown type %q", base)
+	}
+	if kind == KindBytes || kind == KindString {
+		if max == 0 {
+			return Type{}, errf(line, "%s needs a size bound, e.g. %s<256>", base, base)
+		}
+	} else if max != 0 {
+		return Type{}, errf(line, "%s does not take a size bound", base)
+	}
+	return Type{Kind: kind, Max: max}, nil
+}
+
+// parseOption parses an option line's fields.
+func parseOption(line int, p *Proc, fields []string) error {
+	if len(fields) == 0 {
+		return errf(line, "empty option")
+	}
+	switch fields[0] {
+	case "astacks":
+		if len(fields) != 2 {
+			return errf(line, "want: option astacks N")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return errf(line, "bad astacks count %q", fields[1])
+		}
+		p.AStacks = n
+	case "astacksize":
+		if len(fields) != 2 {
+			return errf(line, "want: option astacksize N")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return errf(line, "bad astacksize %q", fields[1])
+		}
+		p.AStackSize = n
+	case "share":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return errf(line, "want: option share GROUP")
+		}
+		p.ShareGroup = fields[1]
+	case "protected":
+		if len(fields) != 1 {
+			return errf(line, "option protected takes no argument")
+		}
+		p.Protected = true
+	default:
+		return errf(line, "unknown option %q", fields[0])
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"fmt"
+
+	"lrpc/internal/machine"
+)
+
+// AStack is an argument stack: a fixed-size memory region allocated
+// pairwise at bind time, mapped read-write into both the client and server
+// domains, on which arguments and return values are placed during a call
+// (section 3.1). In this simulation the shared mapping is the shared byte
+// slice; the pairwise allocation means no third domain holds a reference.
+type AStack struct {
+	ID      int
+	binding *Binding
+	pool    *AStackPool
+	buf     []byte
+	len     int
+	pages   []machine.Page
+
+	// primary marks A-stacks in the contiguous region allocated at bind
+	// time, validated by a simple range check; extra A-stacks allocated
+	// later live outside it and take slightly longer to validate
+	// (section 5.2).
+	primary bool
+
+	linkage *Linkage // the kernel-private linkage record paired with this A-stack
+	estack  *EStack  // current A-stack/E-stack association (section 3.2)
+}
+
+// Size returns the A-stack's capacity in bytes.
+func (a *AStack) Size() int { return len(a.buf) }
+
+// Len returns the number of argument bytes currently on the A-stack.
+func (a *AStack) Len() int { return a.len }
+
+// SetLen sets the count of valid bytes; the stubs use it after writing
+// arguments or results in place.
+func (a *AStack) SetLen(n int) {
+	if n < 0 || n > len(a.buf) {
+		panic(fmt.Sprintf("kernel: SetLen(%d) outside A-stack of %d bytes", n, len(a.buf)))
+	}
+	a.len = n
+}
+
+// Bytes returns the full backing store of the A-stack. Both client and
+// server stubs read and write it directly — that sharing, not a kernel
+// copy, is the point of the design.
+func (a *AStack) Bytes() []byte { return a.buf }
+
+// Data returns the currently valid bytes.
+func (a *AStack) Data() []byte { return a.buf[:a.len] }
+
+// Primary reports whether the A-stack is in the primary contiguous region.
+func (a *AStack) Primary() bool { return a.primary }
+
+// Binding returns the binding the A-stack belongs to.
+func (a *AStack) Binding() *Binding { return a.binding }
+
+// InUse reports whether the A-stack's linkage record is held by an
+// in-progress call.
+func (a *AStack) InUse() bool { return a.linkage.inUse }
+
+// Pages returns the A-stack's shared-mapping pages (for TLB accounting).
+func (a *AStack) Pages() []machine.Page { return a.pages }
+
+// AStackPool is the set of A-stacks serving one procedure — or several
+// procedures that share A-stacks of similar size (section 3.1: "Procedures
+// in the same interface having A-stacks of similar size can share
+// A-stacks, reducing the storage needs").
+type AStackPool struct {
+	Size   int
+	Stacks []*AStack
+}
+
+// Linkage is the kernel-private record paired with each A-stack, recording
+// the caller's return state during a call. The kernel lays linkages out so
+// one can be located from any address in its A-stack; here the pairing is
+// the direct pointer.
+type Linkage struct {
+	astack *AStack
+	inUse  bool
+
+	// Caller state captured at call time.
+	caller  *Domain
+	binding *Binding
+	procIdx int
+
+	// valid is cleared when the caller domain terminates: a thread
+	// returning through an invalid linkage must not re-enter the caller
+	// (section 5.3).
+	valid bool
+	// failed is set when the *server* domain terminates during the call;
+	// the thread still returns to the caller, but with the call-failed
+	// exception.
+	failed bool
+}
+
+// newAStackPool allocates n pairwise-shared A-stacks of the given size for
+// binding b. The pool is the primary contiguous region of section 5.2.
+func (k *Kernel) newAStackPool(b *Binding, size, n int) *AStackPool {
+	pool := &AStackPool{Size: size}
+	for i := 0; i < n; i++ {
+		pool.Stacks = append(pool.Stacks, k.newAStack(b, pool, size, true))
+	}
+	return pool
+}
+
+func (k *Kernel) newAStack(b *Binding, pool *AStackPool, size int, primary bool) *AStack {
+	k.nextID++
+	as := &AStack{
+		ID:      int(k.nextID),
+		binding: b,
+		pool:    pool,
+		buf:     make([]byte, size),
+		primary: primary,
+		// The shared mapping is at least one page plus one per 512 bytes,
+		// in a context shared by construction (modeled as pages of the
+		// server's context; what matters for the TLB is that they are
+		// process-space translations flushed on untagged switches).
+		pages: b.Server.Ctx.Pages(1 + size/512),
+	}
+	as.linkage = &Linkage{astack: as}
+	return as
+}
+
+// AllocateExtraAStack grows a procedure's A-stack supply after bind time
+// (section 5.2: "the client can either wait for one to become available...
+// or allocate more"). The new A-stack is outside the primary contiguous
+// region and takes slightly longer to validate on each call.
+func (k *Kernel) AllocateExtraAStack(bo BindingObject, procIdx int) (*AStack, error) {
+	b, err := k.lookupBinding(bo)
+	if err != nil {
+		return nil, err
+	}
+	if procIdx < 0 || procIdx >= len(b.Pools) {
+		return nil, ErrBadProcedure
+	}
+	pool := b.Pools[procIdx]
+	as := k.newAStack(b, pool, pool.Size, false)
+	pool.Stacks = append(pool.Stacks, as)
+	return as, nil
+}

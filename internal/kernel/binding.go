@@ -1,0 +1,179 @@
+package kernel
+
+import "fmt"
+
+// ProcDesc is one procedure descriptor (PD) of a procedure descriptor list:
+// the server entry point, the A-stack sizing, and the number of
+// simultaneous calls initially permitted (section 3.1).
+type ProcDesc struct {
+	Name string
+
+	// AStackSize is the argument/result capacity in bytes. Interfaces
+	// with variable-sized arguments use a default of the Ethernet packet
+	// size (section 5.2); the IDL layer applies that default.
+	AStackSize int
+
+	// NumAStacks is the number of simultaneous calls initially permitted;
+	// 0 selects DefaultNumAStacks.
+	NumAStacks int
+
+	// ShareGroup, when non-empty, pools A-stacks with other procedures in
+	// the interface carrying the same group tag (section 3.1). All
+	// procedures of a group share one pool sized to the group's largest
+	// AStackSize; the group's simultaneous calls are limited by the total
+	// number of shared A-stacks.
+	ShareGroup string
+
+	// Entry is the server entry stub, invoked directly by the kernel on a
+	// transfer ("Server entry stubs are invoked directly by the kernel on
+	// a transfer; no intermediate message examination and dispatch is
+	// required", section 3.3).
+	Entry func(t *Thread, as *AStack)
+}
+
+// Interface is a procedure descriptor list (PDL) exported by a server
+// domain under a name.
+type Interface struct {
+	Name  string
+	Procs []ProcDesc
+}
+
+// ProcIndex returns the index of the named procedure, or -1.
+func (i *Interface) ProcIndex(name string) int {
+	for idx, p := range i.Procs {
+		if p.Name == name {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Binding is the kernel's record of a client-server binding: who may call
+// whom through which interface, plus the pairwise-allocated A-stack pools.
+type Binding struct {
+	ID     uint64
+	nonce  uint64
+	Client *Domain
+	Server *Domain
+	Iface  *Interface
+
+	// Pools maps procedure index to its (possibly shared) A-stack pool.
+	Pools []*AStackPool
+
+	// Remote marks a binding to a truly remote server; the first
+	// instruction of the client stub tests it and branches to the
+	// conventional network RPC path (section 5.1).
+	Remote bool
+
+	Revoked bool
+
+	// Stats.
+	Calls uint64
+}
+
+// BindingObject is the client's key for accessing the server's interface,
+// presented to the kernel at each call (section 3.1). It is a value the
+// client holds; forging one fails nonce validation against the kernel's
+// table.
+type BindingObject struct {
+	ID     uint64
+	Nonce  uint64
+	Remote bool
+}
+
+// Bind establishes a binding from client to the interface iface exported
+// by server, allocating the A-stack pools and linkage records. It is the
+// kernel half of the import call; the clerk conversation that produces the
+// PDL lives in the run-time library above (internal/core).
+func (k *Kernel) Bind(client, server *Domain, iface *Interface) (BindingObject, *Binding, error) {
+	if client.terminated || server.terminated {
+		return BindingObject{}, nil, ErrDomainTerminated
+	}
+	if len(iface.Procs) == 0 {
+		return BindingObject{}, nil, fmt.Errorf("kernel: interface %q has no procedures", iface.Name)
+	}
+	k.nextID++
+	b := &Binding{
+		ID:     k.nextID,
+		nonce:  k.rng.Uint64(),
+		Client: client,
+		Server: server,
+		Iface:  iface,
+	}
+
+	// Build A-stack pools: one per procedure, except that procedures
+	// sharing a group tag share one pool sized to the group's largest
+	// A-stack, holding the group total of A-stacks.
+	groups := make(map[string]*AStackPool)
+	b.Pools = make([]*AStackPool, len(iface.Procs))
+	for idx, pd := range iface.Procs {
+		n := pd.NumAStacks
+		if n <= 0 {
+			n = DefaultNumAStacks
+		}
+		if pd.ShareGroup == "" {
+			b.Pools[idx] = k.newAStackPool(b, pd.AStackSize, n)
+			continue
+		}
+		if pool, ok := groups[pd.ShareGroup]; ok {
+			if pd.AStackSize > pool.Size {
+				// Grow the shared stacks to the larger size; sharing is
+				// for "A-stacks of similar size", and the pool must fit
+				// the largest member.
+				for _, as := range pool.Stacks {
+					grown := make([]byte, pd.AStackSize)
+					copy(grown, as.buf)
+					as.buf = grown
+				}
+				pool.Size = pd.AStackSize
+			}
+			b.Pools[idx] = pool
+			continue
+		}
+		pool := k.newAStackPool(b, pd.AStackSize, n)
+		groups[pd.ShareGroup] = pool
+		b.Pools[idx] = pool
+	}
+
+	k.bindings[b.ID] = b
+	client.clientBindings = append(client.clientBindings, b)
+	server.serverBindings = append(server.serverBindings, b)
+	k.trace(TraceBind, "-", "%s -> %s iface %s (%d procedures)", client.Name, server.Name, iface.Name, len(iface.Procs))
+	return BindingObject{ID: b.ID, Nonce: b.nonce}, b, nil
+}
+
+// BindRemote mints a binding whose Binding Object carries the remote bit;
+// calls through it bypass the LRPC transfer path entirely (section 5.1).
+// The server side is identified only by name — it lives on another machine.
+func (k *Kernel) BindRemote(client *Domain, serverName string) (BindingObject, error) {
+	if client.terminated {
+		return BindingObject{}, ErrDomainTerminated
+	}
+	k.nextID++
+	b := &Binding{
+		ID:     k.nextID,
+		nonce:  k.rng.Uint64(),
+		Client: client,
+		Iface:  &Interface{Name: serverName, Procs: []ProcDesc{{Name: "remote"}}},
+		Remote: true,
+	}
+	k.bindings[b.ID] = b
+	client.clientBindings = append(client.clientBindings, b)
+	return BindingObject{ID: b.ID, Nonce: b.nonce, Remote: true}, nil
+}
+
+// lookupBinding validates a presented Binding Object against the kernel's
+// table. Forged objects (unknown ID or wrong nonce) are detected here.
+func (k *Kernel) lookupBinding(bo BindingObject) (*Binding, error) {
+	b, ok := k.bindings[bo.ID]
+	if !ok || b.nonce != bo.Nonce {
+		return nil, ErrInvalidBinding
+	}
+	if b.Revoked {
+		return nil, ErrBindingRevoked
+	}
+	return b, nil
+}
+
+// Revoke revokes a binding, preventing further calls through it.
+func (k *Kernel) Revoke(b *Binding) { b.Revoked = true }

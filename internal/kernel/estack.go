@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"lrpc/internal/machine"
+	"lrpc/internal/sim"
+)
+
+// EStack is an execution stack in a server domain. E-stacks are large and
+// managed conservatively: rather than statically pairing one with every
+// A-stack at bind time, the kernel associates them lazily at call time and
+// reclaims stale associations when the supply runs low (section 3.2).
+type EStack struct {
+	ID       int
+	domain   *Domain
+	pages    []machine.Page
+	assoc    *AStack  // current association, nil when on the free list
+	lastUsed sim.Time // completion time of the last call that used it
+	active   bool     // a call is currently running on it
+}
+
+// Pages returns the E-stack's page footprint for TLB accounting.
+func (e *EStack) Pages() []machine.Page { return e.pages }
+
+// estackManager implements the per-domain E-stack policy.
+type estackManager struct {
+	domain     *Domain
+	free       []*EStack // allocated but unassociated
+	assoc      []*EStack // associated with some A-stack (LRU order: oldest first)
+	count      int
+	limit      int
+	pages      int
+	reclaimAge sim.Duration // staleness threshold for low-water reclamation
+
+	// Stats.
+	Allocations  uint64
+	Reclaims     uint64
+	Associations uint64
+}
+
+func newEStackManager(d *Domain, limit, pages int, reclaimAge sim.Duration) *estackManager {
+	return &estackManager{domain: d, limit: limit, pages: pages, reclaimAge: reclaimAge}
+}
+
+// acquire returns the E-stack to run a call on for A-stack as, following
+// section 3.2's policy: use the existing association if any; otherwise use
+// a free E-stack; otherwise allocate a new one; otherwise reclaim the
+// least-recently-used inactive association. The association persists after
+// the call returns.
+func (m *estackManager) acquire(as *AStack, now sim.Time) (*EStack, error) {
+	if as.estack != nil {
+		es := as.estack
+		es.active = true
+		return es, nil
+	}
+	m.Associations++
+	if len(m.free) == 0 && m.count*4 >= m.limit*3 {
+		// The supply is running low: reclaim stale associations before
+		// allocating more address space (section 3.2).
+		m.domain.ReclaimStale(now, m.reclaimAge)
+	}
+	if n := len(m.free); n > 0 {
+		es := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.associate(es, as)
+		return es, nil
+	}
+	if m.count < m.limit {
+		m.count++
+		m.Allocations++
+		m.domain.kern.nextID++
+		es := &EStack{
+			ID:     int(m.domain.kern.nextID),
+			domain: m.domain,
+			pages:  m.domain.Ctx.Pages(m.pages),
+		}
+		m.domain.kern.trace(TraceEStack, "-", "allocated E-stack %d in %s (%d/%d)", es.ID, m.domain.Name, m.count, m.limit)
+		m.associate(es, as)
+		return es, nil
+	}
+	// Supply exhausted: reclaim the least-recently-used inactive
+	// association.
+	for i, es := range m.assoc {
+		if es.active {
+			continue
+		}
+		m.Reclaims++
+		m.assoc = append(m.assoc[:i], m.assoc[i+1:]...)
+		es.assoc.estack = nil
+		m.associate(es, as)
+		return es, nil
+	}
+	return nil, ErrEStackExhausted
+}
+
+func (m *estackManager) associate(es *EStack, as *AStack) {
+	es.assoc = as
+	es.active = true
+	as.estack = es
+	m.assoc = append(m.assoc, es)
+}
+
+// release marks the call on es complete; the A-stack/E-stack association
+// remains so "they might be used together soon for another call".
+func (m *estackManager) release(es *EStack, now sim.Time) {
+	es.active = false
+	es.lastUsed = now
+	// Refresh LRU position: move to the back.
+	for i, e := range m.assoc {
+		if e == es {
+			copy(m.assoc[i:], m.assoc[i+1:])
+			m.assoc[len(m.assoc)-1] = es
+			break
+		}
+	}
+}
+
+// ReclaimStale disassociates E-stacks whose last use is older than maxAge,
+// returning them to the free pool. The kernel runs this "whenever the
+// supply of E-stacks for a given server domain runs low"; experiments and
+// tests invoke it directly.
+func (d *Domain) ReclaimStale(now sim.Time, maxAge sim.Duration) int {
+	m := d.estacks
+	kept := m.assoc[:0]
+	n := 0
+	for _, es := range m.assoc {
+		if !es.active && now.Sub(es.lastUsed) > maxAge {
+			es.assoc.estack = nil
+			es.assoc = nil
+			m.free = append(m.free, es)
+			m.Reclaims++
+			n++
+			continue
+		}
+		kept = append(kept, es)
+	}
+	m.assoc = kept
+	return n
+}
+
+// EStackStats reports (allocated, free, associated) E-stack counts for the
+// domain.
+func (d *Domain) EStackStats() (allocated, free, associated int) {
+	return d.estacks.count, len(d.estacks.free), len(d.estacks.assoc)
+}

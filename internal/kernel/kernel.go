@@ -1,0 +1,340 @@
+// Package kernel implements the simulated Taos-like kernel that LRPC is
+// integrated into: protection domains, threads with linkage stacks,
+// pairwise-allocated argument stacks, execution stacks, unforgeable Binding
+// Objects, the domain-transfer path of section 3.2 of the paper, the
+// idle-processor domain-caching optimization of section 3.4, and the
+// domain-termination machinery of section 5.3.
+//
+// The kernel runs on the simulated multiprocessor of internal/machine; all
+// latencies it charges are simulated time. The LRPC run-time library
+// (clerks, stubs, marshaling) lives above it in internal/core, exactly as
+// the paper splits kernel from run-time.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lrpc/internal/machine"
+	"lrpc/internal/sim"
+)
+
+// Errors surfaced by the kernel to the LRPC run-time.
+var (
+	// ErrInvalidBinding reports a forged, unknown or mismatched Binding
+	// Object presented at a call trap.
+	ErrInvalidBinding = errors.New("kernel: invalid binding object")
+	// ErrBindingRevoked reports a call through a binding whose client or
+	// server domain has terminated.
+	ErrBindingRevoked = errors.New("kernel: binding revoked")
+	// ErrBadProcedure reports a procedure identifier outside the bound
+	// interface.
+	ErrBadProcedure = errors.New("kernel: bad procedure identifier")
+	// ErrBadAStack reports an A-stack that does not belong to the binding.
+	ErrBadAStack = errors.New("kernel: A-stack not owned by binding")
+	// ErrAStackInUse reports a call on an A-stack whose linkage record is
+	// already in use by another thread.
+	ErrAStackInUse = errors.New("kernel: A-stack/linkage pair in use")
+	// ErrCallFailed is the call-failed exception raised in a caller whose
+	// server domain terminated during the call (section 5.3).
+	ErrCallFailed = errors.New("kernel: call failed (server domain terminated)")
+	// ErrCallAborted is the call-aborted exception observed by a
+	// replacement thread created for a captured thread (section 5.3).
+	ErrCallAborted = errors.New("kernel: call aborted (thread captured)")
+	// ErrThreadDestroyed reports that the returning thread found no valid
+	// linkage record (its caller domains are gone) or was replaced while
+	// captured; the thread must exit.
+	ErrThreadDestroyed = errors.New("kernel: thread destroyed")
+	// ErrDomainTerminated reports an operation on a terminated domain.
+	ErrDomainTerminated = errors.New("kernel: domain terminated")
+	// ErrEStackExhausted reports that the server domain could not provide
+	// an execution stack.
+	ErrEStackExhausted = errors.New("kernel: server E-stacks exhausted")
+)
+
+// Default per-call TLB footprints, calibrated so a steady-state Null LRPC
+// takes 43 TLB misses (section 4: "we estimate that 43 TLB misses occur
+// during the Null call"): the server-side visit touches 19 domain pages +
+// 1 E-stack page + 1 A-stack page = 21 misses, and the return to the client
+// touches 21 domain pages + 1 A-stack page = 22 misses.
+const (
+	DefaultServerFootprint = 19
+	DefaultClientFootprint = 21
+)
+
+// DefaultNumAStacks is the number of simultaneous calls initially permitted
+// per procedure when the interface writer does not override it (section
+// 5.2: "The number defaults to five").
+const DefaultNumAStacks = 5
+
+// TransferCosts are the simulated costs of the kernel half of an LRPC.
+// They decompose the 27 us "kernel transfer" overhead of Table 5 (24 us on
+// call, 3 us on return — "Most of this takes place during the call, as the
+// return path is simpler").
+type TransferCosts struct {
+	ValidateBinding sim.Duration // verify Binding Object and procedure id
+	ValidateAStack  sim.Duration // verify A-stack, locate linkage
+	OverflowAStack  sim.Duration // extra validation for non-primary A-stacks (section 5.2)
+	LinkageRecord   sim.Duration // record return address, push linkage
+	EStackFind      sim.Duration // locate or associate an E-stack
+	Dispatch        sim.Duration // prime E-stack, upcall into server stub
+	Return          sim.Duration // the simpler return path
+}
+
+// DefaultTransferCosts returns the C-VAX-calibrated kernel costs.
+func DefaultTransferCosts() TransferCosts {
+	return TransferCosts{
+		ValidateBinding: 6 * sim.Microsecond,
+		ValidateAStack:  5 * sim.Microsecond,
+		OverflowAStack:  2 * sim.Microsecond,
+		LinkageRecord:   4 * sim.Microsecond,
+		EStackFind:      5 * sim.Microsecond,
+		Dispatch:        4 * sim.Microsecond,
+		Return:          3 * sim.Microsecond,
+	}
+}
+
+// Kernel is the simulated kernel instance.
+type Kernel struct {
+	Eng   *sim.Engine
+	Mach  *machine.Machine
+	Costs TransferCosts
+
+	// DomainCaching enables the idle-processor optimization of section
+	// 3.4. Figure 2's experiment disables it.
+	DomainCaching bool
+
+	// Tracer, when non-nil, records kernel events (bindings, transfers,
+	// exchanges, terminations) for debugging and assertions.
+	Tracer *TraceBuffer
+
+	// KernelCtx is the system VM context holding kernel data (linkages,
+	// binding tables); its translations survive untagged TLB flushes.
+	KernelCtx   *machine.Context
+	kernelPages []machine.Page
+
+	domains  []*Domain
+	bindings map[uint64]*Binding
+	threads  map[*Thread]struct{}
+	nextID   uint64
+	rng      *rand.Rand
+}
+
+// New creates a kernel on the given machine. The seed drives Binding Object
+// nonce generation; runs are deterministic for a fixed seed.
+func New(m *machine.Machine, seed int64) *Kernel {
+	k := &Kernel{
+		Eng:      m.Eng,
+		Mach:     m,
+		Costs:    DefaultTransferCosts(),
+		bindings: make(map[uint64]*Binding),
+		threads:  make(map[*Thread]struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	k.KernelCtx = m.NewContext("kernel", true)
+	k.kernelPages = k.KernelCtx.Pages(8)
+	return k
+}
+
+// Domain is a protection domain: a VM context plus the kernel state hanging
+// off it (E-stacks, bindings, threads).
+type Domain struct {
+	ID   int
+	Name string
+	Ctx  *machine.Context
+
+	kern       *Kernel
+	visitPages []machine.Page // process-space pages touched on each visit
+	estacks    *estackManager
+	terminated bool
+
+	clientBindings []*Binding // bindings this domain holds as client
+	serverBindings []*Binding // bindings exported by this domain
+	threads        map[*Thread]struct{}
+
+	// IdleMisses counts calls into this domain that wanted an idle
+	// processor caching its context but found none; the kernel uses it to
+	// prod idle processors toward busy domains (section 3.4).
+	IdleMisses uint64
+}
+
+// DomainConfig controls domain creation.
+type DomainConfig struct {
+	// Footprint is the number of process-space pages the domain touches
+	// per visit; <= 0 selects DefaultClientFootprint.
+	Footprint int
+	// MaxEStacks bounds the E-stacks the kernel will allocate in this
+	// domain before reclaiming (E-stacks "must be managed conservatively;
+	// otherwise a server's address space could be exhausted", section
+	// 3.2). <= 0 selects 16.
+	MaxEStacks int
+	// EStackPages is the footprint of one E-stack; <= 0 selects 1.
+	EStackPages int
+	// EStackReclaimAge is the staleness threshold for the automatic
+	// low-water reclamation of E-stack associations; <= 0 selects 5 ms.
+	EStackReclaimAge sim.Duration
+}
+
+// NewDomain creates a protection domain.
+func (k *Kernel) NewDomain(name string, cfg DomainConfig) *Domain {
+	if cfg.Footprint <= 0 {
+		cfg.Footprint = DefaultClientFootprint
+	}
+	if cfg.MaxEStacks <= 0 {
+		cfg.MaxEStacks = 16
+	}
+	if cfg.EStackPages <= 0 {
+		cfg.EStackPages = 1
+	}
+	if cfg.EStackReclaimAge <= 0 {
+		cfg.EStackReclaimAge = 5 * sim.Millisecond
+	}
+	d := &Domain{
+		ID:      len(k.domains) + 1,
+		Name:    name,
+		Ctx:     k.Mach.NewContext(name, false),
+		kern:    k,
+		threads: make(map[*Thread]struct{}),
+	}
+	d.visitPages = d.Ctx.Pages(cfg.Footprint)
+	d.estacks = newEStackManager(d, cfg.MaxEStacks, cfg.EStackPages, cfg.EStackReclaimAge)
+	k.domains = append(k.domains, d)
+	return d
+}
+
+// Terminated reports whether the domain has terminated.
+func (d *Domain) Terminated() bool { return d.terminated }
+
+// VisitPages returns the process-space pages the domain touches per visit
+// (for transports that drive the TLB model directly).
+func (d *Domain) VisitPages() []machine.Page { return d.visitPages }
+
+// Kernel returns the owning kernel.
+func (d *Domain) Kernel() *Kernel { return d.kern }
+
+func (d *Domain) String() string { return fmt.Sprintf("domain %q", d.Name) }
+
+// Thread is a kernel thread: a schedulable entity with a control block
+// holding the stack of linkage records that lets a single thread be party
+// to nested cross-domain calls (section 3.2, footnote 3).
+type Thread struct {
+	Name   string
+	P      *sim.Proc
+	CPU    *machine.Processor
+	Domain *Domain // domain the thread is currently executing in
+	Home   *Domain // domain that created the thread
+
+	// Meter, when non-nil, accumulates a per-component cost breakdown
+	// (Table 5).
+	Meter *Meter
+
+	kern     *Kernel
+	linkages []*Linkage
+	replaced bool // a replacement thread was created; destroy on release
+	killed   bool
+	alerted  bool
+}
+
+// Alerted reports whether another thread has alerted this one. Server
+// procedures may poll it and return early — or ignore it entirely: "Taos
+// does have an alert mechanism which allows one thread to signal another,
+// but the notified thread may choose to ignore the alert" (section 5.3).
+func (t *Thread) Alerted() bool { return t.alerted }
+
+// ClearAlert acknowledges an alert.
+func (t *Thread) ClearAlert() { t.alerted = false }
+
+// Alert signals t. It does not interrupt or unblock t; the notified thread
+// observes the flag at its own convenience, which is exactly why a captor
+// can hold a thread indefinitely and ReplaceCapturedThread exists.
+func (k *Kernel) Alert(t *Thread) { t.alerted = true }
+
+// Charge adds d to the thread's meter under component comp; it is safe on
+// threads without a meter.
+func (t *Thread) Charge(comp string, d sim.Duration) {
+	if t.Meter != nil {
+		t.Meter.Add(comp, d)
+	}
+}
+
+// Killed reports whether the kernel has destroyed the thread; thread
+// functions must return promptly once killed.
+func (t *Thread) Killed() bool { return t.killed }
+
+// Depth returns the depth of the thread's linkage stack (the number of
+// cross-domain calls it is currently inside).
+func (t *Thread) Depth() int { return len(t.linkages) }
+
+// Spawn creates and starts a thread in domain d on the given processor.
+// fn runs on a fresh simulated process; it must return when t.Killed().
+func (k *Kernel) Spawn(name string, d *Domain, cpu *machine.Processor, fn func(t *Thread)) *Thread {
+	if d.terminated {
+		panic("kernel: Spawn in terminated domain")
+	}
+	t := &Thread{Name: name, CPU: cpu, Domain: d, Home: d, kern: k}
+	d.threads[t] = struct{}{}
+	k.threads[t] = struct{}{}
+	k.Eng.Spawn(name, func(p *sim.Proc) {
+		t.P = p
+		// Load the home domain's context if this processor doesn't have
+		// it (cold start; free of charge, like process creation setup).
+		if cpu.Ctx != d.Ctx {
+			cpu.Ctx = d.Ctx
+			cpu.TLB.OnContextSwitch()
+		}
+		fn(t)
+		delete(d.threads, t)
+		delete(k.threads, t)
+	})
+	return t
+}
+
+// ParkIdle marks cpu as idling in domain d's context, making it a
+// domain-caching candidate (section 3.4: "the kernel uses these counters to
+// prod idle processors to spin in domains showing the most LRPC activity").
+func (k *Kernel) ParkIdle(cpu *machine.Processor, d *Domain) {
+	if cpu.Ctx != d.Ctx {
+		cpu.Ctx = d.Ctx
+		cpu.TLB.OnContextSwitch()
+	}
+	cpu.IdleInCtx = d.Ctx
+}
+
+// UnparkIdle clears the idle marker on cpu.
+func (k *Kernel) UnparkIdle(cpu *machine.Processor) { cpu.IdleInCtx = nil }
+
+// findIdle returns a processor idling in ctx, or nil.
+func (k *Kernel) findIdle(ctx *machine.Context) *machine.Processor {
+	for _, cpu := range k.Mach.CPUs {
+		if cpu.IdleInCtx == ctx {
+			return cpu
+		}
+	}
+	return nil
+}
+
+// RebalanceIdle re-parks the given idle processors in the domains showing
+// the most missed idle-processor opportunities, resetting the counters.
+// This is the "prodding" policy of section 3.4.
+func (k *Kernel) RebalanceIdle(cpus []*machine.Processor) {
+	for _, cpu := range cpus {
+		var best *Domain
+		for _, d := range k.domains {
+			if d.terminated {
+				continue
+			}
+			if best == nil || d.IdleMisses > best.IdleMisses {
+				best = d
+			}
+		}
+		if best == nil || best.IdleMisses == 0 {
+			return
+		}
+		best.IdleMisses = 0
+		k.ParkIdle(cpu, best)
+	}
+}
+
+// Domains returns the kernel's domains (for experiment reporting).
+func (k *Kernel) Domains() []*Domain { return k.domains }

@@ -1,0 +1,97 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lrpc/internal/sim"
+)
+
+// Cost-breakdown component labels, matching the rows of Table 5.
+const (
+	CompProcCall     = "procedure call"     // the formal call into the client stub
+	CompClientStub   = "client stub"        // stub work incl. argument marshal and A-stack queueing
+	CompServerStub   = "server stub"        // reference creation, branch to procedure
+	CompTrap         = "kernel trap"        // two per call
+	CompSwitch       = "context switch"     // raw VM register reload
+	CompTLB          = "TLB misses"         // refill cost after untagged switches
+	CompKernel       = "kernel transfer"    // validation, linkage, E-stack, dispatch
+	CompExchange     = "processor exchange" // domain-caching processor swap
+	CompServerProc   = "server procedure"   // the called procedure's own work
+	CompInterference = "bus interference"   // shared-memory contention from other CPUs
+	CompOutOfBand    = "out-of-band"        // oversized-argument segment handling
+	CompCopy         = "message copy"       // message-passing copy operations (baseline RPC)
+)
+
+// Meter accumulates simulated time per component for one or more calls.
+type Meter struct {
+	Components map[string]sim.Duration
+	Calls      uint64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{Components: make(map[string]sim.Duration)} }
+
+// Add charges d to component comp.
+func (m *Meter) Add(comp string, d sim.Duration) {
+	if d == 0 {
+		return
+	}
+	m.Components[comp] += d
+}
+
+// Total returns the sum over all components.
+func (m *Meter) Total() sim.Duration {
+	var t sim.Duration
+	for _, d := range m.Components {
+		t += d
+	}
+	return t
+}
+
+// PerCall returns the mean duration per recorded call for component comp.
+func (m *Meter) PerCall(comp string) sim.Duration {
+	if m.Calls == 0 {
+		return 0
+	}
+	return m.Components[comp] / sim.Duration(m.Calls)
+}
+
+// TotalPerCall returns the mean total duration per recorded call.
+func (m *Meter) TotalPerCall() sim.Duration {
+	if m.Calls == 0 {
+		return 0
+	}
+	return m.Total() / sim.Duration(m.Calls)
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() {
+	m.Components = make(map[string]sim.Duration)
+	m.Calls = 0
+}
+
+// String renders the breakdown sorted by descending cost.
+func (m *Meter) String() string {
+	type row struct {
+		comp string
+		d    sim.Duration
+	}
+	rows := make([]row, 0, len(m.Components))
+	for c, d := range m.Components {
+		rows = append(rows, row{c, d})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].d != rows[j].d {
+			return rows[i].d > rows[j].d
+		}
+		return rows[i].comp < rows[j].comp
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %10s\n", r.comp, r.d)
+	}
+	fmt.Fprintf(&b, "%-20s %10s\n", "TOTAL", m.Total())
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package kernel
+
+import (
+	"errors"
+
+	"lrpc/internal/machine"
+)
+
+// TerminateDomain implements section 5.3. When a domain terminates:
+//
+//   - every Binding Object associated with the domain (as client or
+//     server) is revoked, stopping new out-calls and in-calls;
+//   - threads executing within the domain are stopped (marked killed —
+//     thread functions must observe Killed and return);
+//   - threads found running in the domain on behalf of an LRPC call are
+//     arranged to return to their callers with the call-failed exception;
+//   - active linkage records of Binding Objects held by the domain are
+//     invalidated, so the domain's own outstanding out-calls cannot return
+//     into it: the thread lands at the first valid linkage below or is
+//     destroyed.
+func (k *Kernel) TerminateDomain(d *Domain) {
+	if d.terminated {
+		return
+	}
+	d.terminated = true
+	k.trace(TraceTerminate, "-", "domain %s: revoking %d client and %d server bindings",
+		d.Name, len(d.clientBindings), len(d.serverBindings))
+
+	// Revoke all bindings touching the domain.
+	for _, b := range d.clientBindings {
+		b.Revoked = true
+	}
+	for _, b := range d.serverBindings {
+		b.Revoked = true
+	}
+
+	// Stop threads currently executing within the domain. A thread that
+	// is in the domain serving an LRPC gets its top linkage marked failed:
+	// when the server procedure returns (or its captor releases it), the
+	// kernel returns it to the caller with call-failed. A thread that is
+	// in the domain with no linkage (the domain's own thread) is simply
+	// destroyed.
+	for t := range k.threads {
+		if t.Domain != d {
+			continue
+		}
+		if n := len(t.linkages); n > 0 && t.linkages[n-1].binding.Server == d {
+			t.linkages[n-1].failed = true
+			continue
+		}
+		if len(t.linkages) == 0 {
+			t.killed = true
+		}
+	}
+
+	// Invalidate active linkage records for calls the domain itself has
+	// outstanding (as caller), so they can never return into it.
+	for _, b := range d.clientBindings {
+		for _, pool := range b.Pools {
+			for _, as := range pool.Stacks {
+				if as.linkage.inUse && as.linkage.caller == d {
+					as.linkage.valid = false
+				}
+			}
+		}
+	}
+
+	// Processors idling in the dead domain's context stop advertising it.
+	for _, cpu := range k.Mach.CPUs {
+		if cpu.IdleInCtx == d.Ctx {
+			cpu.IdleInCtx = nil
+		}
+	}
+}
+
+// ErrNotCaptured reports a ReplaceCapturedThread on a thread that is not in
+// an outstanding cross-domain call.
+var ErrNotCaptured = errors.New("kernel: thread has no outstanding call")
+
+// ReplaceCapturedThread implements the capture escape of section 5.3: "LRPC
+// enables client domains to create a new thread whose initial state is that
+// of the original captured thread as if it had just returned from the
+// server procedure with a call-aborted exception. The captured thread
+// continues executing in the server domain but is destroyed in the kernel
+// when released."
+//
+// cont is the client's continuation; it observes ErrCallAborted. The new
+// thread runs on cpu in the captured thread's calling domain.
+func (k *Kernel) ReplaceCapturedThread(t *Thread, cpu *machine.Processor, cont func(nt *Thread, err error)) (*Thread, error) {
+	n := len(t.linkages)
+	if n == 0 {
+		return nil, ErrNotCaptured
+	}
+	top := t.linkages[n-1]
+	caller := top.caller
+	if caller.terminated {
+		return nil, ErrDomainTerminated
+	}
+	t.replaced = true
+	k.trace(TraceReplace, t.Name, "replacement created in %s", caller.Name)
+	nt := k.Spawn(t.Name+"+replacement", caller, cpu, func(nt *Thread) {
+		cont(nt, ErrCallAborted)
+	})
+	return nt, nil
+}

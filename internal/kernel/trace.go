@@ -1,0 +1,102 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"lrpc/internal/sim"
+)
+
+// TraceEvent is one kernel event: a binding, a domain transfer, a
+// processor exchange, a termination. Tracing is the debugging face of the
+// kernel; experiments and tests assert against the event stream.
+type TraceEvent struct {
+	At     sim.Time
+	Kind   string
+	Thread string
+	Detail string
+}
+
+// Trace event kinds.
+const (
+	TraceBind      = "bind"
+	TraceCall      = "call"
+	TraceReturn    = "return"
+	TraceExchange  = "exchange"
+	TraceSwitch    = "switch"
+	TraceTerminate = "terminate"
+	TraceReplace   = "replace"
+	TraceEStack    = "estack"
+)
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12s %-9s %-16s %s", e.At, e.Kind, e.Thread, e.Detail)
+}
+
+// TraceBuffer is a bounded ring of kernel events. Attach one to
+// Kernel.Tracer to record activity; nil disables tracing with no overhead
+// beyond a pointer test.
+type TraceBuffer struct {
+	cap     int
+	events  []TraceEvent
+	dropped uint64
+}
+
+// NewTraceBuffer returns a buffer holding up to capacity events (<= 0
+// selects 4096).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &TraceBuffer{cap: capacity}
+}
+
+func (tb *TraceBuffer) add(ev TraceEvent) {
+	if len(tb.events) >= tb.cap {
+		copy(tb.events, tb.events[1:])
+		tb.events = tb.events[:len(tb.events)-1]
+		tb.dropped++
+	}
+	tb.events = append(tb.events, ev)
+}
+
+// Events returns the recorded events, oldest first.
+func (tb *TraceBuffer) Events() []TraceEvent { return tb.events }
+
+// Dropped returns how many events were evicted by the ring bound.
+func (tb *TraceBuffer) Dropped() uint64 { return tb.dropped }
+
+// Kinds returns the sequence of event kinds, for compact assertions.
+func (tb *TraceBuffer) Kinds() []string {
+	kinds := make([]string, len(tb.events))
+	for i, e := range tb.events {
+		kinds[i] = e.Kind
+	}
+	return kinds
+}
+
+// String renders the buffer one event per line.
+func (tb *TraceBuffer) String() string {
+	var b strings.Builder
+	for _, e := range tb.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if tb.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", tb.dropped)
+	}
+	return b.String()
+}
+
+// trace records an event when a tracer is attached.
+func (k *Kernel) trace(kind, thread, format string, args ...any) {
+	if k.Tracer == nil {
+		return
+	}
+	k.Tracer.add(TraceEvent{
+		At:     k.Eng.Now(),
+		Kind:   kind,
+		Thread: thread,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}

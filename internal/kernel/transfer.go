@@ -1,0 +1,202 @@
+package kernel
+
+import "lrpc/internal/machine"
+
+// Transfer is the kernel half of an LRPC: everything between the client
+// stub's trap and the return to the client stub. It implements the call
+// sequence of section 3.2:
+//
+//   - verify the Binding and procedure identifier
+//   - verify the A-stack and locate the corresponding linkage
+//   - ensure that no other thread is currently using that A-stack/linkage
+//   - record the caller's return address in the linkage
+//   - push the linkage onto the thread's stack of linkages
+//   - find an execution stack in the server's domain
+//   - update the thread to run off the E-stack
+//   - reload the processor's virtual memory registers (or exchange
+//     processors with one idling in the server's context, section 3.4)
+//   - upcall into the server's stub at the address in the PD
+//
+// and the simpler return path: the information needed to return is implicit
+// in the linkage at the top of the thread's stack, so no validation is
+// repeated.
+//
+// The server entry stub runs on the calling thread — the direct thread
+// handoff that distinguishes LRPC from message-based RPC.
+func (k *Kernel) Transfer(t *Thread, bo BindingObject, procIdx int, as *AStack) error {
+	p, cpu := t.P, t.CPU
+
+	// Call trap.
+	t.Charge(CompTrap, cpu.Trap(p))
+
+	// Verify the Binding Object and procedure identifier.
+	t.Charge(CompKernel, cpu.Compute(p, k.Costs.ValidateBinding))
+	b, err := k.lookupBinding(bo)
+	if err != nil {
+		return err
+	}
+	if b.Client != t.Domain {
+		// A Binding Object presented from outside the domain it was
+		// issued to is treated as forged.
+		return ErrInvalidBinding
+	}
+	if b.Remote {
+		return ErrInvalidBinding // remote bindings never reach the transfer path
+	}
+	if procIdx < 0 || procIdx >= len(b.Iface.Procs) {
+		return ErrBadProcedure
+	}
+
+	// Verify the A-stack and locate the linkage. Primary A-stacks are
+	// validated with a contiguous-region range check; overflow A-stacks
+	// cost slightly more (section 5.2).
+	t.Charge(CompKernel, cpu.Compute(p, k.Costs.ValidateAStack))
+	if !as.primary {
+		t.Charge(CompKernel, cpu.Compute(p, k.Costs.OverflowAStack))
+	}
+	if as.binding != b || b.Pools[procIdx] != as.pool {
+		return ErrBadAStack
+	}
+	lk := as.linkage
+	if lk.inUse {
+		return ErrAStackInUse
+	}
+
+	// Record the caller's return state and push the linkage.
+	t.Charge(CompKernel, cpu.Compute(p, k.Costs.LinkageRecord))
+	lk.inUse = true
+	lk.caller = t.Domain
+	lk.binding = b
+	lk.procIdx = procIdx
+	lk.valid = true
+	lk.failed = false
+	t.linkages = append(t.linkages, lk)
+
+	// Find an execution stack in the server's domain.
+	t.Charge(CompKernel, cpu.Compute(p, k.Costs.EStackFind))
+	es, err := b.Server.estacks.acquire(as, p.Now())
+	if err != nil {
+		lk.inUse = false
+		t.linkages = t.linkages[:len(t.linkages)-1]
+		return err
+	}
+
+	// Cross into the server domain and dispatch.
+	k.trace(TraceCall, t.Name, "%s -> %s.%s (A-stack %d)", lk.caller.Name, b.Server.Name, b.Iface.Procs[procIdx].Name, as.ID)
+	k.cross(t, b.Server, as, es)
+	t.Domain = b.Server
+	t.Charge(CompKernel, t.CPU.Compute(p, k.Costs.Dispatch))
+	b.Calls++
+
+	b.Iface.Procs[procIdx].Entry(t, as)
+
+	// Return trap; the return path needs no re-validation — the right to
+	// return was granted at call time and is implicit in the linkage.
+	t.Charge(CompTrap, t.CPU.Trap(p))
+	t.Charge(CompKernel, t.CPU.Compute(p, k.Costs.Return))
+
+	if len(t.linkages) == 0 || t.linkages[len(t.linkages)-1] != lk {
+		panic("kernel: linkage stack corrupted")
+	}
+	t.linkages = t.linkages[:len(t.linkages)-1]
+	lk.inUse = false
+	b.Server.estacks.release(es, p.Now())
+
+	if t.replaced {
+		// A replacement thread was created for this captured thread and
+		// has taken over the caller's continuation; the captured thread
+		// is destroyed in the kernel when released (section 5.3). It
+		// must not land in any caller frame on the way out.
+		t.killed = true
+		return ErrThreadDestroyed
+	}
+
+	if t.killed {
+		// A nested return below us is unwinding a destroyed thread. If
+		// our linkage is still valid, the thread lands here with the
+		// call-failed exception; otherwise it keeps unwinding.
+		if lk.valid && !lk.caller.terminated {
+			t.killed = false
+			k.cross(t, lk.caller, as, nil)
+			t.Domain = lk.caller
+			return ErrCallFailed
+		}
+		return ErrThreadDestroyed
+	}
+
+	if !lk.valid || lk.caller.terminated {
+		// The caller domain terminated while we were out. Unwind: land
+		// at the first valid linkage below (the outer Transfer frame
+		// handles that), or destroy the thread.
+		t.killed = true
+		return ErrThreadDestroyed
+	}
+
+	// Cross back to the caller.
+	k.cross(t, lk.caller, as, nil)
+	t.Domain = lk.caller
+	k.trace(TraceReturn, t.Name, "%s.%s -> %s", b.Server.Name, b.Iface.Procs[procIdx].Name, lk.caller.Name)
+
+	if lk.failed {
+		// The server domain terminated during the call; the call,
+		// completed or not, returns with the call-failed exception.
+		return ErrCallFailed
+	}
+	return nil
+}
+
+// cross moves thread t into domain d: by processor exchange when domain
+// caching finds a processor idling in d's context, otherwise by a context
+// switch on the current processor. Either way the visit's page footprint is
+// touched so TLB refill costs accrue.
+func (k *Kernel) cross(t *Thread, d *Domain, as *AStack, es *EStack) {
+	p := t.P
+	if k.DomainCaching {
+		if idle := k.findIdle(d.Ctx); idle != nil {
+			// Exchange processors: the calling thread continues on the
+			// processor that already holds d's context; the idle
+			// processor takes over ours, still loaded with our current
+			// context ("the idling thread continues to idle, but on the
+			// client's original processor in the context of the client
+			// domain").
+			t.Charge(CompExchange, t.CPU.Exchange(p, idle))
+			k.trace(TraceExchange, t.Name, "cpu%d <-> cpu%d into %s", t.CPU.ID, idle.ID, d.Name)
+			old := t.CPU
+			old.IdleInCtx = old.Ctx
+			idle.IdleInCtx = nil
+			t.CPU = idle
+			if as != nil {
+				// A-stack data written on the old processor must be
+				// transferred cache-to-cache when read on this one —
+				// the reason domain-caching savings shrink with
+				// argument size in Table 4.
+				t.Charge(CompExchange, t.CPU.CacheTransfer(p, as.Len()))
+			}
+			k.touchVisit(t, d, as, es)
+			return
+		}
+		d.IdleMisses++
+	}
+	if t.CPU.Ctx != d.Ctx {
+		k.trace(TraceSwitch, t.Name, "cpu%d context switch to %s", t.CPU.ID, d.Name)
+	}
+	t.Charge(CompSwitch, t.CPU.SwitchTo(p, d.Ctx))
+	k.touchVisit(t, d, as, es)
+}
+
+// touchVisit references the pages a visit to d uses: the domain's working
+// set, the shared A-stack, the E-stack (server side only), and the kernel's
+// own pages (system space — they survive untagged flushes, so they miss
+// only on cold TLBs).
+func (k *Kernel) touchVisit(t *Thread, d *Domain, as *AStack, es *EStack) {
+	pages := make([]machine.Page, 0, len(d.visitPages)+4)
+	pages = append(pages, d.visitPages...)
+	if as != nil {
+		pages = append(pages, as.pages...)
+	}
+	if es != nil {
+		pages = append(pages, es.pages...)
+	}
+	pages = append(pages, k.kernelPages...)
+	t.Charge(CompTLB, t.CPU.Touch(t.P, pages))
+}

@@ -1,0 +1,357 @@
+// Package machine models the hardware that the paper's experiments run on:
+// a small shared-memory multiprocessor (the DEC SRC Firefly) with
+// conventional virtual-memory hardware — kernel traps, per-processor
+// untagged translation lookaside buffers that are invalidated on context
+// switch, and memory-to-memory copy costs.
+//
+// The model is a cost simulator on top of the discrete-event engine in
+// internal/sim: control paths in internal/kernel, internal/core and
+// internal/msgrpc execute real code and charge simulated time for each
+// hardware primitive they use. Every constant in the calibrated presets is
+// traceable to a number published in the paper (see Config docs and
+// DESIGN.md §5.2).
+package machine
+
+import (
+	"fmt"
+
+	"lrpc/internal/sim"
+)
+
+// Config describes a processor/memory system. The calibrated presets
+// (CVAXFirefly etc.) reproduce the published "theoretical minimum" Null
+// cross-domain call times in Table 2 of the paper.
+type Config struct {
+	Name string
+
+	// ProcCallCost is the cost of one formal procedure call and return —
+	// the paper's "Modula2+ procedure call" row in Table 5 (7 us on the
+	// C-VAX).
+	ProcCallCost sim.Duration
+
+	// TrapCost is the cost of one kernel trap (enter or return). Table 5
+	// charges 36 us for the two traps of a Null call on the C-VAX.
+	TrapCost sim.Duration
+
+	// ContextSwitchRaw is the register-reload cost of a virtual memory
+	// context switch, excluding TLB refill effects (which are modeled
+	// explicitly by the TLB). Table 5's 66 us for two context switches
+	// decomposes into 2 x 13.65 us raw switch plus 43 TLB misses at
+	// 0.9 us (the paper: "approximately 25% of the time used by the Null
+	// LRPC is due to TLB misses").
+	ContextSwitchRaw sim.Duration
+
+	// TLBMissCost is the added cost of one memory reference that misses
+	// the TLB (0.9 us on the C-VAX, section 4).
+	TLBMissCost sim.Duration
+
+	// TLBTagged selects a process-tagged TLB that is not invalidated on
+	// context switch (section 3.4 discusses this hardware alternative; the
+	// C-VAX does not have one, so presets default to false).
+	TLBTagged bool
+
+	// TLBCapacity is the number of translations a per-processor TLB can
+	// hold before evicting.
+	TLBCapacity int
+
+	// CopyPerBytePs is the per-byte cost of a memory-to-memory copy, in
+	// picoseconds. Calibrated from Table 4: BigIn - Null = 35 us for one
+	// 200-byte copy plus per-argument handling, giving 166.667 ns/byte
+	// (see DESIGN.md §5.2).
+	CopyPerBytePs int64
+
+	// ExchangeCost is the cost of exchanging the processors of a calling
+	// and an idling thread (the idle-processor domain-caching optimization
+	// of section 3.4), per exchange. Calibrated from Table 4's LRPC/MP
+	// Null time of 125 us.
+	ExchangeCost sim.Duration
+
+	// BusInterference is the per-call slowdown imposed by each *other*
+	// processor concurrently making calls (shared memory-bus contention).
+	// Calibrated from Figure 2's measured speedup of 3.7 at 4 C-VAX
+	// processors (and 4.3 at 5 MicroVAX-II processors).
+	BusInterference sim.Duration
+
+	// CacheTransferPerBytePs is the per-byte cost, in picoseconds, of
+	// reading data recently written by another processor (cache-to-cache
+	// transfer over the shared bus). It applies to A-stack data after a
+	// processor exchange, and is why Table 4's domain-caching savings
+	// shrink as argument size grows: BigIn saves only 19 us where Null
+	// saves 32 (192->173 vs 157->125). Calibrated from that BigIn delta:
+	// 13 us / 200 B = 65 ns/B.
+	CacheTransferPerBytePs int64
+}
+
+// CacheTransferCost returns the cross-processor transfer cost of n bytes.
+func (c Config) CacheTransferCost(n int) sim.Duration {
+	return sim.Duration(int64(n) * c.CacheTransferPerBytePs / 1000)
+}
+
+// CopyCost returns the time to copy n bytes memory-to-memory.
+func (c Config) CopyCost(n int) sim.Duration {
+	return sim.Duration(int64(n) * c.CopyPerBytePs / 1000)
+}
+
+// NullMinimum returns the theoretical minimum cross-domain Null call time
+// on this hardware: one procedure call, two kernel traps, and two context
+// switches including the TLB refill misses the switches force. This is the
+// "Null (Theoretical Minimum)" column of Table 2.
+func (c Config) NullMinimum(nullTLBMisses int) sim.Duration {
+	d := c.ProcCallCost + 2*c.TrapCost + 2*c.ContextSwitchRaw
+	if !c.TLBTagged {
+		d += sim.Duration(nullTLBMisses) * c.TLBMissCost
+	}
+	return d
+}
+
+// CVAXFirefly returns the C-VAX Firefly configuration, the machine of the
+// paper's headline measurements. NullMinimum(43) = 7 + 36 + 27.3 + 38.7 =
+// 109 us, matching Table 2 and Table 5.
+func CVAXFirefly() Config {
+	return Config{
+		Name:                   "Firefly C-VAX",
+		ProcCallCost:           7 * sim.Microsecond,
+		TrapCost:               18 * sim.Microsecond,
+		ContextSwitchRaw:       13650 * sim.Nanosecond,
+		TLBMissCost:            900 * sim.Nanosecond,
+		TLBCapacity:            256,
+		CopyPerBytePs:          166667,
+		ExchangeCost:           17 * sim.Microsecond,
+		BusInterference:        4 * sim.Microsecond,
+		CacheTransferPerBytePs: 65000,
+	}
+}
+
+// MicroVAXIIFirefly returns the five-processor MicroVAX-II Firefly
+// configuration (section 4 reports a speedup of 4.3 with 5 processors on
+// it). The MicroVAX II is roughly 2.7x slower than the C-VAX.
+func MicroVAXIIFirefly() Config {
+	return Config{
+		Name:                   "Firefly MicroVAX II",
+		ProcCallCost:           19 * sim.Microsecond,
+		TrapCost:               48 * sim.Microsecond,
+		ContextSwitchRaw:       36 * sim.Microsecond,
+		TLBMissCost:            2400 * sim.Nanosecond,
+		TLBCapacity:            256,
+		CopyPerBytePs:          450000,
+		ExchangeCost:           46 * sim.Microsecond,
+		BusInterference:        17 * sim.Microsecond,
+		CacheTransferPerBytePs: 175000,
+	}
+}
+
+// CVAXMach returns the C-VAX configuration as measured by the Mach work
+// cited in Table 2, whose published theoretical minimum for a Null
+// cross-domain call is 90 us: NullMinimum(40) = 4 + 29 + 21 + 36 = 90.
+func CVAXMach() Config {
+	return Config{
+		Name:                   "C-VAX (Mach)",
+		ProcCallCost:           4 * sim.Microsecond,
+		TrapCost:               14500 * sim.Nanosecond,
+		ContextSwitchRaw:       10500 * sim.Nanosecond,
+		TLBMissCost:            900 * sim.Nanosecond,
+		TLBCapacity:            256,
+		CopyPerBytePs:          166667,
+		ExchangeCost:           17 * sim.Microsecond,
+		BusInterference:        4 * sim.Microsecond,
+		CacheTransferPerBytePs: 65000,
+	}
+}
+
+// M68020 returns the 68020 configuration used by the V, Amoeba and DASH
+// rows of Table 2: NullMinimum(50) = 10 + 60 + 50 + 50 = 170 us.
+func M68020() Config {
+	return Config{
+		Name:                   "68020",
+		ProcCallCost:           10 * sim.Microsecond,
+		TrapCost:               30 * sim.Microsecond,
+		ContextSwitchRaw:       25 * sim.Microsecond,
+		TLBMissCost:            1000 * sim.Nanosecond,
+		TLBCapacity:            256,
+		CopyPerBytePs:          400000,
+		ExchangeCost:           30 * sim.Microsecond,
+		BusInterference:        8 * sim.Microsecond,
+		CacheTransferPerBytePs: 150000,
+	}
+}
+
+// PERQ returns the PERQ configuration of the Accent row of Table 2:
+// NullMinimum(100) = 30 + 160 + 124 + 130 = 444 us.
+func PERQ() Config {
+	return Config{
+		Name:                   "PERQ",
+		ProcCallCost:           30 * sim.Microsecond,
+		TrapCost:               80 * sim.Microsecond,
+		ContextSwitchRaw:       62 * sim.Microsecond,
+		TLBMissCost:            1300 * sim.Nanosecond,
+		TLBCapacity:            256,
+		CopyPerBytePs:          900000,
+		ExchangeCost:           60 * sim.Microsecond,
+		BusInterference:        20 * sim.Microsecond,
+		CacheTransferPerBytePs: 350000,
+	}
+}
+
+// Machine is a shared-memory multiprocessor: a set of processors sharing a
+// cost model and an event engine.
+type Machine struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	CPUs []*Processor
+
+	nextCtx int
+}
+
+// New builds a machine with the given number of processors.
+func New(e *sim.Engine, cfg Config, cpus int) *Machine {
+	if cpus < 1 {
+		panic("machine: need at least one processor")
+	}
+	m := &Machine{Eng: e, Cfg: cfg}
+	for i := 0; i < cpus; i++ {
+		m.CPUs = append(m.CPUs, &Processor{
+			ID:   i,
+			mach: m,
+			TLB:  NewTLB(cfg.TLBTagged, cfg.TLBCapacity),
+		})
+	}
+	return m
+}
+
+// NewContext allocates a virtual-memory context (the hardware face of a
+// protection domain). System contexts hold translations that survive
+// context switches on untagged TLBs, modeling kernel-space mappings.
+func (m *Machine) NewContext(name string, system bool) *Context {
+	m.nextCtx++
+	return &Context{id: m.nextCtx, name: name, system: system}
+}
+
+// Context is a virtual-memory context: a page-table identity plus a page
+// namespace.
+type Context struct {
+	id       int
+	name     string
+	system   bool
+	nextPage int
+}
+
+// Name returns the context's name.
+func (c *Context) Name() string { return c.name }
+
+// System reports whether translations for this context survive untagged
+// TLB flushes (kernel space).
+func (c *Context) System() bool { return c.system }
+
+// Pages allocates n fresh pages in the context and returns references to
+// them, for use in TLB footprints.
+func (c *Context) Pages(n int) []Page {
+	pages := make([]Page, n)
+	for i := range pages {
+		pages[i] = Page{ctx: c, num: c.nextPage}
+		c.nextPage++
+	}
+	return pages
+}
+
+// Page names one virtual page in one context; the TLB caches translations
+// for pages.
+type Page struct {
+	ctx *Context
+	num int
+}
+
+// Processor is one CPU of the machine. A processor has a currently-loaded
+// VM context and a TLB. Threads (simulated in internal/kernel) run on
+// processors; the machine's methods charge simulated time to the running
+// process.
+type Processor struct {
+	ID   int
+	mach *Machine
+	Ctx  *Context
+	TLB  *TLB
+
+	// IdleInCtx is non-nil when the processor is idling with a domain's
+	// context loaded (the domain-caching optimization of section 3.4).
+	IdleInCtx *Context
+
+	// Stats.
+	Switches  uint64
+	Exchanges uint64
+}
+
+// String implements fmt.Stringer.
+func (cpu *Processor) String() string { return fmt.Sprintf("cpu%d", cpu.ID) }
+
+// Compute charges d of pure computation to the running process.
+func (cpu *Processor) Compute(p *sim.Proc, d sim.Duration) sim.Duration {
+	p.Sleep(d)
+	return d
+}
+
+// ProcCall charges one formal procedure call.
+func (cpu *Processor) ProcCall(p *sim.Proc) sim.Duration {
+	return cpu.Compute(p, cpu.mach.Cfg.ProcCallCost)
+}
+
+// Trap charges one kernel trap (entry or return).
+func (cpu *Processor) Trap(p *sim.Proc) sim.Duration {
+	return cpu.Compute(p, cpu.mach.Cfg.TrapCost)
+}
+
+// SwitchTo loads ctx into the processor's VM registers, invalidating the
+// TLB's non-system entries unless the TLB is tagged. Returns the raw switch
+// cost charged (TLB refill costs accrue later, at Touch time). Switching to
+// the already-loaded context is free.
+func (cpu *Processor) SwitchTo(p *sim.Proc, ctx *Context) sim.Duration {
+	if cpu.Ctx == ctx {
+		return 0
+	}
+	cpu.Switches++
+	cpu.Ctx = ctx
+	cpu.TLB.OnContextSwitch()
+	return cpu.Compute(p, cpu.mach.Cfg.ContextSwitchRaw)
+}
+
+// Touch references the given pages, charging one TLB miss for each page
+// whose translation is not resident. Returns the total miss cost charged.
+func (cpu *Processor) Touch(p *sim.Proc, pages []Page) sim.Duration {
+	misses := cpu.TLB.Touch(pages)
+	if misses == 0 {
+		return 0
+	}
+	return cpu.Compute(p, sim.Duration(misses)*cpu.mach.Cfg.TLBMissCost)
+}
+
+// Copy charges a memory-to-memory copy of n bytes.
+func (cpu *Processor) Copy(p *sim.Proc, n int) sim.Duration {
+	return cpu.Compute(p, cpu.mach.Cfg.CopyCost(n))
+}
+
+// Exchange swaps the VM identities of this processor and other: the caller
+// keeps executing, but now on other (which already holds the context the
+// caller needs), while this processor takes over other's context. Neither
+// TLB is invalidated — that is the entire point of domain caching. The
+// caller is charged the exchange cost.
+func (cpu *Processor) Exchange(p *sim.Proc, other *Processor) sim.Duration {
+	cpu.Exchanges++
+	other.Exchanges++
+	return cpu.Compute(p, cpu.mach.Cfg.ExchangeCost)
+}
+
+// CacheTransfer charges the cost of reading n bytes recently written by
+// another processor (cache-to-cache transfer after a processor exchange).
+func (cpu *Processor) CacheTransfer(p *sim.Proc, n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return cpu.Compute(p, cpu.mach.Cfg.CacheTransferCost(n))
+}
+
+// Interference charges the shared-memory-bus contention penalty for a call
+// made while competitors other processors are actively making calls.
+func (cpu *Processor) Interference(p *sim.Proc, competitors int) sim.Duration {
+	if competitors <= 0 {
+		return 0
+	}
+	return cpu.Compute(p, sim.Duration(competitors)*cpu.mach.Cfg.BusInterference)
+}

@@ -1,0 +1,341 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrpc/internal/sim"
+)
+
+func TestNullMinimumsMatchTable2(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		misses int
+		want   sim.Duration
+	}{
+		{CVAXFirefly(), 43, 109 * sim.Microsecond},
+		{CVAXMach(), 40, 90 * sim.Microsecond},
+		{M68020(), 50, 170 * sim.Microsecond},
+		{PERQ(), 100, 444 * sim.Microsecond},
+	}
+	for _, c := range cases {
+		got := c.cfg.NullMinimum(c.misses)
+		if got != c.want {
+			t.Errorf("%s: NullMinimum = %v, want %v", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestCopyCostCalibration(t *testing.T) {
+	cfg := CVAXFirefly()
+	// One 200-byte copy must cost 33.333 us so that BigIn-Null = 35 us
+	// with the 1.667 us per-argument stub handling (DESIGN.md 5.2).
+	if got := cfg.CopyCost(200); got != 33333*sim.Nanosecond {
+		t.Fatalf("CopyCost(200) = %v, want 33.333us", got)
+	}
+	if got := cfg.CopyCost(12); got != 2000*sim.Nanosecond {
+		t.Fatalf("CopyCost(12) = %v, want 2us", got)
+	}
+	if got := cfg.CopyCost(0); got != 0 {
+		t.Fatalf("CopyCost(0) = %v, want 0", got)
+	}
+}
+
+func TestSwitchChargesAndFlushes(t *testing.T) {
+	e := sim.New()
+	m := New(e, CVAXFirefly(), 1)
+	cpu := m.CPUs[0]
+	client := m.NewContext("client", false)
+	server := m.NewContext("server", false)
+	kernelCtx := m.NewContext("kernel", true)
+	clientPages := client.Pages(3)
+	kernelPages := kernelCtx.Pages(2)
+
+	e.Spawn("thread", func(p *sim.Proc) {
+		cpu.SwitchTo(p, client)
+		cpu.Touch(p, clientPages)
+		cpu.Touch(p, kernelPages)
+		if !cpu.TLB.Resident(clientPages[0]) {
+			t.Error("client page not resident after touch")
+		}
+		start := p.Now()
+		cpu.SwitchTo(p, server)
+		if d := p.Now().Sub(start); d != m.Cfg.ContextSwitchRaw {
+			t.Errorf("switch charged %v, want %v", d, m.Cfg.ContextSwitchRaw)
+		}
+		if cpu.TLB.Resident(clientPages[0]) {
+			t.Error("untagged TLB kept process translation across switch")
+		}
+		if !cpu.TLB.Resident(kernelPages[0]) {
+			t.Error("untagged TLB dropped system translation on switch")
+		}
+		// Switching to the loaded context is free.
+		start = p.Now()
+		cpu.SwitchTo(p, server)
+		if d := p.Now().Sub(start); d != 0 {
+			t.Errorf("no-op switch charged %v", d)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaggedTLBSurvivesSwitch(t *testing.T) {
+	e := sim.New()
+	cfg := CVAXFirefly()
+	cfg.TLBTagged = true
+	m := New(e, cfg, 1)
+	cpu := m.CPUs[0]
+	a := m.NewContext("a", false)
+	b := m.NewContext("b", false)
+	pages := a.Pages(4)
+	e.Spawn("thread", func(p *sim.Proc) {
+		cpu.SwitchTo(p, a)
+		cpu.Touch(p, pages)
+		cpu.SwitchTo(p, b)
+		if !cpu.TLB.Resident(pages[0]) {
+			t.Error("tagged TLB lost translation on context switch")
+		}
+		start := p.Now()
+		cpu.SwitchTo(p, a)
+		cpu.Touch(p, pages) // all hits: no charge
+		if d := p.Now().Sub(start); d != m.Cfg.ContextSwitchRaw {
+			t.Errorf("warm re-entry charged %v, want only raw switch %v", d, m.Cfg.ContextSwitchRaw)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchMissAccounting(t *testing.T) {
+	e := sim.New()
+	m := New(e, CVAXFirefly(), 1)
+	cpu := m.CPUs[0]
+	ctx := m.NewContext("d", false)
+	pages := ctx.Pages(10)
+	e.Spawn("thread", func(p *sim.Proc) {
+		start := p.Now()
+		cpu.Touch(p, pages)
+		want := sim.Duration(10) * m.Cfg.TLBMissCost
+		if d := p.Now().Sub(start); d != want {
+			t.Errorf("10 cold touches charged %v, want %v", d, want)
+		}
+		start = p.Now()
+		cpu.Touch(p, pages)
+		if d := p.Now().Sub(start); d != 0 {
+			t.Errorf("warm touches charged %v, want 0", d)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.TLB.Misses != 10 || cpu.TLB.Hits != 10 {
+		t.Fatalf("misses=%d hits=%d, want 10/10", cpu.TLB.Misses, cpu.TLB.Hits)
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	tlb := NewTLB(false, 4)
+	ctx := &Context{id: 1, name: "x"}
+	pages := ctx.Pages(6)
+	if n := tlb.Touch(pages); n != 6 {
+		t.Fatalf("cold misses = %d, want 6", n)
+	}
+	if tlb.Len() != 4 {
+		t.Fatalf("resident = %d, want capacity 4", tlb.Len())
+	}
+	// Oldest two were evicted.
+	if tlb.Resident(pages[0]) || tlb.Resident(pages[1]) {
+		t.Error("FIFO eviction did not remove oldest translations")
+	}
+	if !tlb.Resident(pages[5]) {
+		t.Error("newest translation missing")
+	}
+}
+
+func TestExchangeKeepsBothTLBs(t *testing.T) {
+	e := sim.New()
+	m := New(e, CVAXFirefly(), 2)
+	caller, idle := m.CPUs[0], m.CPUs[1]
+	client := m.NewContext("client", false)
+	server := m.NewContext("server", false)
+	sPages := server.Pages(5)
+	e.Spawn("thread", func(p *sim.Proc) {
+		caller.SwitchTo(p, client)
+		idle.SwitchTo(p, server)
+		idle.Touch(p, sPages)
+		start := p.Now()
+		caller.Exchange(p, idle)
+		if d := p.Now().Sub(start); d != m.Cfg.ExchangeCost {
+			t.Errorf("exchange charged %v, want %v", d, m.Cfg.ExchangeCost)
+		}
+		if !idle.TLB.Resident(sPages[0]) {
+			t.Error("exchange invalidated the cached domain's TLB")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterference(t *testing.T) {
+	e := sim.New()
+	m := New(e, CVAXFirefly(), 1)
+	cpu := m.CPUs[0]
+	e.Spawn("thread", func(p *sim.Proc) {
+		start := p.Now()
+		cpu.Interference(p, 3)
+		if d := p.Now().Sub(start); d != 12*sim.Microsecond {
+			t.Errorf("interference(3) = %v, want 12us", d)
+		}
+		start = p.Now()
+		cpu.Interference(p, 0)
+		if d := p.Now().Sub(start); d != 0 {
+			t.Errorf("interference(0) = %v, want 0", d)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTLBResidencyInvariant: after any sequence of touches,
+// switches and flushes, (1) Len never exceeds capacity, (2) a touched page
+// is resident immediately afterwards, and (3) hits+misses equals total
+// touches.
+func TestPropertyTLBResidencyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 2 + rng.Intn(16)
+		tlb := NewTLB(rng.Intn(2) == 0, capacity)
+		sys := &Context{id: 1, name: "sys", system: true}
+		usr := &Context{id: 2, name: "usr"}
+		pool := append(sys.Pages(8), usr.Pages(24)...)
+		var touches uint64
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				pg := pool[rng.Intn(len(pool))]
+				tlb.Touch([]Page{pg})
+				touches++
+				if !tlb.Resident(pg) {
+					return false
+				}
+			case 2:
+				tlb.OnContextSwitch()
+				if !tlb.tagged {
+					for _, pg := range tlb.order {
+						if !pg.ctx.system {
+							return false
+						}
+					}
+				}
+			case 3:
+				tlb.FlushAll()
+				if tlb.Len() != 0 {
+					return false
+				}
+			}
+			if tlb.Len() > capacity || len(tlb.order) != tlb.Len() {
+				return false
+			}
+		}
+		return tlb.Hits+tlb.Misses == touches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextPagesDistinct(t *testing.T) {
+	m := New(sim.New(), CVAXFirefly(), 1)
+	ctx := m.NewContext("d", false)
+	a := ctx.Pages(5)
+	b := ctx.Pages(5)
+	seen := map[Page]bool{}
+	for _, pg := range append(a, b...) {
+		if seen[pg] {
+			t.Fatalf("duplicate page %v", pg)
+		}
+		seen[pg] = true
+	}
+}
+
+// TestPresetsSane: every machine preset has positive costs and the
+// relationships the paper's hardware ordering implies.
+func TestPresetsSane(t *testing.T) {
+	presets := []Config{CVAXFirefly(), MicroVAXIIFirefly(), CVAXMach(), M68020(), PERQ()}
+	for _, cfg := range presets {
+		if cfg.Name == "" {
+			t.Error("preset without a name")
+		}
+		if cfg.ProcCallCost <= 0 || cfg.TrapCost <= 0 || cfg.ContextSwitchRaw <= 0 ||
+			cfg.TLBMissCost <= 0 || cfg.CopyPerBytePs <= 0 || cfg.ExchangeCost <= 0 {
+			t.Errorf("%s: non-positive cost in preset", cfg.Name)
+		}
+		if cfg.TLBCapacity < 64 {
+			t.Errorf("%s: tiny TLB capacity %d", cfg.Name, cfg.TLBCapacity)
+		}
+	}
+	// The MicroVAX II is the slower Firefly: every cost exceeds the
+	// C-VAX's.
+	cv, mv := CVAXFirefly(), MicroVAXIIFirefly()
+	if mv.ProcCallCost <= cv.ProcCallCost || mv.TrapCost <= cv.TrapCost ||
+		mv.CopyPerBytePs <= cv.CopyPerBytePs {
+		t.Error("MicroVAX II preset not uniformly slower than C-VAX")
+	}
+	// The PERQ is the slowest machine in Table 2.
+	if PERQ().NullMinimum(100) <= M68020().NullMinimum(50) {
+		t.Error("PERQ minimum should exceed 68020 minimum")
+	}
+}
+
+func TestCacheTransferCost(t *testing.T) {
+	cfg := CVAXFirefly()
+	if got := cfg.CacheTransferCost(200); got != 13*sim.Microsecond {
+		t.Errorf("CacheTransferCost(200) = %v, want 13us (the BigIn MP delta)", got)
+	}
+	if got := cfg.CacheTransferCost(0); got != 0 {
+		t.Errorf("CacheTransferCost(0) = %v", got)
+	}
+}
+
+func TestProcessorChargePrimitives(t *testing.T) {
+	e := sim.New()
+	m := New(e, CVAXFirefly(), 1)
+	cpu := m.CPUs[0]
+	e.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		cpu.ProcCall(p)
+		cpu.Trap(p)
+		cpu.Copy(p, 100)
+		cpu.CacheTransfer(p, 100)
+		want := m.Cfg.ProcCallCost + m.Cfg.TrapCost + m.Cfg.CopyCost(100) + m.Cfg.CacheTransferCost(100)
+		if d := p.Now().Sub(start); d != want {
+			t.Errorf("charges = %v, want %v", d, want)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.String() != "cpu0" {
+		t.Errorf("String = %q", cpu.String())
+	}
+}
+
+func TestExchangeCounters(t *testing.T) {
+	e := sim.New()
+	m := New(e, CVAXFirefly(), 2)
+	e.Spawn("t", func(p *sim.Proc) {
+		m.CPUs[0].Exchange(p, m.CPUs[1])
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPUs[0].Exchanges != 1 || m.CPUs[1].Exchanges != 1 {
+		t.Errorf("exchange counters = %d/%d, want 1/1", m.CPUs[0].Exchanges, m.CPUs[1].Exchanges)
+	}
+}

@@ -1,0 +1,93 @@
+package machine
+
+// TLB models a per-processor translation lookaside buffer. Untagged TLBs
+// (the C-VAX case) lose all non-system translations on every context
+// switch; process-tagged TLBs keep them. System-space translations (kernel
+// mappings, present in every context) survive switches either way, matching
+// the VAX's split of system and process translations.
+//
+// Capacity is enforced with FIFO replacement; the working sets in these
+// experiments are far below capacity, so the replacement policy is not a
+// result-bearing detail.
+type TLB struct {
+	tagged   bool
+	capacity int
+	resident map[Page]struct{}
+	order    []Page // FIFO of resident pages, for replacement
+
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB(tagged bool, capacity int) *TLB {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &TLB{
+		tagged:   tagged,
+		capacity: capacity,
+		resident: make(map[Page]struct{}),
+	}
+}
+
+// Tagged reports whether the TLB is process-tagged.
+func (t *TLB) Tagged() bool { return t.tagged }
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.resident) }
+
+// Resident reports whether the translation for page is cached.
+func (t *TLB) Resident(page Page) bool {
+	_, ok := t.resident[page]
+	return ok
+}
+
+// OnContextSwitch applies the hardware's context-switch behavior: an
+// untagged TLB drops every non-system translation; a tagged TLB keeps
+// everything.
+func (t *TLB) OnContextSwitch() {
+	if t.tagged {
+		return
+	}
+	t.Flushes++
+	keep := t.order[:0]
+	for _, pg := range t.order {
+		if pg.ctx.system {
+			keep = append(keep, pg)
+		} else {
+			delete(t.resident, pg)
+		}
+	}
+	t.order = keep
+}
+
+// FlushAll drops every translation (e.g. at TLB-shootdown points such as
+// domain termination unmapping shared A-stacks).
+func (t *TLB) FlushAll() {
+	t.Flushes++
+	t.resident = make(map[Page]struct{})
+	t.order = t.order[:0]
+}
+
+// Touch references pages in order, returning how many missed. Missing pages
+// are loaded, evicting the oldest translations if the TLB is full.
+func (t *TLB) Touch(pages []Page) (misses int) {
+	for _, pg := range pages {
+		if _, ok := t.resident[pg]; ok {
+			t.Hits++
+			continue
+		}
+		t.Misses++
+		misses++
+		if len(t.order) >= t.capacity {
+			victim := t.order[0]
+			t.order = t.order[1:]
+			delete(t.resident, victim)
+		}
+		t.resident[pg] = struct{}{}
+		t.order = append(t.order, pg)
+	}
+	return misses
+}

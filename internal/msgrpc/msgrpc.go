@@ -1,0 +1,217 @@
+// Package msgrpc implements the conventional message-passing RPC that the
+// paper compares LRPC against (section 2): concrete client and server
+// threads exchanging messages, with message buffer management, access
+// validation, enqueue/dequeue with flow control, scheduler rendezvous,
+// receiver-side dispatch, and one of three copy regimes:
+//
+//   - FullCopy: messages pass through an intermediate kernel copy — four
+//     copy operations on call (A,B,C,E of Table 3) and three on return
+//     (B,C,F);
+//   - RestrictedCopy: the DASH optimization — buffers in a region mapped
+//     into both kernel and user domains let the kernel copy directly from
+//     sender to receiver (A,D,E on call; B,F on return);
+//   - SharedCopy: the SRC RPC optimization — buffers globally shared
+//     across all domains, trading safety for speed (A,E on call; F on
+//     return), with a single global lock guarding buffer and transfer
+//     state.
+//
+// The server-side work runs on the caller's simulated process after the
+// scheduling-cost charge: both Taos and Mach used handoff scheduling, where
+// the blocked client's processor directly runs the server thread, so the
+// latency path is sequential on one CPU exactly as modeled. The concrete
+// server threads appear as the flow-control bound on simultaneous calls.
+//
+// Per-system cost profiles calibrated against Table 2 live in profiles.go.
+package msgrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/sim"
+)
+
+// Errors returned by the transport.
+var (
+	// ErrBadProcedure reports an out-of-range procedure index.
+	ErrBadProcedure = errors.New("msgrpc: bad procedure")
+	// ErrServerTerminated reports a call to a server in a terminated
+	// domain.
+	ErrServerTerminated = errors.New("msgrpc: server domain terminated")
+)
+
+// CopyRegime selects the copy structure of the transport.
+type CopyRegime int
+
+// The three copy regimes of Table 3.
+const (
+	FullCopy CopyRegime = iota
+	RestrictedCopy
+	SharedCopy
+)
+
+// String implements fmt.Stringer.
+func (r CopyRegime) String() string {
+	switch r {
+	case FullCopy:
+		return "message passing"
+	case RestrictedCopy:
+		return "restricted message passing"
+	case SharedCopy:
+		return "shared-buffer message passing"
+	}
+	return fmt.Sprintf("CopyRegime(%d)", int(r))
+}
+
+// Profile is the cost structure of one message-passing RPC system. The
+// components are the overhead sources section 2.3 of the paper enumerates;
+// per-system values are calibrated so the simulated Null call reproduces
+// the published Table 2 "Null (Actual)" time on the matching machine.
+type Profile struct {
+	Name   string
+	Regime CopyRegime
+
+	ClientStub sim.Duration // client stub execution (both directions)
+	ServerStub sim.Duration // server stub execution
+	PerValue   sim.Duration // per-parameter marshal/unmarshal handling
+	BufferMgmt sim.Duration // allocate and free request/reply buffers
+	Validation sim.Duration // access validation on call and return
+	Queue      sim.Duration // enqueue + dequeue + flow control
+	Scheduling sim.Duration // block caller, wake server thread, and reverse
+	Dispatch   sim.Duration // receiver interprets message, dispatches a thread
+	CopyFixed  sim.Duration // fixed cost per copy operation (headers etc.)
+
+	// ReplyPerBytePs is extra reply-path buffer management per result
+	// byte, in picoseconds (visible in SRC RPC's BigInOut time).
+	ReplyPerBytePs int64
+
+	// GlobalLock serializes buffer and transfer management across all
+	// calls on the machine — the single lock that flattens SRC RPC's
+	// throughput at two processors in Figure 2.
+	GlobalLock bool
+
+	// Footprints for the experiment's domains: process-space pages
+	// touched per visit, sized so the Null call's TLB misses match the
+	// per-system calibration.
+	ServerFootprint int
+	ClientFootprint int
+
+	// MaxOutstanding is the number of concrete server threads, bounding
+	// simultaneous calls (flow control). 0 selects 8.
+	MaxOutstanding int
+}
+
+// copyOps reports the per-direction copy operations of the regime.
+func (p *Profile) copyOps() (call, ret []core.CopyCode) {
+	switch p.Regime {
+	case FullCopy:
+		return []core.CopyCode{core.CopyA, core.CopyB, core.CopyC, core.CopyE},
+			[]core.CopyCode{core.CopyB, core.CopyC, core.CopyF}
+	case RestrictedCopy:
+		return []core.CopyCode{core.CopyA, core.CopyD, core.CopyE},
+			[]core.CopyCode{core.CopyB, core.CopyF}
+	default: // SharedCopy
+		return []core.CopyCode{core.CopyA, core.CopyE},
+			[]core.CopyCode{core.CopyF}
+	}
+}
+
+// Proc is one procedure of a message-RPC service.
+type Proc struct {
+	Name      string
+	ArgValues int
+	ResValues int
+	// Work is the procedure's own simulated computation, charged on the
+	// calling thread around the handler (handlers are plain functions
+	// with no thread handle).
+	Work    sim.Duration
+	Handler func(args []byte) []byte
+}
+
+// Service is a named set of procedures.
+type Service struct {
+	Name  string
+	Procs []Proc
+}
+
+// Transport is a message-passing RPC instance on one machine.
+type Transport struct {
+	Mach    *machine.Machine
+	Profile Profile
+
+	// CallCopies and ReturnCopies record the copy operations of each
+	// direction when non-nil (Table 3).
+	CallCopies   *core.CopyRecorder
+	ReturnCopies *core.CopyRecorder
+
+	// Interference, when non-nil, reports competing processors for the
+	// shared-bus penalty (Figure 2).
+	Interference func() int
+
+	globalLock *sim.Mutex
+
+	// Stats.
+	Calls uint64
+}
+
+// NewTransport builds a transport with the given profile.
+func NewTransport(m *machine.Machine, p Profile) *Transport {
+	tr := &Transport{Mach: m, Profile: p}
+	if p.GlobalLock {
+		tr.globalLock = sim.NewMutex(m.Eng, "msgrpc global transfer lock")
+	}
+	return tr
+}
+
+// GlobalLockStats returns the global lock, nil when the profile does not
+// use one (for contention reporting).
+func (tr *Transport) GlobalLockStats() *sim.Mutex { return tr.globalLock }
+
+// Server is an exported service: a domain, the service, and the concrete
+// receiver threads (modeled as the flow-control bound).
+type Server struct {
+	tr      *Transport
+	Domain  *kernel.Domain
+	Svc     *Service
+	slots   *sim.Semaphore
+	bufPage []machine.Page
+}
+
+// Serve exports svc from domain d.
+func (tr *Transport) Serve(d *kernel.Domain, svc *Service) *Server {
+	workers := tr.Profile.MaxOutstanding
+	if workers <= 0 {
+		workers = 8
+	}
+	return &Server{
+		tr:     tr,
+		Domain: d,
+		Svc:    svc,
+		slots:  sim.NewSemaphore(tr.Mach.Eng, "msgrpc workers "+svc.Name, workers),
+	}
+}
+
+// Conn is a client's connection to a server.
+type Conn struct {
+	tr       *Transport
+	srv      *Server
+	client   *kernel.Domain
+	bufPages []machine.Page // request/reply buffer mappings
+}
+
+// Connect binds a client domain to a server.
+func (tr *Transport) Connect(client *kernel.Domain, srv *Server) *Conn {
+	return &Conn{
+		tr:     tr,
+		srv:    srv,
+		client: client,
+		// One page each for the request and reply buffers; in the shared
+		// and restricted regimes these are the specially mapped buffers,
+		// in the full regime the per-domain message areas. Either way
+		// they are process-space translations.
+		bufPages: srv.Domain.Ctx.Pages(2),
+	}
+}

@@ -1,0 +1,339 @@
+package msgrpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/sim"
+)
+
+// mpRig wires a machine, kernel (for domains/threads), transport and a
+// client/server domain pair with the profile's footprints.
+type mpRig struct {
+	eng    *sim.Engine
+	mach   *machine.Machine
+	kern   *kernel.Kernel
+	tr     *Transport
+	client *kernel.Domain
+	server *kernel.Domain
+	srv    *Server
+}
+
+func newMPRig(mcfg machine.Config, cpus int, prof Profile, svc *Service) *mpRig {
+	eng := sim.New()
+	mach := machine.New(eng, mcfg, cpus)
+	kern := kernel.New(mach, 3)
+	tr := NewTransport(mach, prof)
+	client := kern.NewDomain("client", kernel.DomainConfig{Footprint: prof.ClientFootprint})
+	server := kern.NewDomain("server", kernel.DomainConfig{Footprint: prof.ServerFootprint})
+	return &mpRig{eng: eng, mach: mach, kern: kern, tr: tr,
+		client: client, server: server, srv: tr.Serve(server, svc)}
+}
+
+func echoService() *Service {
+	return &Service{
+		Name: "Echo",
+		Procs: []Proc{
+			{Name: "Null", Handler: func(args []byte) []byte { return nil }},
+			{Name: "Add", ArgValues: 2, ResValues: 1, Handler: func(args []byte) []byte {
+				return args[:4]
+			}},
+			{Name: "BigIn", ArgValues: 1, Handler: func(args []byte) []byte { return nil }},
+			{Name: "BigInOut", ArgValues: 1, ResValues: 1, Handler: func(args []byte) []byte {
+				out := make([]byte, len(args))
+				copy(out, args)
+				return out
+			}},
+		},
+	}
+}
+
+// measure runs warmup then n calls and returns the mean latency.
+func (r *mpRig) measure(t *testing.T, procIdx int, args []byte, warmup, n int) sim.Duration {
+	t.Helper()
+	var per sim.Duration
+	conn := r.tr.Connect(r.client, r.srv)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		for i := 0; i < warmup; i++ {
+			if _, err := conn.Call(th, procIdx, args); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		start := th.P.Now()
+		for i := 0; i < n; i++ {
+			if _, err := conn.Call(th, procIdx, args); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		per = th.P.Now().Sub(start) / sim.Duration(n)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return per
+}
+
+// TestTable2NullActuals: each system profile, on its machine, must
+// reproduce the published Null (Actual) time within 1%.
+func TestTable2NullActuals(t *testing.T) {
+	cases := []struct {
+		prof Profile
+		mcfg machine.Config
+		want sim.Duration
+	}{
+		{AccentRPC(), machine.PERQ(), 2300 * sim.Microsecond},
+		{SRCRPC(), machine.CVAXFirefly(), 464 * sim.Microsecond},
+		{MachRPC(), machine.CVAXMach(), 754 * sim.Microsecond},
+		{VRPC(), machine.M68020(), 730 * sim.Microsecond},
+		{AmoebaRPC(), machine.M68020(), 800 * sim.Microsecond},
+		{DASHRPC(), machine.M68020(), 1590 * sim.Microsecond},
+	}
+	for _, c := range cases {
+		t.Run(c.prof.Name, func(t *testing.T) {
+			r := newMPRig(c.mcfg, 1, c.prof, echoService())
+			got := r.measure(t, 0, nil, 3, 50)
+			lo := c.want - c.want/100
+			hi := c.want + c.want/100
+			if got < lo || got > hi {
+				t.Errorf("%s Null = %v, want %v (within 1%%)", c.prof.Name, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTable4TaosColumn: SRC RPC's four-test latencies should land near the
+// paper's Taos column: 464 / 480 / 539 / 636 us (within 2%).
+func TestTable4TaosColumn(t *testing.T) {
+	cases := []struct {
+		name    string
+		procIdx int
+		args    []byte
+		want    sim.Duration
+	}{
+		{"Null", 0, nil, 464 * sim.Microsecond},
+		{"Add", 1, make([]byte, 8), 480 * sim.Microsecond},
+		{"BigIn", 2, make([]byte, 200), 539 * sim.Microsecond},
+		{"BigInOut", 3, make([]byte, 200), 636 * sim.Microsecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newMPRig(machine.CVAXFirefly(), 1, SRCRPC(), echoService())
+			got := r.measure(t, c.procIdx, c.args, 3, 50)
+			lo := c.want - c.want/50
+			hi := c.want + c.want/50
+			if got < lo || got > hi {
+				t.Errorf("Taos %s = %v, want %v (within 2%%)", c.name, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTable3CopyCodes: the full regime copies ABCE on call and BCF on
+// return; the restricted regime ADE and BF; the shared regime AE and F.
+func TestTable3CopyCodes(t *testing.T) {
+	cases := []struct {
+		prof     Profile
+		wantCall string
+		wantRet  string
+	}{
+		{GenericMP(), "ABCE", "BCF"},
+		{RestrictedMP(), "ADE", "BF"},
+		{SRCRPC(), "AE", "F"},
+	}
+	for _, c := range cases {
+		t.Run(c.prof.Name, func(t *testing.T) {
+			r := newMPRig(machine.CVAXFirefly(), 1, c.prof, echoService())
+			r.tr.CallCopies = core.NewCopyRecorder()
+			r.tr.ReturnCopies = core.NewCopyRecorder()
+			conn := r.tr.Connect(r.client, r.srv)
+			r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+				if _, err := conn.Call(th, 3, make([]byte, 64)); err != nil {
+					t.Error(err)
+				}
+			})
+			if err := r.eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.tr.CallCopies.Codes(); got != c.wantCall {
+				t.Errorf("call copies = %q, want %q", got, c.wantCall)
+			}
+			if got := r.tr.ReturnCopies.Codes(); got != c.wantRet {
+				t.Errorf("return copies = %q, want %q", got, c.wantRet)
+			}
+			wantTotal := uint64(len(c.wantCall) + len(c.wantRet))
+			if got := r.tr.CallCopies.TotalOps() + r.tr.ReturnCopies.TotalOps(); got != wantTotal {
+				t.Errorf("total copies = %d, want %d", got, wantTotal)
+			}
+		})
+	}
+}
+
+func TestEchoCorrectness(t *testing.T) {
+	r := newMPRig(machine.CVAXFirefly(), 1, SRCRPC(), echoService())
+	conn := r.tr.Connect(r.client, r.srv)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		payload := bytes.Repeat([]byte{0x5A}, 128)
+		res, err := conn.Call(th, 3, payload)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(res, payload) {
+			t.Error("echo corrupted payload")
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadProcedureAndTerminatedServer(t *testing.T) {
+	r := newMPRig(machine.CVAXFirefly(), 1, SRCRPC(), echoService())
+	conn := r.tr.Connect(r.client, r.srv)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		if _, err := conn.Call(th, 99, nil); !errors.Is(err, ErrBadProcedure) {
+			t.Errorf("bad proc: err = %v", err)
+		}
+		r.kern.TerminateDomain(r.server)
+		if _, err := conn.Call(th, 0, nil); !errors.Is(err, ErrServerTerminated) {
+			t.Errorf("terminated server: err = %v", err)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGlobalLockSerializesCalls: with the SRC profile, two concurrent
+// callers on two CPUs contend on the global lock; the lock's measured hold
+// time per call is the 254.8 us the Figure 2 cap comes from.
+func TestGlobalLockSerializesCalls(t *testing.T) {
+	r := newMPRig(machine.CVAXFirefly(), 2, SRCRPC(), echoService())
+	conn := r.tr.Connect(r.client, r.srv)
+	const calls = 50
+	for i := 0; i < 2; i++ {
+		cpu := r.mach.CPUs[i]
+		r.kern.Spawn("caller", r.client, cpu, func(th *kernel.Thread) {
+			for j := 0; j < calls; j++ {
+				if _, err := conn.Call(th, 0, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lock := r.tr.GlobalLockStats()
+	if lock == nil {
+		t.Fatal("SRC profile has no global lock")
+	}
+	perCall := lock.TotalHold / sim.Duration(2*calls)
+	if perCall < 250*sim.Microsecond || perCall > 260*sim.Microsecond {
+		t.Errorf("global lock held %v per call, want about 254.8us", perCall)
+	}
+	if lock.Contended == 0 {
+		t.Error("two concurrent callers never contended on the global lock")
+	}
+}
+
+// TestFlowControlBoundsOutstandingCalls: the concrete server-thread pool
+// bounds simultaneous calls.
+func TestFlowControlBoundsOutstandingCalls(t *testing.T) {
+	prof := SRCRPC()
+	prof.MaxOutstanding = 2
+	inside, peak := 0, 0
+	svc := &Service{Name: "Slow", Procs: []Proc{{
+		Name: "Op",
+		Handler: func(args []byte) []byte {
+			inside++
+			if inside > peak {
+				peak = inside
+			}
+			inside--
+			return nil
+		},
+	}}}
+	r := newMPRig(machine.CVAXFirefly(), 4, prof, svc)
+	conn := r.tr.Connect(r.client, r.srv)
+	for i := 0; i < 4; i++ {
+		cpu := r.mach.CPUs[i]
+		r.kern.Spawn("caller", r.client, cpu, func(th *kernel.Thread) {
+			for j := 0; j < 10; j++ {
+				if _, err := conn.Call(th, 0, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 2 {
+		t.Errorf("peak simultaneous calls %d, want <= 2 (flow control)", peak)
+	}
+	if r.tr.Calls != 40 {
+		t.Errorf("Calls = %d, want 40", r.tr.Calls)
+	}
+}
+
+// TestNoKernelCopiesInSharedRegime: byte accounting — the shared regime
+// moves each argument byte exactly twice (A,E) and each result byte once
+// (F), the minimum for a message system.
+func TestNoKernelCopiesInSharedRegime(t *testing.T) {
+	r := newMPRig(machine.CVAXFirefly(), 1, SRCRPC(), echoService())
+	r.tr.CallCopies = core.NewCopyRecorder()
+	r.tr.ReturnCopies = core.NewCopyRecorder()
+	conn := r.tr.Connect(r.client, r.srv)
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		if _, err := conn.Call(th, 2, make([]byte, 200)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.tr.CallCopies.Bytes[core.CopyA]; got != 200 {
+		t.Errorf("A bytes = %d, want 200", got)
+	}
+	if got := r.tr.CallCopies.Bytes[core.CopyE]; got != 200 {
+		t.Errorf("E bytes = %d, want 200", got)
+	}
+	if got := r.tr.CallCopies.Bytes[core.CopyB] + r.tr.CallCopies.Bytes[core.CopyC]; got != 0 {
+		t.Errorf("kernel copies moved %d bytes in shared regime, want 0", got)
+	}
+}
+
+// TestMidCallServerTermination: the server domain dies while a message RPC
+// is in flight; the caller gets the failure after the handler instead of a
+// reply.
+func TestMidCallServerTermination(t *testing.T) {
+	prof := SRCRPC()
+	svc := &Service{Name: "S", Procs: []Proc{{Name: "Op",
+		Handler: func(args []byte) []byte { return []byte{1, 2, 3} }}}}
+	r := newMPRig(machine.CVAXFirefly(), 1, prof, svc)
+	conn := r.tr.Connect(r.client, r.srv)
+	var err1 error
+	r.kern.Spawn("caller", r.client, r.mach.CPUs[0], func(th *kernel.Thread) {
+		_, err1 = conn.Call(th, 0, nil)
+	})
+	// The serial call path runs for ~460us; terminate the server while
+	// the call is between the request and the reply.
+	r.eng.At(sim.Time(250*sim.Microsecond), func() {
+		r.kern.TerminateDomain(r.server)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(err1, ErrServerTerminated) {
+		t.Errorf("mid-call termination: err = %v, want ErrServerTerminated", err1)
+	}
+}

@@ -1,0 +1,188 @@
+package msgrpc
+
+import "lrpc/internal/sim"
+
+// Per-system cost profiles, each paired with the machine preset named in
+// Table 2. The component split within each profile is a structural
+// estimate guided by the paper's discussion (section 2.3 for the overhead
+// sources; section 2.3's "it takes about 70 microseconds to execute the
+// stubs for the Null procedure call in SRC RPC"; SRC RPC's shared buffers
+// and elided validation per section 2.3); the totals are calibrated so the
+// simulated Null call reproduces the published "Null (Actual)" column:
+//
+//	system  machine        minimum  actual
+//	Accent  PERQ               444    2300
+//	Taos    Firefly C-VAX      109     464
+//	Mach    C-VAX               90     754
+//	V       68020              170     730
+//	Amoeba  68020              170     800
+//	DASH    68020              170    1590
+//
+// Each profile's Null time decomposes as
+//
+//	machine.NullMinimum(misses) + ClientStub + ServerStub + BufferMgmt +
+//	Validation + Queue + Scheduling + Dispatch + nCopies*CopyFixed
+//
+// where misses = ServerFootprint + ClientFootprint + 4 buffer pages.
+
+// SRCRPC returns the Taos baseline: SRC RPC on the C-VAX Firefly. Shared
+// buffers (no kernel copies), no access validation on call/return, but a
+// single global lock held across the transfer section — the lock that caps
+// Figure 2's throughput near 4000 calls/second.
+//
+// Null = 109 (minimum, 60 TLB misses at the 28+28+4 footprint) + 70 stubs +
+// 40 buffers + 0 validation + 30 queue + 130 scheduling + 25 dispatch +
+// 3*14.9 copies = 464 us.
+func SRCRPC() Profile {
+	return Profile{
+		Name:            "SRC RPC (Taos)",
+		Regime:          SharedCopy,
+		ClientStub:      50 * sim.Microsecond,
+		ServerStub:      20 * sim.Microsecond,
+		PerValue:        3900 * sim.Nanosecond,
+		BufferMgmt:      40 * sim.Microsecond,
+		Validation:      0,
+		Queue:           30 * sim.Microsecond,
+		Scheduling:      130 * sim.Microsecond,
+		Dispatch:        25 * sim.Microsecond,
+		CopyFixed:       14900 * sim.Nanosecond,
+		ReplyPerBytePs:  320000,
+		GlobalLock:      true,
+		ServerFootprint: 28,
+		ClientFootprint: 28,
+	}
+}
+
+// MachRPC returns the Mach profile on the C-VAX (Table 2: 754 us actual,
+// 90 us minimum). Full copy regime (7 copies), port-right validation.
+// Null = 90 (minimum at 60 misses: 54 us TLB + 36 base) + 100 stubs +
+// 60 buffers + 40 validation + 56 queue + 180 scheduling + 70 dispatch +
+// 7*20 copies = 754 us.
+func MachRPC() Profile {
+	return Profile{
+		Name:            "Mach",
+		Regime:          FullCopy,
+		ClientStub:      70 * sim.Microsecond,
+		ServerStub:      30 * sim.Microsecond,
+		PerValue:        4 * sim.Microsecond,
+		BufferMgmt:      60 * sim.Microsecond,
+		Validation:      40 * sim.Microsecond,
+		Queue:           56 * sim.Microsecond,
+		Scheduling:      180 * sim.Microsecond,
+		Dispatch:        70 * sim.Microsecond,
+		CopyFixed:       20 * sim.Microsecond,
+		ServerFootprint: 28,
+		ClientFootprint: 28,
+	}
+}
+
+// VRPC returns the V profile on the 68020 (Table 2: 730 us actual, 170 us
+// minimum). V's message protocol is optimized for fixed 32-byte messages,
+// hence the small per-copy fixed cost.
+// Null = 170 (40 misses) + 80 stubs + 40 buffers + 50 validation +
+// 60 queue + 200 scheduling + 70 dispatch + 7*10 copies = 730 us.
+func VRPC() Profile {
+	return Profile{
+		Name:            "V",
+		Regime:          FullCopy,
+		ClientStub:      55 * sim.Microsecond,
+		ServerStub:      25 * sim.Microsecond,
+		PerValue:        4 * sim.Microsecond,
+		BufferMgmt:      40 * sim.Microsecond,
+		Validation:      50 * sim.Microsecond,
+		Queue:           60 * sim.Microsecond,
+		Scheduling:      200 * sim.Microsecond,
+		Dispatch:        70 * sim.Microsecond,
+		CopyFixed:       10 * sim.Microsecond,
+		ServerFootprint: 18,
+		ClientFootprint: 18,
+	}
+}
+
+// AmoebaRPC returns the Amoeba profile on the 68020 (Table 2: 800 us
+// actual). Null = 170 + 90 stubs + 50 buffers + 60 validation + 70 queue +
+// 220 scheduling + 80 dispatch + 7*10 copies = 800 us.
+func AmoebaRPC() Profile {
+	return Profile{
+		Name:            "Amoeba",
+		Regime:          FullCopy,
+		ClientStub:      60 * sim.Microsecond,
+		ServerStub:      30 * sim.Microsecond,
+		PerValue:        4 * sim.Microsecond,
+		BufferMgmt:      50 * sim.Microsecond,
+		Validation:      60 * sim.Microsecond,
+		Queue:           70 * sim.Microsecond,
+		Scheduling:      220 * sim.Microsecond,
+		Dispatch:        80 * sim.Microsecond,
+		CopyFixed:       10 * sim.Microsecond,
+		ServerFootprint: 18,
+		ClientFootprint: 18,
+	}
+}
+
+// DASHRPC returns the DASH profile on the 68020 (Table 2: 1590 us actual).
+// DASH uses the restricted copy regime (5 copies through specially mapped
+// buffers) but carries heavy general-purpose messaging machinery.
+// Null = 170 + 200 stubs + 180 buffers + 120 validation + 160 queue +
+// 400 scheduling + 220 dispatch + 5*30 copies = 1590 us.
+func DASHRPC() Profile {
+	return Profile{
+		Name:            "DASH",
+		Regime:          RestrictedCopy,
+		ClientStub:      130 * sim.Microsecond,
+		ServerStub:      70 * sim.Microsecond,
+		PerValue:        5 * sim.Microsecond,
+		BufferMgmt:      180 * sim.Microsecond,
+		Validation:      120 * sim.Microsecond,
+		Queue:           160 * sim.Microsecond,
+		Scheduling:      400 * sim.Microsecond,
+		Dispatch:        220 * sim.Microsecond,
+		CopyFixed:       30 * sim.Microsecond,
+		ServerFootprint: 18,
+		ClientFootprint: 18,
+	}
+}
+
+// AccentRPC returns the Accent profile on the PERQ (Table 2: 2300 us
+// actual, 444 us minimum). Accent's copy-on-write VM machinery makes every
+// component heavy. Null = 444 (100 misses) + 300 stubs + 250 buffers +
+// 150 validation + 200 queue + 356 scheduling + 250 dispatch + 7*50 copies
+// = 2300 us.
+func AccentRPC() Profile {
+	return Profile{
+		Name:            "Accent",
+		Regime:          FullCopy,
+		ClientStub:      200 * sim.Microsecond,
+		ServerStub:      100 * sim.Microsecond,
+		PerValue:        8 * sim.Microsecond,
+		BufferMgmt:      250 * sim.Microsecond,
+		Validation:      150 * sim.Microsecond,
+		Queue:           200 * sim.Microsecond,
+		Scheduling:      356 * sim.Microsecond,
+		Dispatch:        250 * sim.Microsecond,
+		CopyFixed:       50 * sim.Microsecond,
+		ServerFootprint: 48,
+		ClientFootprint: 48,
+	}
+}
+
+// GenericMP returns a plain full-copy message-passing profile for copy
+// accounting (Table 3); its costs are SRC-like but with kernel copies and
+// validation restored.
+func GenericMP() Profile {
+	p := SRCRPC()
+	p.Name = "message passing"
+	p.Regime = FullCopy
+	p.Validation = 25 * sim.Microsecond
+	p.GlobalLock = false
+	return p
+}
+
+// RestrictedMP returns the DASH-style restricted profile for copy
+// accounting (Table 3).
+func RestrictedMP() Profile {
+	p := GenericMP()
+	p.Name = "restricted message passing"
+	p.Regime = RestrictedCopy
+	return p
+}

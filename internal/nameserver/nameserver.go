@@ -1,0 +1,61 @@
+// Package nameserver provides the name service that LRPC clerks register
+// exported interfaces with and that clients resolve import requests
+// against (section 3.1: "The clerk registers the interface with a name
+// server and awaits import requests from clients").
+//
+// The store is deliberately generic: the LRPC run-time registers its clerk
+// records, the network RPC layer registers remote service addresses.
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNotFound reports a lookup of an unregistered name.
+var ErrNotFound = errors.New("nameserver: name not registered")
+
+// NameServer is a flat name-to-registration map.
+type NameServer struct {
+	entries map[string]any
+}
+
+// New returns an empty name server.
+func New() *NameServer {
+	return &NameServer{entries: make(map[string]any)}
+}
+
+// Register binds name to value. Re-registering an existing name is an
+// error: interfaces are withdrawn explicitly on domain termination.
+func (ns *NameServer) Register(name string, value any) error {
+	if _, ok := ns.entries[name]; ok {
+		return fmt.Errorf("nameserver: %q already registered", name)
+	}
+	ns.entries[name] = value
+	return nil
+}
+
+// Lookup resolves name.
+func (ns *NameServer) Lookup(name string) (any, error) {
+	v, ok := ns.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return v, nil
+}
+
+// Unregister withdraws name; withdrawing an unknown name is a no-op.
+func (ns *NameServer) Unregister(name string) {
+	delete(ns.entries, name)
+}
+
+// Names lists the registered names in sorted order.
+func (ns *NameServer) Names() []string {
+	names := make([]string, 0, len(ns.entries))
+	for n := range ns.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

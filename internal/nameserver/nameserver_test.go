@@ -1,0 +1,41 @@
+package nameserver
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterLookupUnregister(t *testing.T) {
+	ns := New()
+	if err := ns.Register("fs", 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ns.Lookup("fs")
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Lookup = %v, %v", v, err)
+	}
+	if err := ns.Register("fs", 43); err == nil {
+		t.Error("duplicate registration allowed")
+	}
+	ns.Unregister("fs")
+	if _, err := ns.Lookup("fs"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup after unregister: %v", err)
+	}
+	ns.Unregister("fs") // idempotent
+}
+
+func TestNamesSorted(t *testing.T) {
+	ns := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := ns.Register(n, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := ns.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}

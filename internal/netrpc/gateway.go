@@ -1,0 +1,113 @@
+package netrpc
+
+import (
+	"fmt"
+	"strconv"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/sim"
+)
+
+// Gateway support: a remote server that is not a plain function table but
+// a real LRPC installation on another simulated machine sharing the same
+// event engine. An incoming network request is dequeued by a dispatcher
+// thread in the remote machine's network-daemon domain, which then makes a
+// local LRPC into the serving domain — the structure of section 5.1, where
+// a network RPC terminates in the same stubs a local call would use.
+//
+// Both machines must share one sim.Engine (a simulated world can hold any
+// number of machines).
+
+// remoteGateway is the network-side face of an exported remote interface.
+type remoteGateway struct {
+	name  string
+	queue *sim.Queue
+}
+
+type gatewayRequest struct {
+	proc int
+	args []byte
+	done *sim.Event
+	res  []byte
+	err  error
+}
+
+// RegisterGateway exposes an interface exported in rt (the remote
+// machine's LRPC runtime) to the network under its interface name.
+// workers dispatcher threads are spawned in daemon domain d on cpu; each
+// binds to the interface and serves queued requests through a local LRPC.
+func (n *Network) RegisterGateway(rt *core.Runtime, d *kernel.Domain, cpu *machine.Processor,
+	ifaceName string, workers int) error {
+	if _, ok := n.servers[ifaceName]; ok {
+		return fmt.Errorf("netrpc: server %q already registered", ifaceName)
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	gw := &remoteGateway{
+		name:  ifaceName,
+		queue: sim.NewQueue(rt.Kern.Eng, "gateway "+ifaceName, 0),
+	}
+	for i := 0; i < workers; i++ {
+		rt.Kern.Spawn(fmt.Sprintf("%s-dispatcher%d", ifaceName, i), d, cpu, func(t *kernel.Thread) {
+			t.P.SetDaemon(true)
+			cb, err := rt.Import(t, ifaceName)
+			if err != nil {
+				panic(fmt.Sprintf("netrpc: gateway bind: %v", err))
+			}
+			for {
+				req := gw.queue.Get(t.P).(*gatewayRequest)
+				// Server-side protocol processing, then the local LRPC
+				// into the serving domain on the caller's behalf.
+				t.CPU.Compute(t.P, n.Costs.ServerProcess)
+				req.res, req.err = cb.Call(t, req.proc, req.args)
+				req.done.Fire()
+			}
+		})
+	}
+	// The gateway is reachable through the ordinary server table; Call
+	// detects the gateway type.
+	n.servers[ifaceName] = &RemoteServer{Name: ifaceName, gateway: gw}
+	return nil
+}
+
+// callGateway ships one request across the simulated wire to the gateway
+// and waits for the dispatcher's reply.
+func (n *Network) callGateway(t *kernel.Thread, gw *remoteGateway, proc string, args []byte) ([]byte, error) {
+	procIdx, err := strconv.Atoi(proc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoProc, gw.name, proc)
+	}
+	p, cpu := t.P, t.CPU
+	c := n.Costs
+	wire := func(bytes int) sim.Duration {
+		return c.WireLatency + sim.Duration(int64(bytes)*c.WirePerBytePs/1000)
+	}
+
+	// Client-side stub/protocol and the request on the wire.
+	t.Charge(kernel.CompClientStub, cpu.Compute(p, c.StubAndProtocol))
+	t.Charge(kernel.CompKernel, cpu.Compute(p, wire(len(args))))
+
+	sent := make([]byte, len(args))
+	copy(sent, args)
+	req := &gatewayRequest{
+		proc: procIdx,
+		args: sent,
+		done: sim.NewEvent(t.P.Engine(), "netrpc reply"),
+	}
+	gw.queue.Put(p, req)
+	req.done.Wait(p) // the calling thread blocks awaiting the reply
+
+	// Reply on the wire, client-side unmarshal.
+	t.Charge(kernel.CompKernel, cpu.Compute(p, wire(len(req.res))))
+	t.Charge(kernel.CompClientStub, cpu.Compute(p, c.StubAndProtocol))
+	n.Calls++
+	if req.err != nil {
+		return nil, fmt.Errorf("netrpc: remote %s: %w", gw.name, req.err)
+	}
+	out := make([]byte, len(req.res))
+	copy(out, req.res)
+	return out, nil
+}

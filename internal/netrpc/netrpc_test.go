@@ -1,0 +1,179 @@
+package netrpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lrpc/internal/core"
+	"lrpc/internal/kernel"
+	"lrpc/internal/machine"
+	"lrpc/internal/nameserver"
+	"lrpc/internal/sim"
+)
+
+func newRig() (*sim.Engine, *machine.Machine, *kernel.Kernel, *core.Runtime, *kernel.Domain) {
+	eng := sim.New()
+	mach := machine.New(eng, machine.CVAXFirefly(), 1)
+	kern := kernel.New(mach, 21)
+	rt := core.NewRuntime(kern, nameserver.New())
+	client := kern.NewDomain("client", kernel.DomainConfig{})
+	return eng, mach, kern, rt, client
+}
+
+func TestRemoteCallRoundTrip(t *testing.T) {
+	eng, mach, kern, rt, client := newRig()
+	net := New()
+	rt.Remote = net
+	if err := net.Register(&RemoteServer{
+		Name: "fileserver",
+		Procs: map[string]func([]byte) []byte{
+			"0": func(args []byte) []byte {
+				out := make([]byte, len(args))
+				copy(out, args)
+				return out
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := rt.ImportRemote(th, "fileserver")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !cb.BO.Remote {
+			t.Error("remote binding lacks remote bit")
+		}
+		payload := bytes.Repeat([]byte{9}, 64)
+		start := th.P.Now()
+		res, err := cb.Call(th, 0, payload)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(res, payload) {
+			t.Error("remote echo corrupted payload")
+		}
+		// A cross-machine call is on the order of milliseconds — far
+		// slower than even a slow cross-domain call (section 2.1).
+		if d := th.P.Now().Sub(start); d < 2*sim.Millisecond || d > 4*sim.Millisecond {
+			t.Errorf("remote call took %v, want a few milliseconds", d)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Calls != 1 {
+		t.Errorf("network saw %d calls, want 1", net.Calls)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	eng, mach, kern, rt, client := newRig()
+	net := New()
+	rt.Remote = net
+	if err := net.Register(&RemoteServer{Name: "svc", Procs: map[string]func([]byte) []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(&RemoteServer{Name: "svc"}); err == nil {
+		t.Error("duplicate registration allowed")
+	}
+	kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+		cb, err := rt.ImportRemote(th, "nowhere")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cb.Call(th, 0, nil); !errors.Is(err, ErrNoServer) {
+			t.Errorf("err = %v, want ErrNoServer", err)
+		}
+		cb2, err := rt.ImportRemote(th, "svc")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cb2.Call(th, 0, nil); !errors.Is(err, ErrNoProc) {
+			t.Errorf("err = %v, want ErrNoProc", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportRemoteRequiresTransport: without a configured remote caller,
+// remote import fails cleanly.
+func TestImportRemoteRequiresTransport(t *testing.T) {
+	eng, mach, kern, rt, client := newRig()
+	kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+		if _, err := rt.ImportRemote(th, "x"); !errors.Is(err, core.ErrNotRemote) {
+			t.Errorf("err = %v, want ErrNotRemote", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransparency: the same client code path (ClientBinding.Call) serves
+// local and remote bindings; the remote branch happens at the first
+// instruction of the stub, and local calls stay an order of magnitude
+// faster.
+func TestTransparency(t *testing.T) {
+	eng, mach, kern, rt, client := newRig()
+	server := kern.NewDomain("server", kernel.DomainConfig{Footprint: kernel.DefaultServerFootprint})
+	net := New()
+	rt.Remote = net
+	echo := func(args []byte) []byte {
+		out := make([]byte, len(args))
+		copy(out, args)
+		return out
+	}
+	if err := net.Register(&RemoteServer{Name: "echo-remote",
+		Procs: map[string]func([]byte) []byte{"0": echo}}); err != nil {
+		t.Fatal(err)
+	}
+	iface := &core.Interface{Name: "echo-local", Procs: []core.Proc{{
+		Name: "Echo", ArgValues: 1, ArgBytes: 64, ResValues: 1, ResBytes: 64,
+		Handler: func(c *core.ServerCall) { copy(c.ResultsBuf(len(c.Args())), c.Args()) },
+	}}}
+	if _, err := rt.Export(server, iface); err != nil {
+		t.Fatal(err)
+	}
+	kern.Spawn("caller", client, mach.CPUs[0], func(th *kernel.Thread) {
+		local, err := rt.Import(th, "echo-local")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		remote, err := rt.ImportRemote(th, "echo-remote")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		payload := bytes.Repeat([]byte{1}, 64)
+
+		start := th.P.Now()
+		if _, err := local.Call(th, 0, payload); err != nil {
+			t.Error(err)
+			return
+		}
+		localTime := th.P.Now().Sub(start)
+
+		start = th.P.Now()
+		if _, err := remote.Call(th, 0, payload); err != nil {
+			t.Error(err)
+			return
+		}
+		remoteTime := th.P.Now().Sub(start)
+
+		if remoteTime < 10*localTime {
+			t.Errorf("remote %v vs local %v: want >= 10x gap", remoteTime, localTime)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

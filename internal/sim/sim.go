@@ -1,0 +1,361 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for the simulated Firefly multiprocessor on
+// which every latency and throughput experiment in this repository runs.
+// Simulated activities (threads, processors, workload sources) are
+// processes: ordinary Go functions running on their own goroutine, but
+// interleaved cooperatively so that exactly one process executes at a time
+// and simulated time advances only at explicit Sleep/blocking points. Runs
+// are fully deterministic: events at equal times fire in FIFO order of
+// scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is an absolute simulated time in nanoseconds since the start of the
+// run. Nanosecond resolution is sufficient for every cost in the paper's
+// tables (the finest is the 0.9 microsecond TLB miss).
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Microseconds reports d as a floating point number of microseconds, the
+// unit used throughout the paper.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds reports d as a floating point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Microseconds()) }
+
+// Microseconds reports t as a floating point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders t in microseconds.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
+
+// Seconds reports t as a floating point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled resumption of a process or an engine-context
+// callback.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break among equal times
+	proc *Proc  // resume this process, or
+	fn   func() // run this callback in engine context
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Engine owns simulated time and the event queue. Create one with New,
+// spawn processes with Spawn, then call Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yielded chan struct{} // handshake: a resumed process signals here when it blocks or exits
+	running bool
+	stopped bool
+	live    int // processes started and not yet finished
+	parked  map[*Proc]string
+	procs   []*Proc
+	events  uint64 // total events dispatched (for tests and stats)
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{
+		yielded: make(chan struct{}),
+		parked:  make(map[*Proc]string),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events dispatched so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+// Proc is a simulated process. All Proc methods must be called from within
+// the process's own function, never from engine context or another process.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	done     bool
+	daemon   bool
+	shutdown bool
+}
+
+// shutdownSignal unwinds a process goroutine during Engine.Shutdown; the
+// spawn wrapper recovers it.
+type shutdownSignal struct{}
+
+// SetDaemon marks the process as a daemon: a service process (a clerk, an
+// idle loop) that legitimately parks forever. Daemons parked at the end of
+// a run do not count as a deadlock.
+func (p *Proc) SetDaemon(v bool) { p.daemon = v }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns p.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that will begin executing fn at the current
+// simulated time (after already-queued events at this time).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.start(p, e.now, fn)
+	return p
+}
+
+// SpawnAt is like Spawn but the process begins at time t (which must not be
+// in the past).
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", t, e.now))
+	}
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.start(p, t, fn)
+	return p
+}
+
+// start launches the process goroutine and schedules its first resumption.
+func (e *Engine) start(p *Proc, at Time, fn func(p *Proc)) {
+	e.live++
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(shutdownSignal); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.live--
+			e.yielded <- struct{}{}
+		}()
+		<-p.resume // wait to be scheduled for the first time
+		if p.shutdown {
+			panic(shutdownSignal{})
+		}
+		fn(p)
+	}()
+	e.schedule(at, p)
+}
+
+// Shutdown unwinds every process goroutine that has not finished —
+// parked daemons, deadlocked processes, processes with queued events —
+// and clears the event queue. Call it after the final Run to release
+// resources in long-lived programs; the engine must not be running. The
+// engine is unusable afterwards.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown during Run")
+	}
+	e.queue = nil
+	e.parked = make(map[*Proc]string)
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.shutdown = true
+		p.resume <- struct{}{}
+		<-e.yielded
+	}
+	e.procs = nil
+}
+
+// At schedules fn to run in engine context at time t.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) in the past (now %v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// schedule queues a resumption of p at time t.
+func (e *Engine) schedule(t Time, p *Proc) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, proc: p})
+}
+
+// block transfers control from the running process back to the engine and
+// waits to be resumed. The process must already have arranged to be
+// rescheduled (via the event queue or a synchronization object's wait
+// list); otherwise the run deadlocks and Run reports it.
+func (p *Proc) block() {
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+	if p.shutdown {
+		panic(shutdownSignal{})
+	}
+}
+
+// Sleep advances the process's local timeline by d. Other processes run in
+// the meantime. A non-positive d yields without advancing time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep(%v) negative", d))
+	}
+	p.eng.schedule(p.eng.now.Add(d), p)
+	p.block()
+}
+
+// Yield reschedules the process at the current time, behind any events
+// already queued for this instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// park blocks the process without scheduling a resumption; some other
+// process or callback must later unpark it. why is recorded for deadlock
+// diagnostics.
+func (p *Proc) park(why string) {
+	p.eng.parked[p] = why
+	p.block()
+}
+
+// unpark schedules a parked process to resume at the current time.
+func (e *Engine) unpark(p *Proc) {
+	if _, ok := e.parked[p]; !ok {
+		panic("sim: unpark of process that is not parked")
+	}
+	delete(e.parked, p)
+	e.schedule(e.now, p)
+}
+
+// Stop makes Run return after the current event completes. It may be called
+// from a process or an engine callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the queue is empty, Stop is called, or no
+// runnable events remain while processes are still parked (a deadlock). It
+// returns an error describing the deadlock in the latter case.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			if e.nonDaemonParked() > 0 {
+				return e.deadlockError()
+			}
+			return nil
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.events++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.proc.resume <- struct{}{}
+		<-e.yielded
+	}
+	e.stopped = false
+	return nil
+}
+
+// RunUntil dispatches events with time at most t, then returns. Events
+// scheduled after t remain queued. Returns a deadlock error under the same
+// conditions as Run.
+func (e *Engine) RunUntil(t Time) error {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			if e.nonDaemonParked() > 0 {
+				return e.deadlockError()
+			}
+			return nil
+		}
+		if e.queue.peek().at > t {
+			e.now = t
+			return nil
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.events++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.proc.resume <- struct{}{}
+		<-e.yielded
+	}
+	e.stopped = false
+	return nil
+}
+
+func (e *Engine) nonDaemonParked() int {
+	n := 0
+	for p := range e.parked {
+		if !p.daemon {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) deadlockError() error {
+	names := make([]string, 0, len(e.parked))
+	for p, why := range e.parked {
+		if p.daemon {
+			continue
+		}
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at %v: %d parked process(es): %v", e.now, len(names), names)
+}

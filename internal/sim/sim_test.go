@@ -1,0 +1,605 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := New()
+	var at Time
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(5*Microsecond) {
+		t.Fatalf("woke at %v, want 5us", at)
+	}
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("engine at %v, want 5us", e.Now())
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(7 * Microsecond)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: order %v", order)
+		}
+	}
+}
+
+func TestAtCallback(t *testing.T) {
+	e := New()
+	var fired Time = -1
+	e.At(Time(3*Microsecond), func() { fired = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != Time(3*Microsecond) {
+		t.Fatalf("callback at %v, want 3us", fired)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := New()
+	var reached []Time
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(10 * Microsecond)
+			reached = append(reached, p.Now())
+		}
+	})
+	if err := e.RunUntil(Time(35 * Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(reached) != 3 {
+		t.Fatalf("got %d ticks by 35us, want 3", len(reached))
+	}
+	if e.Now() != Time(35*Microsecond) {
+		t.Fatalf("engine at %v, want clamp to 35us", e.Now())
+	}
+	// Resume the same run to completion.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(reached) != 10 {
+		t.Fatalf("got %d ticks total, want 10", len(reached))
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	m := NewMutex(e, "m")
+	c := NewCond(m)
+	e.Spawn("waiter", func(p *Proc) {
+		m.Lock(p)
+		c.Wait(p) // nobody will ever signal
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	n := 0
+	e.Spawn("loop", func(p *Proc) {
+		for {
+			p.Sleep(Microsecond)
+			n++
+			if n == 5 {
+				e.Stop()
+			}
+			if n > 5 {
+				t.Error("ran past Stop")
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+}
+
+func TestMutexMutualExclusionAndFIFO(t *testing.T) {
+	e := New()
+	m := NewMutex(e, "m")
+	var order []int
+	inside := 0
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Duration(i) * Nanosecond) // stagger arrival: p0 first
+			m.Lock(p)
+			inside++
+			if inside != 1 {
+				t.Error("mutual exclusion violated")
+			}
+			p.Sleep(10 * Microsecond)
+			inside--
+			order = append(order, i)
+			m.Unlock(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("lock handoff not FIFO: %v", order)
+		}
+	}
+	if m.Acquisitions != 5 || m.Contended != 4 {
+		t.Fatalf("acquisitions=%d contended=%d, want 5/4", m.Acquisitions, m.Contended)
+	}
+	if m.TotalHold != 50*Microsecond {
+		t.Fatalf("TotalHold=%v, want 50us", m.TotalHold)
+	}
+	// Waits: p1 waits ~10us, p2 ~20us, p3 ~30us, p4 ~40us (minus ns stagger).
+	if m.TotalWait < 99*Microsecond || m.TotalWait > 100*Microsecond {
+		t.Fatalf("TotalWait=%v, want about 100us", m.TotalWait)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	e := New()
+	m := NewMutex(e, "m")
+	c := NewCond(m)
+	ready := 0
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			m.Lock(p)
+			ready++
+			for ready != -1 {
+				c.Wait(p)
+			}
+			woken++
+			m.Unlock(p)
+		})
+	}
+	e.Spawn("signaler", func(p *Proc) {
+		p.Sleep(Microsecond)
+		m.Lock(p)
+		if ready != 3 {
+			t.Errorf("ready = %d, want 3", ready)
+		}
+		ready = -1
+		m.Unlock(p)
+		c.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestQueueBlockingAndBounds(t *testing.T) {
+	e := New()
+	q := NewQueue(e, "q", 2)
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			q.Put(p, i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			p.Sleep(Microsecond)
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("queue order %v", got)
+		}
+	}
+	if q.MaxDepth > 2 {
+		t.Fatalf("queue exceeded capacity: depth %d", q.MaxDepth)
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	e := New()
+	q := NewQueue(e, "q", 0)
+	var gotAt Time
+	e.Spawn("consumer", func(p *Proc) {
+		v := q.Get(p)
+		gotAt = p.Now()
+		if v.(string) != "x" {
+			t.Errorf("got %v", v)
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(9 * Microsecond)
+		q.Put(p, "x")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != Time(9*Microsecond) {
+		t.Fatalf("consumer resumed at %v, want 9us", gotAt)
+	}
+}
+
+func TestEventBeforeAndAfterFire(t *testing.T) {
+	e := New()
+	ev := NewEvent(e, "ev")
+	var early, late Time
+	e.Spawn("early", func(p *Proc) {
+		ev.Wait(p)
+		early = p.Now()
+	})
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(4 * Microsecond)
+		ev.Fire()
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Sleep(8 * Microsecond)
+		ev.Wait(p) // already fired: returns immediately
+		late = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early != Time(4*Microsecond) {
+		t.Fatalf("early waiter woke at %v, want 4us", early)
+	}
+	if late != Time(8*Microsecond) {
+		t.Fatalf("late waiter woke at %v, want 8us", late)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	e := New()
+	s := NewSemaphore(e, "s", 2)
+	concurrent, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			s.Acquire(p)
+			concurrent++
+			if concurrent > peak {
+				peak = concurrent
+			}
+			p.Sleep(5 * Microsecond)
+			concurrent--
+			s.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak != 2 {
+		t.Fatalf("peak concurrency %d, want 2", peak)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("final count %d, want 2", s.Count())
+	}
+}
+
+// TestPropertyTimeMonotonic drives a randomized schedule of sleeps across
+// many processes and checks that every process observes non-decreasing time
+// and that each sleep lasts exactly its requested duration.
+func TestPropertyTimeMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		ok := true
+		for i := 0; i < 8; i++ {
+			n := 5 + rng.Intn(20)
+			durs := make([]Duration, n)
+			for j := range durs {
+				durs[j] = Duration(rng.Intn(1000)) * Nanosecond
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				last := p.Now()
+				for _, d := range durs {
+					before := p.Now()
+					p.Sleep(d)
+					if p.Now() != before.Add(d) || p.Now() < last {
+						ok = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyQueueFIFO checks that any interleaving of producers and a
+// single consumer preserves per-producer FIFO order.
+func TestPropertyQueueFIFO(t *testing.T) {
+	type item struct{ producer, seq int }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		q := NewQueue(e, "q", 1+rng.Intn(4))
+		producers := 2 + rng.Intn(3)
+		perProducer := 5 + rng.Intn(10)
+		for i := 0; i < producers; i++ {
+			i := i
+			delay := Duration(rng.Intn(100)) * Nanosecond
+			e.Spawn(fmt.Sprintf("prod%d", i), func(p *Proc) {
+				for s := 0; s < perProducer; s++ {
+					p.Sleep(delay)
+					q.Put(p, item{i, s})
+				}
+			})
+		}
+		ok := true
+		e.Spawn("cons", func(p *Proc) {
+			lastSeq := make([]int, producers)
+			for i := range lastSeq {
+				lastSeq[i] = -1
+			}
+			for n := 0; n < producers*perProducer; n++ {
+				it := q.Get(p).(item)
+				if it.seq != lastSeq[it.producer]+1 {
+					ok = false
+				}
+				lastSeq[it.producer] = it.seq
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism runs the same randomized workload twice and checks the
+// engines dispatch identical event counts and finish at identical times.
+func TestDeterminism(t *testing.T) {
+	run := func() (Time, uint64) {
+		e := New()
+		m := NewMutex(e, "m")
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 10; i++ {
+			hold := Duration(rng.Intn(5000)) * Nanosecond
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 50; j++ {
+					m.Lock(p)
+					p.Sleep(hold)
+					m.Unlock(p)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Events()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 || n1 != n2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", t1, n1, t2, n2)
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := New()
+	var started Time
+	e.SpawnAt(Time(11*Microsecond), "late", func(p *Proc) { started = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started != Time(11*Microsecond) {
+		t.Fatalf("started at %v, want 11us", started)
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	if s := (1500 * Nanosecond).String(); s != "1.500us" {
+		t.Fatalf("got %q", s)
+	}
+	if us := (2 * Millisecond).Microseconds(); us != 2000 {
+		t.Fatalf("got %v", us)
+	}
+	if s := Time(3 * Second).Seconds(); s != 3 {
+		t.Fatalf("got %v", s)
+	}
+}
+
+// TestDaemonProcessesDoNotDeadlock: a parked daemon (a clerk-style service
+// loop) does not count as a deadlock at end of run, but a parked regular
+// process does.
+func TestDaemonProcessesDoNotDeadlock(t *testing.T) {
+	e := New()
+	q := NewQueue(e, "svc", 0)
+	served := 0
+	e.Spawn("daemon", func(p *Proc) {
+		p.SetDaemon(true)
+		for {
+			q.Get(p)
+			served++
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		p.Sleep(Microsecond)
+		q.Put(p, 1)
+		q.Put(p, 2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("daemon counted as deadlock: %v", err)
+	}
+	if served != 2 {
+		t.Fatalf("served = %d, want 2", served)
+	}
+	// A non-daemon parked process still reports.
+	e2 := New()
+	q2 := NewQueue(e2, "q", 0)
+	e2.Spawn("stuck", func(p *Proc) { q2.Get(p) })
+	if err := e2.Run(); err == nil {
+		t.Fatal("non-daemon park not reported as deadlock")
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := New()
+	q := NewQueue(e, "q", 0)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	e.Spawn("p", func(p *Proc) {
+		q.Put(p, "v")
+		item, ok := q.TryGet()
+		if !ok || item.(string) != "v" {
+			t.Errorf("TryGet = %v, %v", item, ok)
+		}
+		if q.Len() != 0 {
+			t.Errorf("Len = %d after TryGet", q.Len())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := New()
+	s := NewSemaphore(e, "s", 1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire on count 1 failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire on count 0 succeeded")
+	}
+	s.Release()
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	e := New()
+	e.Spawn("p", func(p *Proc) { p.Sleep(10 * Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past did not panic")
+		}
+	}()
+	e.At(Time(5*Microsecond), func() {})
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := New()
+	panicked := false
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Error("negative Sleep did not panic")
+	}
+}
+
+// TestShutdownReleasesGoroutines: Shutdown unwinds parked daemons,
+// deadlocked processes, and processes with queued events; their deferred
+// functions run.
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	e := New()
+	q := NewQueue(e, "q", 0)
+	unwound := 0
+	e.Spawn("daemon", func(p *Proc) {
+		p.SetDaemon(true)
+		defer func() { unwound++ }()
+		for {
+			q.Get(p)
+		}
+	})
+	e.Spawn("sleeper", func(p *Proc) {
+		defer func() { unwound++ }()
+		p.Sleep(Second) // still queued when we stop early
+	})
+	e.Spawn("worker", func(p *Proc) {
+		defer func() { unwound++ }()
+		p.Sleep(Microsecond)
+	})
+	if err := e.RunUntil(Time(10 * Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if unwound != 3 {
+		t.Fatalf("unwound = %d, want 3 (worker finished normally, daemon and sleeper unwound)", unwound)
+	}
+}
+
+// TestShutdownIdempotentOnFinished: shutting down an engine whose
+// processes all completed is a no-op.
+func TestShutdownIdempotentOnFinished(t *testing.T) {
+	e := New()
+	e.Spawn("p", func(p *Proc) { p.Sleep(Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	e.Shutdown()
+}

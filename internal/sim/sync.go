@@ -1,0 +1,280 @@
+package sim
+
+import "fmt"
+
+// Mutex is a simulated mutual-exclusion lock with FIFO handoff to waiters.
+// It records hold and wait times so experiments can report lock contention
+// (the paper's Figure 2 turns on exactly this: SRC RPC's global transfer
+// lock versus LRPC's per-A-stack-queue locks).
+type Mutex struct {
+	eng        *Engine
+	name       string
+	owner      *Proc
+	waiters    []*Proc
+	acquiredAt Time
+
+	// Stats, readable at any point during or after a run.
+	Acquisitions uint64
+	Contended    uint64   // acquisitions that had to wait
+	TotalHold    Duration // total time the lock was held
+	TotalWait    Duration // total time spent waiting for the lock
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(e *Engine, name string) *Mutex {
+	return &Mutex{eng: e, name: name}
+}
+
+// Lock acquires m, blocking the calling process in FIFO order behind other
+// waiters. Lock consumes no simulated time when uncontended.
+func (m *Mutex) Lock(p *Proc) {
+	if m.owner == p {
+		panic(fmt.Sprintf("sim: %s: recursive Lock by %s", m.name, p.name))
+	}
+	m.Acquisitions++
+	if m.owner == nil {
+		m.owner = p
+		m.acquiredAt = m.eng.now
+		return
+	}
+	m.Contended++
+	start := m.eng.now
+	m.waiters = append(m.waiters, p)
+	p.park("Lock " + m.name)
+	// Ownership was handed to us by Unlock before we were resumed.
+	if m.owner != p {
+		panic(fmt.Sprintf("sim: %s: resumed waiter %s does not own lock", m.name, p.name))
+	}
+	m.TotalWait += m.eng.now.Sub(start)
+}
+
+// Unlock releases m, handing it directly to the longest-waiting process if
+// any.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic(fmt.Sprintf("sim: %s: Unlock by non-owner %s", m.name, p.name))
+	}
+	m.TotalHold += m.eng.now.Sub(m.acquiredAt)
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.owner = next
+	m.acquiredAt = m.eng.now
+	m.eng.unpark(next)
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Cond is a condition variable associated with a Mutex.
+type Cond struct {
+	M       *Mutex
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable using m.
+func NewCond(m *Mutex) *Cond { return &Cond{M: m} }
+
+// Wait atomically releases the mutex and blocks until Signal or Broadcast,
+// then reacquires the mutex before returning. As with sync.Cond, callers
+// must re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	c.M.Unlock(p)
+	p.park("Cond.Wait " + c.M.name)
+	c.M.Lock(p)
+}
+
+// Signal wakes the longest-waiting process, if any. The caller need not
+// hold the mutex (matching sync.Cond).
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.M.eng.unpark(p)
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.M.eng.unpark(p)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Queue is a bounded FIFO of arbitrary items with blocking Put and Get —
+// the simulated analog of a buffered channel, used for message queues in
+// the message-passing RPC baseline. A capacity of 0 means unbounded.
+type Queue struct {
+	eng     *Engine
+	name    string
+	cap     int
+	items   []any
+	getters []*Proc
+	putters []*Proc
+
+	Puts uint64
+	Gets uint64
+	// MaxDepth is the high-water mark of queued items, a flow-control
+	// statistic.
+	MaxDepth int
+}
+
+// NewQueue returns an empty queue with the given capacity (0 = unbounded).
+func NewQueue(e *Engine, name string, capacity int) *Queue {
+	return &Queue{eng: e, name: name, cap: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends item, blocking while the queue is full.
+func (q *Queue) Put(p *Proc, item any) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		q.putters = append(q.putters, p)
+		p.park("Queue.Put " + q.name)
+	}
+	q.items = append(q.items, item)
+	q.Puts++
+	if len(q.items) > q.MaxDepth {
+		q.MaxDepth = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		copy(q.getters, q.getters[1:])
+		q.getters = q.getters[:len(q.getters)-1]
+		q.eng.unpark(g)
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.park("Queue.Get " + q.name)
+	}
+	item := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	q.Gets++
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		copy(q.putters, q.putters[1:])
+		q.putters = q.putters[:len(q.putters)-1]
+		q.eng.unpark(w)
+	}
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue) TryGet() (item any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	q.Gets++
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		copy(q.putters, q.putters[1:])
+		q.putters = q.putters[:len(q.putters)-1]
+		q.eng.unpark(w)
+	}
+	return item, true
+}
+
+// Event is a one-shot level-triggered signal: processes that Wait before
+// Fire block until Fire; Waits after Fire return immediately.
+type Event struct {
+	eng     *Engine
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event.
+func NewEvent(e *Engine, name string) *Event { return &Event{eng: e, name: name} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Wait blocks until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park("Event.Wait " + ev.name)
+}
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.eng.unpark(p)
+	}
+	ev.waiters = nil
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup.
+type Semaphore struct {
+	eng     *Engine
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(e *Engine, name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{eng: e, name: name, count: initial}
+}
+
+// Acquire decrements the count, blocking while it is zero.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count == 0 {
+		s.waiters = append(s.waiters, p)
+		p.park("Semaphore.Acquire " + s.name)
+	}
+	s.count--
+}
+
+// TryAcquire decrements the count if positive; it reports whether it did.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release increments the count and wakes one waiter if any.
+func (s *Semaphore) Release() {
+	s.count++
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		s.eng.unpark(p)
+	}
+}
+
+// Count returns the current count.
+func (s *Semaphore) Count() int { return s.count }

@@ -1,0 +1,159 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: fixed-width histograms with cumulative distributions (the
+// shape of Figure 1) and a few scalar summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin-width histogram over [0, Bins*Width); values at
+// or beyond the top land in an overflow bin.
+type Histogram struct {
+	Width int // bin width
+	Bins  int // number of regular bins
+
+	counts   []uint64
+	overflow uint64
+	total    uint64
+	sum      float64
+	max      float64
+}
+
+// NewHistogram returns a histogram with the given bin width and count.
+func NewHistogram(width, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("stats: histogram needs positive width and bins")
+	}
+	return &Histogram{Width: width, Bins: bins, counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		panic("stats: negative observation")
+	}
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	bin := int(v) / h.Width
+	if bin >= h.Bins {
+		h.overflow++
+		return
+	}
+	h.counts[bin]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Count returns the count in bin i (the overflow bin is not included).
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Overflow returns the count beyond the last bin.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// CumulativeBelow returns the fraction of observations strictly below x
+// (rounded down to a bin boundary).
+func (h *Histogram) CumulativeBelow(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	bin := int(x) / h.Width
+	var n uint64
+	for i := 0; i < bin && i < h.Bins; i++ {
+		n += h.counts[i]
+	}
+	return float64(n) / float64(h.total)
+}
+
+// ModeBin returns the lower bound of the most populated bin.
+func (h *Histogram) ModeBin() int {
+	best, bestCount := 0, uint64(0)
+	for i, c := range h.counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best * h.Width
+}
+
+// ASCII renders the histogram with a cumulative-distribution column, the
+// presentation of Figure 1.
+func (h *Histogram) ASCII(barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 50
+	}
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var b strings.Builder
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		bar := int(uint64(barWidth) * c / peak)
+		fmt.Fprintf(&b, "%5d-%5d %8d |%-*s| %5.1f%%\n",
+			i*h.Width, (i+1)*h.Width, c, barWidth, strings.Repeat("#", bar),
+			100*float64(cum)/float64(h.total))
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "   >= %5d %8d\n", h.Bins*h.Width, h.overflow)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0-100) of the given sample.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of the sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 5) // bins [0,10) ... [40,50), overflow >= 50
+	for _, v := range []float64{0, 5, 9.9, 15, 25, 25, 49, 60, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 3 || h.Count(1) != 1 || h.Count(2) != 2 || h.Count(4) != 1 {
+		t.Errorf("counts: %d %d %d %d", h.Count(0), h.Count(1), h.Count(2), h.Count(4))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.ModeBin() != 0 {
+		t.Errorf("ModeBin = %d, want 0", h.ModeBin())
+	}
+	if got := h.CumulativeBelow(20); math.Abs(got-4.0/9) > 1e-9 {
+		t.Errorf("CumulativeBelow(20) = %v", got)
+	}
+	if got := h.Mean(); math.Abs(got-(0+5+9.9+15+25+25+49+60+100)/9) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram(50, 4)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i * 20))
+	}
+	h.Add(500) // overflow
+	out := h.ASCII(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "%") {
+		t.Errorf("ASCII output lacks bars/percentages:\n%s", out)
+	}
+	if !strings.Contains(out, ">=") {
+		t.Errorf("ASCII output lacks overflow row:\n%s", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative observation accepted")
+		}
+	}()
+	NewHistogram(10, 10).Add(-1)
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("percentile of empty sample not NaN")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty sample not NaN")
+	}
+	one := []float64{7}
+	for _, p := range []float64{0, 50, 100} {
+		if Percentile(one, p) != 7 {
+			t.Errorf("p%.0f of singleton = %v", p, Percentile(one, p))
+		}
+	}
+	s := []float64{4, 1, 3, 2} // unsorted input must not be mutated
+	if got := Percentile(s, 100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if s[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}

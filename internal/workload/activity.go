@@ -1,0 +1,184 @@
+// Package workload provides the synthetic workload models behind Table 1
+// (frequency of cross-machine activity in V, Taos and UNIX+NFS) and
+// Figure 1 (the size distribution of cross-domain calls in Taos).
+//
+// The paper measured live systems; this reproduction substitutes
+// generative models whose structural parameters come from the paper's own
+// description of each system (DESIGN.md section 2). The models produce
+// operation streams; the measurement harness classifies each operation as
+// local, cross-domain or cross-machine and reports the Table 1 column.
+package workload
+
+import "math/rand"
+
+// OpClass classifies one operating-system operation.
+type OpClass int
+
+// Operation classes.
+const (
+	// LocalOp stays within the issuing domain (e.g. a UNIX syscall
+	// handled entirely in the monolithic kernel).
+	LocalOp OpClass = iota
+	// CrossDomainOp crosses a protection boundary on the same machine.
+	CrossDomainOp
+	// CrossMachineOp crosses a machine boundary.
+	CrossMachineOp
+)
+
+// OpKind is one kind of operation an application issues, with its share of
+// the operation mix and its routing probabilities.
+type OpKind struct {
+	Name   string
+	Weight float64 // share of the operation mix
+
+	// CrossDomain is the probability that the operation leaves the
+	// issuing domain at all (in a decomposed system this is near 1; in a
+	// monolithic kernel it is near 0).
+	CrossDomain float64
+
+	// RemoteGivenCross is the probability that an operation that crossed
+	// a protection boundary must also cross a machine boundary (a file
+	// cache miss to a remote server, a genuinely remote service).
+	RemoteGivenCross float64
+}
+
+// ActivityModel is a system's operation mix.
+type ActivityModel struct {
+	System string
+	// Note documents the provenance of the parameters.
+	Note string
+	Mix  []OpKind
+}
+
+// ActivityResult is the measured classification of a generated stream.
+type ActivityResult struct {
+	System       string
+	Total        uint64
+	Local        uint64
+	CrossDomain  uint64 // cross-domain but same machine
+	CrossMachine uint64
+	ByKind       map[string]uint64
+}
+
+// PercentCrossMachine returns Table 1's column: the percentage of
+// operations that cross machine boundaries.
+func (r *ActivityResult) PercentCrossMachine() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.CrossMachine) / float64(r.Total)
+}
+
+// PercentCrossDomain returns the percentage of operations that cross a
+// protection boundary without leaving the machine.
+func (r *ActivityResult) PercentCrossDomain() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.CrossDomain) / float64(r.Total)
+}
+
+// Run generates n operations and classifies them.
+func (m *ActivityModel) Run(rng *rand.Rand, n int) *ActivityResult {
+	var totalWeight float64
+	for _, k := range m.Mix {
+		totalWeight += k.Weight
+	}
+	res := &ActivityResult{System: m.System, ByKind: make(map[string]uint64)}
+	for i := 0; i < n; i++ {
+		// Pick an operation kind by weight.
+		x := rng.Float64() * totalWeight
+		var kind *OpKind
+		for j := range m.Mix {
+			if x < m.Mix[j].Weight {
+				kind = &m.Mix[j]
+				break
+			}
+			x -= m.Mix[j].Weight
+		}
+		if kind == nil {
+			kind = &m.Mix[len(m.Mix)-1]
+		}
+		res.Total++
+		res.ByKind[kind.Name]++
+		if rng.Float64() >= kind.CrossDomain {
+			res.Local++
+			continue
+		}
+		if rng.Float64() < kind.RemoteGivenCross {
+			res.CrossMachine++
+		} else {
+			res.CrossDomain++
+		}
+	}
+	return res
+}
+
+// VModel returns the activity model for the V system: "a highly decomposed
+// system [where] only the basic message primitives are accessed directly
+// through kernel traps. All other system functions are accessed by sending
+// messages to the appropriate server" — so essentially every operation
+// crosses a protection boundary, and Williamson measured 97% of calls
+// crossing protection but not machine boundaries.
+func VModel() *ActivityModel {
+	return &ActivityModel{
+		System: "V",
+		Note: "every system function is a message to a server (CrossDomain~1); " +
+			"remote access concentrated in file and network service",
+		Mix: []OpKind{
+			{Name: "process/ipc management", Weight: 0.35, CrossDomain: 1.0, RemoteGivenCross: 0},
+			{Name: "name/time/misc service", Weight: 0.25, CrossDomain: 1.0, RemoteGivenCross: 0.004},
+			{Name: "file service", Weight: 0.30, CrossDomain: 1.0, RemoteGivenCross: 0.08},
+			{Name: "network service", Weight: 0.10, CrossDomain: 1.0, RemoteGivenCross: 0.05},
+		},
+	}
+}
+
+// TaosModel returns the activity model for Taos: a medium privileged
+// kernel plus one large system domain reached by RPC. The paper counted
+// 344,888 local RPCs against 18,366 network RPCs over five hours (5.3%
+// cross-machine); Taos does not cache remote files but keeps local files
+// on a small node disk.
+func TaosModel() *ActivityModel {
+	return &ActivityModel{
+		System: "Taos",
+		Note: "local RPC to the big system domain dominates; no remote-file " +
+			"cache, so remote file touches always cross the network",
+		Mix: []OpKind{
+			{Name: "domain/thread management", Weight: 0.20, CrossDomain: 1.0, RemoteGivenCross: 0},
+			{Name: "window system", Weight: 0.30, CrossDomain: 1.0, RemoteGivenCross: 0},
+			{Name: "local file system", Weight: 0.34, CrossDomain: 1.0, RemoteGivenCross: 0},
+			{Name: "remote file system", Weight: 0.08, CrossDomain: 1.0, RemoteGivenCross: 0.60},
+			{Name: "network protocols", Weight: 0.08, CrossDomain: 1.0, RemoteGivenCross: 0.06},
+		},
+	}
+}
+
+// UnixNFSModel returns the activity model for Sun UNIX+NFS on a diskless
+// Sun 3: over 100 million system calls in four days but fewer than one
+// million RPCs to file servers — "inexpensive system calls, encouraging
+// frequent kernel interaction, and file caching, eliminating many calls to
+// remote file servers".
+func UnixNFSModel() *ActivityModel {
+	return &ActivityModel{
+		System: "Sun UNIX+NFS",
+		Note: "monolithic kernel: syscalls are local (CrossDomain 0); only " +
+			"file-cache misses leave the machine",
+		Mix: []OpKind{
+			// Non-file syscalls never leave the kernel.
+			{Name: "process/signal/time syscalls", Weight: 0.55, CrossDomain: 0, RemoteGivenCross: 0},
+			// File syscalls hit the client cache; a miss goes to NFS.
+			// The "cross-domain" step here is the NFS RPC itself: in
+			// UNIX the miss goes straight to the wire, so
+			// RemoteGivenCross is 1.
+			{Name: "cached file syscalls", Weight: 0.4365, CrossDomain: 0, RemoteGivenCross: 0},
+			{Name: "file cache misses", Weight: 0.006, CrossDomain: 1.0, RemoteGivenCross: 1.0},
+			{Name: "name service", Weight: 0.0075, CrossDomain: 0.04, RemoteGivenCross: 1.0},
+		},
+	}
+}
+
+// Table1Models returns the three systems of Table 1 in presentation order.
+func Table1Models() []*ActivityModel {
+	return []*ActivityModel{VModel(), TaosModel(), UnixNFSModel()}
+}

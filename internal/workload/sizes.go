@@ -1,0 +1,291 @@
+package workload
+
+import "math/rand"
+
+// Figure 1 / section 2.2: the size and complexity of cross-domain calls in
+// Taos. The paper's census: 28 RPC services defining 366 procedures with
+// over 1000 parameters; in four days, 1,487,105 calls touched 112 distinct
+// procedures, with 95% of calls going to ten procedures and 75% to just
+// three. Four of five parameters were fixed-size; 65% were four bytes or
+// fewer; two thirds of procedures passed only fixed-size parameters; 60%
+// transferred 32 or fewer bytes. The most frequent calls moved under 50
+// bytes and the majority under 200; the largest single transfer was about
+// 1800 bytes.
+//
+// ProcPopulation generates a synthetic procedure census with those
+// published properties and a call stream over it.
+
+// Param describes one parameter of a procedure.
+type Param struct {
+	Fixed bool
+	Bytes int // fixed size, or the maximum for variable-size parameters
+}
+
+// Procedure is one procedure of the census.
+type Procedure struct {
+	Service  string
+	Name     string
+	Params   []Param
+	CallFreq float64 // share of dynamic calls (0 for never-called procedures)
+}
+
+// FixedOnly reports whether every parameter has fixed size.
+func (p *Procedure) FixedOnly() bool {
+	for _, pa := range p.Params {
+		if !pa.Fixed {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalFixedBytes returns the total bytes of a call assuming variable
+// parameters at their typical (quarter-max) size.
+func (p *Procedure) typicalBytes(rng *rand.Rand) int {
+	n := 0
+	for _, pa := range p.Params {
+		if pa.Fixed {
+			n += pa.Bytes
+		} else {
+			// Variable-size parameters: exponential-ish spread below the
+			// max, so repeated calls to one procedure vary.
+			n += 1 + rng.Intn(pa.Bytes)
+		}
+	}
+	return n
+}
+
+// MaxBytes returns the A-stack-relevant maximum transfer size.
+func (p *Procedure) MaxBytes() int {
+	n := 0
+	for _, pa := range p.Params {
+		n += pa.Bytes
+	}
+	return n
+}
+
+// Population is the synthetic Taos interface census.
+type Population struct {
+	Services   int
+	Procedures []*Procedure
+}
+
+// NewPopulation builds the census: 28 services, 366 procedures, just over
+// 1000 parameters, 112 of which are ever called, with the dynamic
+// frequency concentration of section 2.2.
+func NewPopulation(rng *rand.Rand) *Population {
+	pop := &Population{Services: 28}
+
+	// Dynamic frequency assignment over the 112 called procedures:
+	// top 3 carry 75% (30/25/20), the next 7 carry 20% to reach 95% at
+	// ten, and the remaining 102 share the last 5%.
+	freqs := make([]float64, 112)
+	freqs[0], freqs[1], freqs[2] = 0.30, 0.25, 0.20
+	for i := 3; i < 10; i++ {
+		freqs[i] = 0.20 / 7
+	}
+	for i := 10; i < 112; i++ {
+		freqs[i] = 0.05 / 102
+	}
+
+	// Size profiles. The three hot procedures move small fixed values
+	// (handles plus small value parameters — "byte copying was sufficient").
+	// The next tier sits in the 50-200 byte band; the tail spreads out to
+	// the ~1800-byte maximum.
+	mkFixed := func(sizes ...int) []Param {
+		ps := make([]Param, len(sizes))
+		for i, s := range sizes {
+			ps[i] = Param{Fixed: true, Bytes: s}
+		}
+		return ps
+	}
+
+	add := func(svc int, params []Param, freq float64) {
+		p := &Procedure{
+			Service:  svcName(svc),
+			Name:     procName(len(pop.Procedures)),
+			Params:   params,
+			CallFreq: freq,
+		}
+		pop.Procedures = append(pop.Procedures, p)
+	}
+
+	// The 112 called procedures. The three hot ones (75% of calls) need
+	// no marshaling — "byte copying was sufficient to transfer the data".
+	// Two move small handle-plus-value records (the sub-50-byte mode of
+	// Figure 1); the third carries a fixed record just over 200 bytes, so
+	// the cumulative curve passes 200 bytes at "a majority" rather than
+	// at nearly everything.
+	add(0, mkFixed(4, 4, 4, 4, 8), freqs[0])         // 24 bytes
+	add(0, mkFixed(4, 4, 16, 32, 46, 128), freqs[1]) // 230 bytes
+	add(1, mkFixed(4, 4, 4, 4, 4, 4, 8), freqs[2])   // 32 bytes
+	for i := 3; i < 10; i++ {
+		// The next seven (to 95% cumulative): a handle plus a variable
+		// buffer; the buffer maxima spread the band from under 100 bytes
+		// out toward 700, giving Figure 1 its tail.
+		buf := 80 + 103*(i-3) // 80..698
+		add(1+i%4, []Param{
+			{Fixed: true, Bytes: 4},
+			{Fixed: true, Bytes: 4},
+			{Fixed: false, Bytes: buf},
+		}, freqs[i])
+	}
+	// The remaining 102 called procedures (5% of calls): 30 carry
+	// variable buffers (12 of them large, out to the 1800-byte maximum of
+	// Figure 1), 60 are small fixed-only, 12 are larger fixed-only.
+	for i := 10; i < 112; i++ {
+		svc := i % 28
+		switch {
+		case i%10 < 3: // 30 procedures with variable parameters
+			maxBuf := 100 + (i*7)%300
+			if i%10 == 0 {
+				maxBuf = 400 + (i*16)%1392 // total max 1800 with the two handles
+			}
+			add(svc, []Param{
+				{Fixed: true, Bytes: 4},
+				{Fixed: true, Bytes: 4},
+				{Fixed: false, Bytes: maxBuf / 2},
+				{Fixed: false, Bytes: maxBuf - maxBuf/2},
+			}, freqs[i])
+		case i%10 < 9: // 60 small fixed-only procedures (<= 32 bytes)
+			k := 2
+			if i%2 == 0 {
+				k = 16
+			}
+			add(svc, mkFixed(4, 4, k), freqs[i])
+		default: // 12 larger fixed-only procedures
+			add(svc, mkFixed(4, 8, 16, 32), freqs[i])
+		}
+	}
+
+	// The 254 never-called procedures complete the static census of 366:
+	// 83 with variable parameters, 157 small fixed-only, 14 large
+	// fixed-only — proportions chosen so the census reproduces section
+	// 2.2's static facts (80% fixed parameters, 65% <= 4 bytes, 2/3
+	// fixed-only procedures, 60% <= 32 bytes).
+	for i := 112; i < 366; i++ {
+		svc := i % 28
+		j := i - 112
+		switch {
+		case j < 83:
+			add(svc, []Param{
+				{Fixed: true, Bytes: 4},
+				{Fixed: true, Bytes: 4},
+				{Fixed: false, Bytes: 32 + (i*11)%512},
+				{Fixed: false, Bytes: 16 + (i*5)%128},
+			}, 0)
+		case j < 83+157:
+			if j%2 == 0 {
+				add(svc, mkFixed(4, 4, 1+i%4), 0)
+			} else {
+				add(svc, mkFixed(4, 8, 1+i%4), 0)
+			}
+		default:
+			add(svc, mkFixed(4, 16, 32, 64), 0)
+		}
+	}
+	_ = rng
+	return pop
+}
+
+func svcName(i int) string  { return "svc" + string(rune('A'+i%26)) }
+func procName(i int) string { return "proc" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// StaticStats are the section 2.2 static census numbers.
+type StaticStats struct {
+	Services        int
+	Procedures      int
+	Parameters      int
+	FixedParams     int     // parameters of fixed size known at compile time
+	SmallParams     int     // parameters of four bytes or fewer
+	FixedOnlyProcs  int     // procedures passing only fixed-size parameters
+	Small32Procs    int     // procedures transferring 32 or fewer bytes
+	PctFixedParams  float64 // FixedParams / Parameters
+	PctSmallParams  float64
+	PctFixedOnly    float64
+	PctSmall32Procs float64
+}
+
+// Static computes the static census statistics.
+func (pop *Population) Static() StaticStats {
+	s := StaticStats{Services: pop.Services, Procedures: len(pop.Procedures)}
+	for _, p := range pop.Procedures {
+		for _, pa := range p.Params {
+			s.Parameters++
+			if pa.Fixed {
+				s.FixedParams++
+				if pa.Bytes <= 4 {
+					s.SmallParams++
+				}
+			}
+		}
+		if p.FixedOnly() {
+			s.FixedOnlyProcs++
+			if p.MaxBytes() <= 32 {
+				s.Small32Procs++
+			}
+		}
+	}
+	s.PctFixedParams = 100 * float64(s.FixedParams) / float64(s.Parameters)
+	s.PctSmallParams = 100 * float64(s.SmallParams) / float64(s.Parameters)
+	s.PctFixedOnly = 100 * float64(s.FixedOnlyProcs) / float64(s.Procedures)
+	s.PctSmall32Procs = 100 * float64(s.Small32Procs) / float64(s.Procedures)
+	return s
+}
+
+// CallSizes generates n dynamic calls and returns each call's total
+// argument/result bytes — the variable Figure 1 is a histogram of.
+func (pop *Population) CallSizes(rng *rand.Rand, n int) []int {
+	// Build the cumulative frequency table of called procedures.
+	var called []*Procedure
+	var cum []float64
+	total := 0.0
+	for _, p := range pop.Procedures {
+		if p.CallFreq > 0 {
+			called = append(called, p)
+			total += p.CallFreq
+			cum = append(cum, total)
+		}
+	}
+	sizes := make([]int, n)
+	for i := range sizes {
+		x := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		sizes[i] = called[lo].typicalBytes(rng)
+	}
+	return sizes
+}
+
+// DistinctCalled returns the number of procedures with nonzero call
+// frequency (the paper's 112).
+func (pop *Population) DistinctCalled() int {
+	n := 0
+	for _, p := range pop.Procedures {
+		if p.CallFreq > 0 {
+			n++
+		}
+	}
+	return n
+}

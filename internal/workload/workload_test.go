@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrpc/internal/stats"
+)
+
+// TestTable1Percentages: the three activity models must land on the
+// published cross-machine percentages — V 3%, Taos 5.3%, UNIX+NFS 0.6% —
+// within a third of a point at a million operations.
+func TestTable1Percentages(t *testing.T) {
+	cases := []struct {
+		model *ActivityModel
+		want  float64
+		tol   float64
+	}{
+		{VModel(), 3.0, 0.3},
+		{TaosModel(), 5.3, 0.3},
+		{UnixNFSModel(), 0.6, 0.15},
+	}
+	for _, c := range cases {
+		t.Run(c.model.System, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			res := c.model.Run(rng, 1_000_000)
+			got := res.PercentCrossMachine()
+			if got < c.want-c.tol || got > c.want+c.tol {
+				t.Errorf("%s cross-machine = %.2f%%, want %.1f%%", c.model.System, got, c.want)
+			}
+		})
+	}
+}
+
+// TestVMostlyCrossDomain: Williamson's V measurement — 97% of calls cross
+// protection but not machine boundaries.
+func TestVMostlyCrossDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res := VModel().Run(rng, 500_000)
+	if got := res.PercentCrossDomain(); got < 95 || got > 98.5 {
+		t.Errorf("V cross-domain (same machine) = %.1f%%, want about 97%%", got)
+	}
+}
+
+// TestUnixMostlyLocal: in the monolithic kernel nearly everything stays
+// local.
+func TestUnixMostlyLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res := UnixNFSModel().Run(rng, 500_000)
+	if frac := float64(res.Local) / float64(res.Total); frac < 0.98 {
+		t.Errorf("UNIX local fraction = %.3f, want > 0.98", frac)
+	}
+}
+
+func TestActivityCountsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, m := range Table1Models() {
+			res := m.Run(rng, 10_000)
+			if res.Local+res.CrossDomain+res.CrossMachine != res.Total {
+				return false
+			}
+			var byKind uint64
+			for _, n := range res.ByKind {
+				byKind += n
+			}
+			if byKind != res.Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPopulationStaticCensus: the synthetic census must reproduce the
+// static facts of section 2.2.
+func TestPopulationStaticCensus(t *testing.T) {
+	pop := NewPopulation(rand.New(rand.NewSource(4)))
+	s := pop.Static()
+	if s.Services != 28 {
+		t.Errorf("services = %d, want 28", s.Services)
+	}
+	if s.Procedures != 366 {
+		t.Errorf("procedures = %d, want 366", s.Procedures)
+	}
+	if s.Parameters <= 1000 {
+		t.Errorf("parameters = %d, want > 1000", s.Parameters)
+	}
+	if pop.DistinctCalled() != 112 {
+		t.Errorf("called procedures = %d, want 112", pop.DistinctCalled())
+	}
+	// "four out of five parameters were of fixed size"
+	if s.PctFixedParams < 75 || s.PctFixedParams > 85 {
+		t.Errorf("fixed-size parameters = %.1f%%, want about 80%%", s.PctFixedParams)
+	}
+	// "sixty-five percent were four bytes or fewer"
+	if s.PctSmallParams < 60 || s.PctSmallParams > 70 {
+		t.Errorf("<=4-byte parameters = %.1f%%, want about 65%%", s.PctSmallParams)
+	}
+	// "Two-thirds of all procedures passed only parameters of fixed size"
+	if s.PctFixedOnly < 61 || s.PctFixedOnly > 72 {
+		t.Errorf("fixed-only procedures = %.1f%%, want about 67%%", s.PctFixedOnly)
+	}
+	// "sixty percent transferred 32 or fewer bytes"
+	if s.PctSmall32Procs < 55 || s.PctSmall32Procs > 65 {
+		t.Errorf("<=32-byte procedures = %.1f%%, want about 60%%", s.PctSmall32Procs)
+	}
+}
+
+// TestFigure1Distribution: the dynamic call-size distribution must have the
+// Figure 1 shape — mode below 50 bytes, majority below 200, frequency
+// concentration 75%/95% at 3/10 procedures, maximum near 1800.
+func TestFigure1Distribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pop := NewPopulation(rng)
+	sizes := pop.CallSizes(rng, 200_000)
+	h := stats.NewHistogram(50, 36) // 0..1800
+	maxSeen := 0
+	for _, s := range sizes {
+		h.Add(float64(s))
+		if s > maxSeen {
+			maxSeen = s
+		}
+	}
+	if mode := h.ModeBin(); mode != 0 {
+		t.Errorf("mode bin starts at %d bytes, want 0 (most frequent calls < 50 bytes)", mode)
+	}
+	if below200 := h.CumulativeBelow(200); below200 < 0.5 || below200 > 0.85 {
+		t.Errorf("%.1f%% of calls below 200 bytes, want a majority but with Figure 1's visible tail", 100*below200)
+	}
+	if below50 := h.CumulativeBelow(50); below50 < 0.40 {
+		t.Errorf("%.1f%% of calls below 50 bytes, want the largest single share", 100*below50)
+	}
+	if maxSeen > 1800 {
+		t.Errorf("max transfer %d bytes, want <= 1800", maxSeen)
+	}
+	if maxSeen < 1000 {
+		t.Errorf("max transfer %d bytes, want a tail beyond 1000", maxSeen)
+	}
+	if h.Overflow() != 0 {
+		t.Errorf("%d calls beyond 1800 bytes", h.Overflow())
+	}
+}
+
+// TestCallFrequencyConcentration: 75% of calls to 3 procedures, 95% to 10.
+func TestCallFrequencyConcentration(t *testing.T) {
+	pop := NewPopulation(rand.New(rand.NewSource(6)))
+	var freqs []float64
+	for _, p := range pop.Procedures {
+		if p.CallFreq > 0 {
+			freqs = append(freqs, p.CallFreq)
+		}
+	}
+	// The construction orders hot procedures first.
+	top3 := freqs[0] + freqs[1] + freqs[2]
+	if top3 < 0.74 || top3 > 0.76 {
+		t.Errorf("top-3 share = %.3f, want 0.75", top3)
+	}
+	top10 := top3
+	for i := 3; i < 10; i++ {
+		top10 += freqs[i]
+	}
+	if top10 < 0.94 || top10 > 0.96 {
+		t.Errorf("top-10 share = %.3f, want 0.95", top10)
+	}
+}
+
+// TestHistogramInvariants: mass conservation and cumulative monotonicity
+// under random inputs.
+func TestHistogramInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := stats.NewHistogram(10, 20)
+		n := 100 + rng.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Add(float64(rng.Intn(300)))
+		}
+		if h.Total() != uint64(n) {
+			return false
+		}
+		var sum uint64
+		for i := 0; i < h.Bins; i++ {
+			sum += h.Count(i)
+		}
+		if sum+h.Overflow() != h.Total() {
+			return false
+		}
+		prev := 0.0
+		for x := 0.0; x <= 300; x += 10 {
+			c := h.CumulativeBelow(x)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if m := stats.Mean(sample); m != 5.5 {
+		t.Errorf("mean = %v, want 5.5", m)
+	}
+	if p := stats.Percentile(sample, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := stats.Percentile(sample, 100); p != 10 {
+		t.Errorf("p100 = %v, want 10", p)
+	}
+	if p := stats.Percentile(sample, 50); p != 5.5 {
+		t.Errorf("p50 = %v, want 5.5", p)
+	}
+}

@@ -1,0 +1,467 @@
+// Package lrpc is a Go implementation of Lightweight Remote Procedure
+// Call (Bershad, Anderson, Lazowska, Levy — SOSP 1989): a communication
+// facility optimized for calls between protection domains on the same
+// machine.
+//
+// The package offers the paper's programming model — servers export named
+// interfaces, clients bind to them and call through unforgeable binding
+// objects, arguments travel on pairwise argument stacks with the minimum
+// number of copies — with the paper's control-transfer model mapped onto
+// the Go runtime: an LRPC executes the server's procedure directly on the
+// calling goroutine (the analog of the client's thread crossing into the
+// server's domain), while the message-passing baseline in this package
+// uses concrete server goroutines and channel rendezvous, the structure of
+// conventional RPC systems.
+//
+// Two planes exist in this repository:
+//
+//   - this package: wall-clock execution on the Go runtime, for real
+//     applications and testing.B benchmarks;
+//   - internal/core + internal/kernel + internal/machine: a calibrated
+//     simulation of the paper's C-VAX Firefly, which regenerates the
+//     paper's tables and figures in simulated microseconds (see
+//     cmd/lrpcbench).
+//
+// Basic use:
+//
+//	sys := lrpc.NewSystem()
+//	sys.Export(&lrpc.Interface{
+//	    Name: "Arith",
+//	    Procs: []lrpc.Proc{{
+//	        Name: "Add",
+//	        Handler: func(c *lrpc.Call) {
+//	            a := binary.LittleEndian.Uint32(c.Args()[0:4])
+//	            b := binary.LittleEndian.Uint32(c.Args()[4:8])
+//	            binary.LittleEndian.PutUint32(c.ResultsBuf(4), a+b)
+//	        },
+//	    }},
+//	})
+//	bind, _ := sys.Import("Arith")
+//	res, _ := bind.Call(0, args)
+package lrpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNotExported reports an import of an interface nobody exports.
+	ErrNotExported = errors.New("lrpc: interface not exported")
+	// ErrRevoked reports a call through a binding whose server has
+	// terminated.
+	ErrRevoked = errors.New("lrpc: binding revoked")
+	// ErrBadProcedure reports an out-of-range procedure index.
+	ErrBadProcedure = errors.New("lrpc: bad procedure index")
+	// ErrCallFailed is raised in callers whose server terminated during
+	// the call (the call-failed exception of the paper's section 5.3).
+	ErrCallFailed = errors.New("lrpc: call failed (server terminated)")
+	// ErrTooLarge reports arguments beyond the out-of-band limit.
+	ErrTooLarge = errors.New("lrpc: arguments too large")
+)
+
+// DefaultAStackSize is the argument-stack size for procedures that do not
+// declare one: the Ethernet packet size, following the paper's stub
+// generator default (section 5.2).
+const DefaultAStackSize = 1500
+
+// DefaultNumAStacks is the default number of simultaneous calls per
+// procedure (section 5.2: "The number defaults to five").
+const DefaultNumAStacks = 5
+
+// MaxOOBSize bounds a single call's arguments or results.
+const MaxOOBSize = 1 << 24
+
+// Handler is a server procedure. It reads its arguments with Call.Args
+// (a direct reference into the shared argument stack — copied exactly once,
+// by the client stub) and writes results in place via Call.ResultsBuf.
+type Handler func(c *Call)
+
+// Proc declares one procedure of an interface.
+type Proc struct {
+	Name string
+
+	// AStackSize is the argument/result capacity; 0 selects the default.
+	AStackSize int
+	// NumAStacks is the number of simultaneous calls provisioned at bind
+	// time; 0 selects the default. Calls beyond it allocate overflow
+	// stacks rather than failing (the "allocate more" policy of section
+	// 5.2).
+	NumAStacks int
+	// ProtectArgs makes the entry stub copy arguments off the shared
+	// stack before the handler runs, for procedures whose correctness
+	// depends on arguments not changing mid-call (the immutability case
+	// of the paper's section 3.5). Leave false for uninterpreted data
+	// (e.g. a file server's Write buffer) to skip the copy.
+	ProtectArgs bool
+
+	// ShareGroup, when non-empty, pools argument stacks with other
+	// procedures of the interface carrying the same tag ("Procedures in
+	// the same interface having A-stacks of similar size can share
+	// A-stacks, reducing the storage needs", section 3.1). The shared
+	// pool is sized to the group's largest AStackSize; the group's total
+	// concurrent calls are bounded by its combined stack count.
+	ShareGroup string
+
+	Handler Handler
+}
+
+// Interface is a named set of procedures.
+type Interface struct {
+	Name  string
+	Procs []Proc
+}
+
+// Call is the server procedure's view of one invocation.
+type Call struct {
+	args   []byte
+	astack []byte
+	oob    []byte
+	resLen int
+}
+
+// Args returns the argument bytes. Unless the procedure declared
+// ProtectArgs, the slice aliases the shared argument stack.
+func (c *Call) Args() []byte { return c.args }
+
+// ResultsBuf returns an n-byte buffer to write results into. For results
+// that fit the argument stack this is the stack itself — the server
+// "places the results directly into the reply", no server-side copy.
+// Because of that sharing, the buffer may alias Args: handlers that read
+// arguments while writing results must process in place carefully or copy
+// first (or declare ProtectArgs).
+func (c *Call) ResultsBuf(n int) []byte {
+	if n <= len(c.astack) {
+		c.resLen = n
+		c.oob = nil
+		return c.astack[:n]
+	}
+	c.oob = make([]byte, n)
+	c.resLen = n
+	return c.oob
+}
+
+// SetResults copies b as the call's results (convenience over ResultsBuf).
+func (c *Call) SetResults(b []byte) { copy(c.ResultsBuf(len(b)), b) }
+
+// System is one machine's LRPC installation: the name server plus the
+// binding validation state the kernel would hold.
+type System struct {
+	mu      sync.RWMutex
+	exports map[string]*Export
+	binds   map[uint64]*bindingRecord
+	nextID  uint64
+	rng     *rand.Rand
+}
+
+type bindingRecord struct {
+	nonce  uint64
+	export *Export
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		exports: make(map[string]*Export),
+		binds:   make(map[uint64]*bindingRecord),
+		rng:     rand.New(rand.NewSource(rand.Int63())),
+	}
+}
+
+// Export is a server domain's registration of an interface.
+type Export struct {
+	sys        *System
+	iface      *Interface
+	mu         sync.Mutex
+	terminated bool
+	bindings   []uint64
+
+	// Calls counts completed invocations across all bindings.
+	calls uint64
+}
+
+// Export registers iface and returns its export handle. Every procedure
+// must have a handler.
+func (s *System) Export(iface *Interface) (*Export, error) {
+	if len(iface.Procs) == 0 {
+		return nil, fmt.Errorf("lrpc: interface %q has no procedures", iface.Name)
+	}
+	for i := range iface.Procs {
+		if iface.Procs[i].Handler == nil {
+			return nil, fmt.Errorf("lrpc: procedure %s.%s has no handler", iface.Name, iface.Procs[i].Name)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.exports[iface.Name]; ok {
+		return nil, fmt.Errorf("lrpc: interface %q already exported", iface.Name)
+	}
+	e := &Export{sys: s, iface: iface}
+	s.exports[iface.Name] = e
+	return e, nil
+}
+
+// Terminated reports whether the export has been terminated.
+func (e *Export) Terminated() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.terminated
+}
+
+// Calls returns the number of completed invocations.
+func (e *Export) Calls() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+// Terminate withdraws the interface and revokes every binding minted for
+// it, following the paper's domain-termination semantics (section 5.3):
+// new calls fail with ErrRevoked; calls in progress complete their handler
+// but return ErrCallFailed to the caller.
+func (e *Export) Terminate() {
+	e.mu.Lock()
+	e.terminated = true
+	ids := append([]uint64(nil), e.bindings...)
+	e.mu.Unlock()
+
+	e.sys.mu.Lock()
+	delete(e.sys.exports, e.iface.Name)
+	for _, id := range ids {
+		delete(e.sys.binds, id)
+	}
+	e.sys.mu.Unlock()
+}
+
+// AStackPolicy selects what a call does when every argument stack of its
+// procedure is in use (section 5.2: "the client can either wait for one to
+// become available (when an earlier call finishes), or allocate more").
+type AStackPolicy int
+
+const (
+	// AllocateAStack mints an overflow stack — calls never block on pool
+	// exhaustion (the default).
+	AllocateAStack AStackPolicy = iota
+	// WaitForAStack blocks the caller until an in-flight call returns
+	// its stack.
+	WaitForAStack
+	// FailOnExhaustion returns ErrNoAStacks, for callers preferring
+	// back-pressure.
+	FailOnExhaustion
+)
+
+// ErrNoAStacks reports pool exhaustion under FailOnExhaustion.
+var ErrNoAStacks = errors.New("lrpc: no argument stack available")
+
+// Binding is a client's handle on an imported interface: the binding
+// object (id + nonce, validated on every call against the system's table,
+// so a forged or revoked binding never reaches a server) and the
+// per-procedure argument-stack pools.
+type Binding struct {
+	sys   *System
+	exp   *Export
+	id    uint64
+	nonce uint64
+	pools []*astackPool
+
+	// Policy selects the pool-exhaustion behavior; zero value allocates.
+	Policy AStackPolicy
+}
+
+// astackPool is a LIFO pool of argument stacks for one procedure (or one
+// share group), guarded by its own lock so concurrent calls to different
+// procedures never contend (the paper's design-for-concurrency property).
+type astackPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	size   int
+	stacks [][]byte
+}
+
+func (p *astackPool) get(policy AStackPolicy) ([]byte, error) {
+	p.mu.Lock()
+	for {
+		if n := len(p.stacks); n > 0 {
+			s := p.stacks[n-1]
+			p.stacks = p.stacks[:n-1]
+			p.mu.Unlock()
+			return s, nil
+		}
+		switch policy {
+		case WaitForAStack:
+			if p.cond == nil {
+				p.cond = sync.NewCond(&p.mu)
+			}
+			p.cond.Wait()
+		case FailOnExhaustion:
+			p.mu.Unlock()
+			return nil, ErrNoAStacks
+		default:
+			p.mu.Unlock()
+			// Overflow allocation (section 5.2's "allocate more").
+			return make([]byte, p.size), nil
+		}
+	}
+}
+
+func (p *astackPool) put(s []byte) {
+	p.mu.Lock()
+	p.stacks = append(p.stacks, s)
+	if p.cond != nil {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// Import binds the caller to the named exported interface.
+func (s *System) Import(name string) (*Binding, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.exports[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExported, name)
+	}
+	s.nextID++
+	b := &Binding{sys: s, exp: e, id: s.nextID, nonce: s.rng.Uint64()}
+	s.binds[b.id] = &bindingRecord{nonce: b.nonce, export: e}
+	groups := make(map[string]*astackPool)
+	for i := range e.iface.Procs {
+		p := &e.iface.Procs[i]
+		size := p.AStackSize
+		if size <= 0 {
+			size = DefaultAStackSize
+		}
+		n := p.NumAStacks
+		if n <= 0 {
+			n = DefaultNumAStacks
+		}
+		if p.ShareGroup != "" {
+			if pool, ok := groups[p.ShareGroup]; ok {
+				if size > pool.size {
+					// The shared pool must fit the group's largest
+					// member; grow the existing stacks.
+					pool.size = size
+					for j := range pool.stacks {
+						pool.stacks[j] = make([]byte, size)
+					}
+				}
+				b.pools = append(b.pools, pool)
+				continue
+			}
+		}
+		pool := &astackPool{size: size}
+		for j := 0; j < n; j++ {
+			pool.stacks = append(pool.stacks, make([]byte, size))
+		}
+		if p.ShareGroup != "" {
+			groups[p.ShareGroup] = pool
+		}
+		b.pools = append(b.pools, pool)
+	}
+	e.mu.Lock()
+	e.bindings = append(e.bindings, b.id)
+	e.mu.Unlock()
+	return b, nil
+}
+
+// Names returns the exported interface names.
+func (s *System) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.exports))
+	for n := range s.exports {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Call invokes procedure proc with the given argument bytes and returns
+// the result bytes. The call path is the paper's: validate the binding,
+// take an argument stack from the procedure's LIFO pool, copy the
+// arguments once onto it, run the server procedure directly on the calling
+// goroutine, copy the results once to the caller.
+func (b *Binding) Call(proc int, args []byte) ([]byte, error) {
+	return b.CallAppend(proc, args, nil)
+}
+
+// CallAppend is Call appending the results to dst (which may be nil),
+// letting callers reuse result buffers across calls.
+func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
+	// Kernel half: validate the binding object against the system table.
+	b.sys.mu.RLock()
+	rec, ok := b.sys.binds[b.id]
+	b.sys.mu.RUnlock()
+	if !ok || rec.nonce != b.nonce || rec.export != b.exp {
+		return nil, ErrRevoked
+	}
+	if proc < 0 || proc >= len(b.pools) {
+		return nil, ErrBadProcedure
+	}
+	if len(args) > MaxOOBSize {
+		return nil, ErrTooLarge
+	}
+	p := &b.exp.iface.Procs[proc]
+
+	// Client stub: argument stack off the LIFO queue, single copy in.
+	pool := b.pools[proc]
+	astack, err := pool.get(b.Policy)
+	if err != nil {
+		return nil, err
+	}
+	callArgs := args
+	if len(args) <= len(astack) {
+		copy(astack, args) // copy A
+		callArgs = astack[:len(args)]
+	}
+	// else: oversized arguments stay in the caller's buffer — the Go
+	// analog of the out-of-band segment, which is itself just another
+	// pairwise-shared region.
+
+	c := Call{astack: astack, args: callArgs}
+	if p.ProtectArgs && len(callArgs) > 0 {
+		cp := make([]byte, len(callArgs))
+		copy(cp, callArgs) // copy E: immutability-sensitive procedures
+		c.args = cp
+	}
+
+	// Domain transfer: the calling goroutine executes the server's
+	// procedure directly — no scheduler rendezvous.
+	p.Handler(&c)
+
+	// Return: copy results to their final destination (copy F).
+	var out []byte
+	if c.resLen > 0 {
+		src := c.oob
+		if src == nil {
+			src = c.astack[:c.resLen]
+		}
+		out = append(dst, src...)
+	} else {
+		out = dst
+	}
+	pool.put(astack)
+
+	b.exp.mu.Lock()
+	b.exp.calls++
+	terminated := b.exp.terminated
+	b.exp.mu.Unlock()
+	if terminated {
+		// The server terminated while we were inside it: the call,
+		// completed or not, returns the call-failed exception.
+		return nil, ErrCallFailed
+	}
+	return out, nil
+}
+
+// CallByName invokes a procedure by name.
+func (b *Binding) CallByName(name string, args []byte) ([]byte, error) {
+	for i := range b.exp.iface.Procs {
+		if b.exp.iface.Procs[i].Name == name {
+			return b.Call(i, args)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrBadProcedure, name)
+}

@@ -1,0 +1,189 @@
+package lrpc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MessageConfig configures the message-passing baseline transport.
+type MessageConfig struct {
+	// Workers is the number of concrete server goroutines (the paper's
+	// receiver threads); 0 selects 8.
+	Workers int
+	// GlobalLock serializes the transfer path under one lock, the SRC
+	// RPC structure whose throughput stops scaling with processors
+	// (Figure 2).
+	GlobalLock bool
+	// Restricted selects the DASH-style two-copy path (one intermediate
+	// buffer) instead of the conventional four-copy path.
+	Restricted bool
+}
+
+// MsgBinding is a client binding over the message-passing baseline: the
+// conventional RPC structure of the paper's section 2 — concrete client
+// and server threads exchanging messages through queues, with the full
+// complement of copies. It exists so benchmarks can compare LRPC's direct
+// handoff against real goroutine rendezvous on the same interface.
+type MsgBinding struct {
+	exp  *Export
+	reqs chan *message
+	lock *sync.Mutex // global transfer lock, when configured
+	cfg  MessageConfig
+	once sync.Once
+}
+
+type message struct {
+	proc  int
+	buf   []byte // request payload, then reply payload
+	reply chan *message
+	err   error
+}
+
+// ImportMessage binds to the named interface over the message transport.
+// The returned binding owns a pool of server worker goroutines; call
+// Close to stop them.
+func (s *System) ImportMessage(name string, cfg MessageConfig) (*MsgBinding, error) {
+	s.mu.RLock()
+	e, ok := s.exports[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExported, name)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	mb := &MsgBinding{exp: e, reqs: make(chan *message), cfg: cfg}
+	if cfg.GlobalLock {
+		mb.lock = &sync.Mutex{}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		go mb.worker()
+	}
+	return mb, nil
+}
+
+// worker is one concrete server thread: it dequeues requests, copies the
+// message onto its own stack, dispatches the procedure, and enqueues the
+// reply.
+func (mb *MsgBinding) worker() {
+	for msg := range mb.reqs {
+		procs := mb.exp.iface.Procs
+		if msg.proc < 0 || msg.proc >= len(procs) {
+			msg.err = ErrBadProcedure
+			msg.reply <- msg
+			continue
+		}
+		p := &procs[msg.proc]
+
+		// Copy E: message -> server stack.
+		serverArgs := make([]byte, len(msg.buf))
+		copy(serverArgs, msg.buf)
+
+		astack := make([]byte, maxInt(len(serverArgs), DefaultAStackSize))
+		c := Call{astack: astack, args: serverArgs}
+		p.Handler(&c)
+
+		// The server places results into the reply message.
+		var res []byte
+		if c.resLen > 0 {
+			if c.oob != nil {
+				res = c.oob
+			} else {
+				res = append([]byte(nil), c.astack[:c.resLen]...)
+			}
+		}
+
+		if mb.cfg.GlobalLock {
+			mb.lock.Lock()
+		}
+		// Kernel path back: one or two intermediate copies.
+		out := kernelCopies(res, mb.cfg.Restricted)
+		if mb.cfg.GlobalLock {
+			mb.lock.Unlock()
+		}
+		msg.buf = out
+		msg.reply <- msg
+	}
+}
+
+// Call performs one message-based RPC: marshal into a message (copy A),
+// pass it through the kernel path (copies B,C — or D when restricted),
+// rendezvous with a concrete server thread, and copy the reply out
+// (copy F). Contrast with Binding.Call, which runs the procedure on the
+// calling goroutine with one copy each way.
+func (mb *MsgBinding) Call(proc int, args []byte) ([]byte, error) {
+	mb.exp.mu.Lock()
+	terminated := mb.exp.terminated
+	mb.exp.mu.Unlock()
+	if terminated {
+		return nil, ErrRevoked
+	}
+
+	// Copy A: caller's stack -> request message.
+	msg := &message{proc: proc, reply: make(chan *message, 1)}
+	req := make([]byte, len(args))
+	copy(req, args)
+
+	if mb.cfg.GlobalLock {
+		mb.lock.Lock()
+	}
+	// Kernel path: intermediate copies toward the server.
+	msg.buf = kernelCopies(req, mb.cfg.Restricted)
+	if mb.cfg.GlobalLock {
+		mb.lock.Unlock()
+	}
+
+	// Scheduler rendezvous: enqueue and block for the reply.
+	mb.reqs <- msg
+	reply := <-msg.reply
+	if reply.err != nil {
+		return nil, reply.err
+	}
+
+	// Copy F: reply message -> caller's results.
+	var out []byte
+	if len(reply.buf) > 0 {
+		out = make([]byte, len(reply.buf))
+		copy(out, reply.buf)
+	}
+
+	mb.exp.mu.Lock()
+	mb.exp.calls++
+	terminated = mb.exp.terminated
+	mb.exp.mu.Unlock()
+	if terminated {
+		return nil, ErrCallFailed
+	}
+	return out, nil
+}
+
+// Close stops the binding's worker goroutines.
+func (mb *MsgBinding) Close() {
+	mb.once.Do(func() { close(mb.reqs) })
+}
+
+// kernelCopies performs the intermediate buffer copies of the
+// conventional path: sender -> kernel -> receiver (two copies), or the
+// restricted single direct copy.
+func kernelCopies(buf []byte, restricted bool) []byte {
+	if len(buf) == 0 {
+		return buf
+	}
+	if restricted {
+		out := make([]byte, len(buf)) // copy D
+		copy(out, buf)
+		return out
+	}
+	k := make([]byte, len(buf)) // copy B
+	copy(k, buf)
+	out := make([]byte, len(k)) // copy C
+	copy(out, k)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

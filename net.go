@@ -1,0 +1,271 @@
+package lrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file is the wall-clock cross-machine path of the paper's section
+// 5.1: a conventional network RPC transport over real sockets. A
+// TransparentBinding hides the local/remote decision behind the same Call
+// signature, deciding "at the earliest possible moment — the first
+// instruction of the stub" via the binding's remote bit.
+//
+// Wire protocol (all integers little-endian):
+//
+//	frame   = u32 length, payload
+//	request = u64 callID, u16 nameLen, name, u32 proc, args
+//	reply   = u64 callID, u8 status, body   (status 0: body = results;
+//	                                         status 1: body = error text)
+
+// ErrConnClosed reports a call on a closed network binding.
+var ErrConnClosed = errors.New("lrpc: network connection closed")
+
+// maxFrame bounds a single network frame.
+const maxFrame = MaxOOBSize + 1024
+
+// ServeNetwork serves this system's exported interfaces to remote clients
+// on l. It blocks until the listener fails or is closed; each connection
+// is handled on its own goroutine. Remote calls are dispatched through the
+// same export handlers local calls use.
+func (s *System) ServeNetwork(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *System) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var wmu sync.Mutex // interleaved replies from concurrent handlers
+	bindings := map[string]*Binding{}
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		callID, name, proc, args, err := parseRequest(frame)
+		if err != nil {
+			return
+		}
+		b, ok := bindings[name]
+		if !ok {
+			nb, err := s.Import(name)
+			if err != nil {
+				writeReply(conn, &wmu, callID, 1, []byte(err.Error()))
+				continue
+			}
+			bindings[name] = nb
+			b = nb
+		}
+		// Serve concurrently: each in-flight request gets a server-side
+		// thread of control, as a conventional RPC receiver would
+		// dispatch worker threads.
+		go func() {
+			res, err := b.Call(proc, args)
+			if err != nil {
+				writeReply(conn, &wmu, callID, 1, []byte(err.Error()))
+				return
+			}
+			writeReply(conn, &wmu, callID, 0, res)
+		}()
+	}
+}
+
+// NetClient is a client connection to a remote System, safe for
+// concurrent use; calls are pipelined over one connection.
+type NetClient struct {
+	conn net.Conn
+	name string
+
+	wmu    sync.Mutex
+	mu     sync.Mutex
+	nextID uint64
+	wait   map[uint64]chan netReply
+	closed bool
+}
+
+type netReply struct {
+	status byte
+	body   []byte
+}
+
+// DialInterface connects to a remote System at addr (as served by
+// ServeNetwork) and binds to the named interface.
+func DialInterface(network, addr, name string) (*NetClient, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetClient(conn, name), nil
+}
+
+// NewNetClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewNetClient(conn net.Conn, name string) *NetClient {
+	c := &NetClient{conn: conn, name: name, wait: map[uint64]chan netReply{}}
+	go c.readLoop()
+	return c
+}
+
+func (c *NetClient) readLoop() {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.wait {
+				close(ch)
+				delete(c.wait, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if len(frame) < 9 {
+			continue
+		}
+		id := binary.LittleEndian.Uint64(frame[0:8])
+		reply := netReply{status: frame[8], body: frame[9:]}
+		c.mu.Lock()
+		ch, ok := c.wait[id]
+		if ok {
+			delete(c.wait, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- reply
+		}
+	}
+}
+
+// Call performs one network RPC.
+func (c *NetClient) Call(proc int, args []byte) ([]byte, error) {
+	if len(args) > MaxOOBSize {
+		return nil, ErrTooLarge
+	}
+	ch := make(chan netReply, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.wait[id] = ch
+	c.mu.Unlock()
+
+	req := make([]byte, 8+2+len(c.name)+4+len(args))
+	binary.LittleEndian.PutUint64(req[0:8], id)
+	binary.LittleEndian.PutUint16(req[8:10], uint16(len(c.name)))
+	off := 10 + copy(req[10:], c.name)
+	binary.LittleEndian.PutUint32(req[off:], uint32(proc))
+	copy(req[off+4:], args)
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.wait, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	reply, ok := <-ch
+	if !ok {
+		return nil, ErrConnClosed
+	}
+	if reply.status != 0 {
+		return nil, fmt.Errorf("lrpc: remote: %s", reply.body)
+	}
+	return reply.body, nil
+}
+
+// Close tears down the connection; in-flight calls fail with
+// ErrConnClosed.
+func (c *NetClient) Close() error { return c.conn.Close() }
+
+// TransparentBinding serves the paper's transparency requirement: one
+// callable handle that is either local or remote, decided once at bind
+// time and tested at the first instruction of Call.
+type TransparentBinding struct {
+	local  *Binding
+	remote *NetClient
+}
+
+// BindLocal wraps a local binding.
+func BindLocal(b *Binding) *TransparentBinding { return &TransparentBinding{local: b} }
+
+// BindRemote wraps a network client.
+func BindRemote(c *NetClient) *TransparentBinding { return &TransparentBinding{remote: c} }
+
+// Remote reports whether calls cross the machine boundary.
+func (tb *TransparentBinding) Remote() bool { return tb.remote != nil }
+
+// Call invokes the procedure on whichever side the binding points at.
+func (tb *TransparentBinding) Call(proc int, args []byte) ([]byte, error) {
+	if tb.remote != nil { // the remote bit, first instruction
+		return tb.remote.Call(proc, args)
+	}
+	return tb.local.Call(proc, args)
+}
+
+// --- framing ---
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("lrpc: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeReply(w io.Writer, wmu *sync.Mutex, callID uint64, status byte, body []byte) {
+	buf := make([]byte, 9+len(body))
+	binary.LittleEndian.PutUint64(buf[0:8], callID)
+	buf[8] = status
+	copy(buf[9:], body)
+	wmu.Lock()
+	defer wmu.Unlock()
+	_ = writeFrame(w, buf)
+}
+
+func parseRequest(frame []byte) (callID uint64, name string, proc int, args []byte, err error) {
+	if len(frame) < 10 {
+		return 0, "", 0, nil, errors.New("lrpc: short request")
+	}
+	callID = binary.LittleEndian.Uint64(frame[0:8])
+	nameLen := int(binary.LittleEndian.Uint16(frame[8:10]))
+	if len(frame) < 10+nameLen+4 {
+		return 0, "", 0, nil, errors.New("lrpc: truncated request")
+	}
+	name = string(frame[10 : 10+nameLen])
+	proc = int(binary.LittleEndian.Uint32(frame[10+nameLen:]))
+	args = frame[10+nameLen+4:]
+	return callID, name, proc, args, nil
+}

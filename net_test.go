@@ -1,0 +1,244 @@
+package lrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer exports Arith and serves it on a loopback listener,
+// returning the address and a stopper.
+func startServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	sys := NewSystem()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sys.ServeNetwork(l)
+	return l.Addr().String(), func() { l.Close() }
+}
+
+func TestNetworkCallRoundTrip(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := DialInterface("tcp", addr, "Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	args := make([]byte, 8)
+	binary.LittleEndian.PutUint32(args[0:4], 40)
+	binary.LittleEndian.PutUint32(args[4:8], 2)
+	res, err := c.Call(0, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(res); got != 42 {
+		t.Fatalf("remote Add = %d, want 42", got)
+	}
+	// Echo with a payload.
+	payload := bytes.Repeat([]byte{0xA5}, 900)
+	res, err = c.Call(1, payload)
+	if err != nil || !bytes.Equal(res, payload) {
+		t.Fatalf("remote echo failed: %v", err)
+	}
+}
+
+func TestNetworkErrorsPropagate(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := DialInterface("tcp", addr, "Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(99, nil); err == nil || !strings.Contains(err.Error(), "bad procedure") {
+		t.Errorf("bad proc over network: %v", err)
+	}
+	// Unknown interface fails on first call.
+	c2, err := DialInterface("tcp", addr, "Nothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Call(0, nil); err == nil || !strings.Contains(err.Error(), "not exported") {
+		t.Errorf("unknown interface over network: %v", err)
+	}
+}
+
+func TestNetworkConcurrentPipelined(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := DialInterface("tcp", addr, "Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			args := make([]byte, 8)
+			for i := 0; i < 100; i++ {
+				binary.LittleEndian.PutUint32(args[0:4], uint32(g*1000))
+				binary.LittleEndian.PutUint32(args[4:8], uint32(i))
+				res, err := c.Call(0, args)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := binary.LittleEndian.Uint32(res); got != uint32(g*1000+i) {
+					t.Errorf("Add = %d, want %d", got, g*1000+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNetworkCloseFailsInFlight(t *testing.T) {
+	sys := NewSystem()
+	block := make(chan struct{})
+	if _, err := sys.Export(&Interface{Name: "Hang", Procs: []Proc{{
+		Name: "Wait", AStackSize: 8,
+		Handler: func(c *Call) { <-block },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sys.ServeNetwork(l)
+	c, err := DialInterface("tcp", l.Addr().String(), "Hang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Call(0, nil)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Errorf("in-flight call after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call did not fail after close")
+	}
+	close(block)
+	// Calls after close fail fast.
+	if _, err := c.Call(0, nil); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("call after close: %v", err)
+	}
+}
+
+// TestTransparentBinding: the same code path serves local and remote, the
+// branch taken at the first instruction; the local path is orders of
+// magnitude faster, which is the whole point of not treating local
+// communication as an instance of remote communication.
+func TestTransparentBinding(t *testing.T) {
+	sys := NewSystem()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	local, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startServer(t)
+	defer stop()
+	remote, err := DialInterface("tcp", addr, "Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	bindings := []*TransparentBinding{BindLocal(local), BindRemote(remote)}
+	if bindings[0].Remote() || !bindings[1].Remote() {
+		t.Fatal("remote bits wrong")
+	}
+	args := make([]byte, 8)
+	binary.LittleEndian.PutUint32(args[0:4], 20)
+	binary.LittleEndian.PutUint32(args[4:8], 22)
+	var times [2]time.Duration
+	for i, tb := range bindings {
+		start := time.Now()
+		for j := 0; j < 2000; j++ {
+			res, err := tb.Call(0, args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if binary.LittleEndian.Uint32(res) != 42 {
+				t.Fatal("wrong sum")
+			}
+		}
+		times[i] = time.Since(start)
+	}
+	if times[1] < times[0]*5 {
+		t.Errorf("remote (%v) should dwarf local (%v)", times[1], times[0])
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	go func() {
+		// Oversized frame header.
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+		cli.Write(hdr[:])
+	}()
+	if _, err := readFrame(srv); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame: %v", err)
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	if _, _, _, _, err := parseRequest([]byte{1, 2}); err == nil {
+		t.Error("short request accepted")
+	}
+	// nameLen pointing past the end.
+	bad := make([]byte, 12)
+	binary.LittleEndian.PutUint16(bad[8:10], 500)
+	if _, _, _, _, err := parseRequest(bad); err == nil {
+		t.Error("truncated request accepted")
+	}
+}
+
+// FuzzParseRequest: the wire-request parser must never panic or read out
+// of bounds on arbitrary frames.
+func FuzzParseRequest(f *testing.F) {
+	good := make([]byte, 8+2+5+4+3)
+	binary.LittleEndian.PutUint16(good[8:10], 5)
+	copy(good[10:], "Arith")
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		callID, name, proc, args, err := parseRequest(frame)
+		if err != nil {
+			return
+		}
+		if 10+len(name)+4+len(args) != len(frame) {
+			t.Fatalf("parsed sizes inconsistent: id=%d name=%q proc=%d args=%d frame=%d",
+				callID, name, proc, len(args), len(frame))
+		}
+	})
+}
