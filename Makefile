@@ -1,0 +1,30 @@
+# CI entry points. `make ci` is what a pipeline should run; the stress
+# and fault-injection suites are included in the plain test targets and
+# must stay race-detector clean.
+
+GO ?= go
+
+.PHONY: ci vet build test race stress bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The resilience layer lives in the root package and internal/; both must
+# be race clean, including the 100-iteration fault-injection stress mesh.
+race:
+	$(GO) test -race -count=1 ./internal/... .
+
+# Just the seeded fault-injection stress suite, for quick iteration.
+stress:
+	$(GO) test -race -count=1 -run 'TestStress|TestNetClient' ./internal/faultinject/ .
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

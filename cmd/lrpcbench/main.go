@@ -29,7 +29,7 @@ func main() {
 	which := flag.Args()
 	if len(which) == 0 {
 		which = []string{"table1", "figure1", "table2", "table3", "table4", "table5", "figure2",
-			"ablations", "mix", "workday", "structure"}
+			"ablations", "mix", "workday", "structure", "faults"}
 	}
 
 	cfg := machine.CVAXFirefly()
@@ -65,6 +65,8 @@ func main() {
 			fmt.Println(experiments.WorkdayTable(experiments.Workday(50_000, *seed)).Render())
 		case "structure":
 			fmt.Println(experiments.StructureTaxTable(experiments.StructureTax(10_000, *seed)).Render())
+		case "faults":
+			fmt.Println(experiments.FaultsTable(experiments.Faults(*calls, *seed)).Render())
 		default:
 			fmt.Fprintf(os.Stderr, "lrpcbench: unknown experiment %q\n", w)
 			os.Exit(2)

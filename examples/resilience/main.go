@@ -1,0 +1,130 @@
+// Resilience: the uncommon cases of the paper's section 5.3 on the
+// wall-clock plane, survived rather than suffered.
+//
+// Scenario 1: a handler panics. The caller gets the call-failed
+// exception (ErrCallFailed wrapping the panic value); the export keeps
+// serving under the default ContainPanic policy, or dies as a whole
+// under TerminateOnPanic.
+//
+// Scenario 2: a handler stalls and captures the caller's thread. A
+// context deadline abandons the call — the caller returns immediately
+// with ErrCallTimeout while the server-side activation keeps the shared
+// argument stack until it actually returns.
+//
+// Scenario 3: the network transport loses its connection mid-workload.
+// The reconnecting client redials with backoff and keeps going.
+//
+// Run with: go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"lrpc"
+)
+
+func main() {
+	scenario1()
+	scenario2()
+	scenario3()
+}
+
+func scenario1() {
+	fmt.Println("== Scenario 1: handler panic becomes the call-failed exception ==")
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(&lrpc.Interface{Name: "Flaky", Procs: []lrpc.Proc{
+		{Name: "Boom", Handler: func(c *lrpc.Call) { panic("index out of range in the server") }},
+		{Name: "Ok", Handler: func(c *lrpc.Call) { c.SetResults([]byte("still serving")) }},
+	}}); err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.Import("Flaky")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = b.Call(0, nil)
+	fmt.Printf("   caller sees: %v (is ErrCallFailed: %v)\n", err, errors.Is(err, lrpc.ErrCallFailed))
+	var pe *lrpc.PanicError
+	if errors.As(err, &pe) {
+		fmt.Printf("   panic value preserved for the operator: %q\n", pe.Value)
+	}
+	res, err := b.Call(1, nil)
+	fmt.Printf("   export afterwards: %q, err=%v\n", res, err)
+}
+
+func scenario2() {
+	fmt.Println("== Scenario 2: a deadline abandons a captured thread ==")
+	sys := lrpc.NewSystem()
+	release := make(chan struct{})
+	e, err := sys.Export(&lrpc.Interface{Name: "Tar", Procs: []lrpc.Proc{{
+		Name: "Pit", Handler: func(c *lrpc.Call) { <-release },
+	}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.Import("Tar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = b.CallContext(ctx, 0, nil)
+	fmt.Printf("   call resolved in %v: %v\n", time.Since(start).Round(time.Millisecond), err)
+	fmt.Printf("   server still holds the activation: active=%d, A-stacks out=%d\n",
+		e.Active(), b.Outstanding())
+	close(release)
+	for e.Active() != 0 || b.Outstanding() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("   after the server returns: active=%d, A-stacks out=%d (reclaimed)\n",
+		e.Active(), b.Outstanding())
+}
+
+func scenario3() {
+	fmt.Println("== Scenario 3: the transport survives a lost connection ==")
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(&lrpc.Interface{Name: "KV", Procs: []lrpc.Proc{{
+		Name: "Ping", Handler: func(c *lrpc.Call) { c.SetResults([]byte("pong")) },
+	}}}); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go sys.ServeNetwork(l)
+
+	var live net.Conn
+	c, err := lrpc.NewReconnectingClient("KV", lrpc.DialOptions{
+		Dial: func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", l.Addr().String())
+			live = conn
+			return conn, err
+		},
+		CallTimeout:    time.Second,
+		BackoffInitial: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	if res, err := c.Call(0, nil); err == nil {
+		fmt.Printf("   before the cut: %q\n", res)
+	}
+	live.Close() // the network "fails"
+	for {
+		res, err := c.Call(0, nil)
+		if err == nil {
+			fmt.Printf("   after redial:   %q (reconnects: %d)\n", res, c.Stats().Reconnects)
+			return
+		}
+	}
+}

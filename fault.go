@@ -1,0 +1,293 @@
+package lrpc
+
+// This file is the resilience layer over the wall-clock call path: the
+// paper's section 5.3 uncommon cases made survivable rather than merely
+// described. A handler that panics becomes the call-failed exception
+// instead of crashing the caller's goroutine; a handler that stalls can be
+// abandoned through a context deadline (the client regains its thread with
+// call-aborted state, the paper's captured-thread replacement); and a
+// deterministic fault-injection hook lets tests drive all of it on a
+// schedule (see internal/faultinject).
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCallTimeout is raised in callers that abandoned a call because its
+// deadline expired or its context was cancelled: the wall-clock analog of
+// the paper's captured-thread case, where the client receives a
+// replacement thread with call-aborted state while the server keeps the
+// captured one until the procedure returns.
+var ErrCallTimeout = &sentinelError{"lrpc: call timed out (server holds the thread)"}
+
+type sentinelError struct{ s string }
+
+func (e *sentinelError) Error() string { return e.s }
+
+// PanicError is the call-failed exception produced when a server handler
+// panics. It wraps ErrCallFailed, so errors.Is(err, ErrCallFailed) holds,
+// and carries the recovered panic value and stack for diagnosis.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the handler goroutine's stack at the panic
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("lrpc: call failed (handler panic: %v)", e.Value)
+}
+
+// Unwrap makes a handler panic satisfy errors.Is(err, ErrCallFailed): to
+// the caller it is the same call-failed exception a terminating server
+// domain raises.
+func (e *PanicError) Unwrap() error { return ErrCallFailed }
+
+// PanicPolicy selects what an export does when one of its handlers
+// panics. Whatever the policy, the caller of the panicking invocation
+// receives a *PanicError (wrapping ErrCallFailed) rather than a crash.
+type PanicPolicy int32
+
+const (
+	// ContainPanic (the default) confines the damage to the one call:
+	// the A-stack in use is poisoned (replaced, never reused) and the
+	// export keeps serving.
+	ContainPanic PanicPolicy = iota
+	// TerminateOnPanic treats any handler panic as the server domain
+	// dying: the export is terminated, bindings are revoked, and
+	// concurrent callers get the call-failed exception — the paper's
+	// "domain terminates due to an unhandled exception".
+	TerminateOnPanic
+	// PropagatePanic re-raises the panic on the calling goroutine (the
+	// pre-resilience behavior), for servers that prefer to crash loudly.
+	PropagatePanic
+)
+
+// SetPanicPolicy selects the export's reaction to handler panics.
+func (e *Export) SetPanicPolicy(p PanicPolicy) { atomic.StoreInt32(&e.panicPolicy, int32(p)) }
+
+// PanicPolicy returns the export's current policy.
+func (e *Export) PanicPolicy() PanicPolicy {
+	return PanicPolicy(atomic.LoadInt32(&e.panicPolicy))
+}
+
+// HandlerFault is one injected fault, consulted immediately before a
+// handler runs. The zero value injects nothing.
+type HandlerFault struct {
+	Stall     time.Duration // sleep this long before dispatching
+	Terminate bool          // terminate the export mid-call
+	Panic     bool          // panic instead of running the handler
+	PanicValue any          // value to panic with (nil selects a default)
+}
+
+// FaultInjector is the hook interface through which a fault schedule
+// (internal/faultinject) reaches the dispatch path. Implementations must
+// be safe for concurrent use.
+type FaultInjector interface {
+	// HandlerFault is consulted once per dispatch with the interface and
+	// procedure names; whatever it returns is injected.
+	HandlerFault(iface, proc string) HandlerFault
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector
+// consulted on every handler dispatch of every export in the system.
+func (s *System) SetFaultInjector(fi FaultInjector) {
+	s.mu.Lock()
+	s.injector = fi
+	s.mu.Unlock()
+}
+
+func (s *System) faultInjector() FaultInjector {
+	s.mu.RLock()
+	fi := s.injector
+	s.mu.RUnlock()
+	return fi
+}
+
+// runHandler dispatches one invocation with panic containment and fault
+// injection. It returns nil on success or a *PanicError when the handler
+// panicked; every transport (direct call, message rendezvous, network
+// dispatch) funnels through here so the containment semantics hold on all
+// planes. The export's active-call count is held for exactly the span of
+// the handler, which is what lets termination and abandonment reason
+// about in-flight activations.
+func (e *Export) runHandler(p *Proc, c *Call) (err error) {
+	atomic.AddInt64(&e.active, 1)
+	defer atomic.AddInt64(&e.active, -1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		atomic.AddUint64(&e.panics, 1)
+		switch e.PanicPolicy() {
+		case PropagatePanic:
+			panic(r)
+		case TerminateOnPanic:
+			e.Terminate()
+		}
+		err = &PanicError{Value: r, Stack: debug.Stack()}
+	}()
+	if fi := e.sys.faultInjector(); fi != nil {
+		f := fi.HandlerFault(e.iface.Name, p.Name)
+		if f.Stall > 0 {
+			time.Sleep(f.Stall)
+		}
+		if f.Terminate {
+			e.Terminate()
+		}
+		if f.Panic {
+			v := f.PanicValue
+			if v == nil {
+				v = "injected handler panic"
+			}
+			panic(v)
+		}
+	}
+	p.Handler(c)
+	return nil
+}
+
+// Active returns the number of handler activations currently executing in
+// the export's domain (including activations whose callers have already
+// abandoned them).
+func (e *Export) Active() int64 { return atomic.LoadInt64(&e.active) }
+
+// Abandoned returns how many calls were abandoned by their callers
+// (deadline expiry or cancellation) while the handler was still running.
+func (e *Export) Abandoned() uint64 { return atomic.LoadUint64(&e.abandoned) }
+
+// HandlerPanics returns how many handler invocations panicked.
+func (e *Export) HandlerPanics() uint64 { return atomic.LoadUint64(&e.panics) }
+
+// Outstanding returns the number of A-stacks currently checked out of the
+// binding's pools — stacks held by running (or abandoned-but-running)
+// activations. After every call has resolved and every activation has
+// returned, it is zero: the reclamation invariant the stress tests assert.
+func (b *Binding) Outstanding() int {
+	seen := make(map[*astackPool]bool)
+	n := 0
+	for _, p := range b.pools {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		p.mu.Lock()
+		n += p.outstanding
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// CallOpts carries per-call options for CallWithOpts.
+type CallOpts struct {
+	// Deadline, when nonzero, bounds the call: if the handler has not
+	// returned by then the caller abandons it and gets ErrCallTimeout.
+	Deadline time.Time
+}
+
+// CallWithOpts is Call with per-call options.
+func (b *Binding) CallWithOpts(proc int, args []byte, opts CallOpts) ([]byte, error) {
+	if opts.Deadline.IsZero() {
+		return b.Call(proc, args)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), opts.Deadline)
+	defer cancel()
+	return b.CallContext(ctx, proc, args)
+}
+
+// CallContext is Call under a context: if ctx is cancelled or its deadline
+// expires while the server procedure is still running, the caller abandons
+// the call and returns ErrCallTimeout immediately — the paper's §5.3
+// answer to a server that captures the client's thread. The linkage record
+// for the activation is marked abandoned, and the A-stack is returned to
+// its pool only when the server-side activation actually returns, so the
+// shared buffer is never recycled under a running handler.
+//
+// A context that can never be cancelled (context.Background()) takes the
+// ordinary direct-handoff path with no extra goroutine.
+func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return b.Call(proc, args)
+	}
+	p, pool, err := b.validate(proc, args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, timeoutError(err)
+	}
+
+	astack, err := pool.get(b.Policy, ctx.Done())
+	if err != nil {
+		if err == errWaitCancelled {
+			return nil, timeoutError(ctx.Err())
+		}
+		return nil, err
+	}
+
+	c := prepareCall(p, astack, args)
+
+	// The activation: the server-side half of the call, which owns the
+	// A-stack until the handler returns. The linkage record (act) is what
+	// the caller marks abandoned; the activation consults it only to skip
+	// work, never to cut the handler short — a captured thread stays
+	// captured until the server lets go, exactly as in the paper.
+	act := &activation{done: make(chan struct{})}
+	go func() {
+		herr := b.exp.runHandler(p, c)
+		if herr == nil && !act.abandoned.Load() {
+			if c.resLen > 0 {
+				src := c.oob
+				if src == nil {
+					src = c.astack[:c.resLen]
+				}
+				act.out = append([]byte(nil), src...)
+			}
+		}
+		// Reclaim the shared buffer only now that the server has
+		// actually returned — never under a running handler.
+		if herr != nil {
+			pool.putPoisoned(astack)
+		} else {
+			pool.put(astack)
+		}
+		b.exp.mu.Lock()
+		b.exp.calls++
+		terminated := b.exp.terminated
+		b.exp.mu.Unlock()
+		if herr == nil && terminated {
+			herr = ErrCallFailed
+		}
+		act.err = herr
+		close(act.done)
+	}()
+
+	select {
+	case <-act.done:
+		if act.err != nil {
+			return nil, act.err
+		}
+		return act.out, nil
+	case <-ctx.Done():
+		act.abandoned.Store(true)
+		atomic.AddUint64(&b.exp.abandoned, 1)
+		return nil, timeoutError(ctx.Err())
+	}
+}
+
+// activation is the wall-clock linkage record for one in-flight call:
+// the caller's handle on the server-side execution it may abandon.
+type activation struct {
+	done      chan struct{}
+	abandoned atomic.Bool
+	out       []byte
+	err       error
+}
+
+// timeoutError wraps a context error as the package's timeout exception.
+func timeoutError(cause error) error {
+	return fmt.Errorf("%w: %v", ErrCallTimeout, cause)
+}

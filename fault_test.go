@@ -1,0 +1,398 @@
+package lrpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQuiesced polls until no activation is running and every A-stack is
+// back in its pool, failing the test if that never happens.
+func waitQuiesced(t *testing.T, e *Export, bs ...*Binding) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		outstanding := 0
+		for _, b := range bs {
+			outstanding += b.Outstanding()
+		}
+		if e.Active() == 0 && outstanding == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no quiesce: active=%d outstanding=%d", e.Active(), outstanding)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPanicContained(t *testing.T) {
+	sys := NewSystem()
+	e, err := sys.Export(&Interface{Name: "Panicky", Procs: []Proc{
+		{Name: "Boom", AStackSize: 8, Handler: func(c *Call) { panic("kaboom") }},
+		{Name: "Ok", AStackSize: 8, Handler: func(c *Call) { c.SetResults([]byte{1}) }},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Panicky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Call(0, nil)
+	if !errors.Is(err, ErrCallFailed) {
+		t.Fatalf("panicking handler returned %v, want ErrCallFailed", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic diagnosis lost: %#v", pe)
+	}
+	// The export survives (ContainPanic is the default) and the poisoned
+	// A-stack was replaced, not leaked.
+	if e.Terminated() {
+		t.Fatal("ContainPanic terminated the export")
+	}
+	if got, _ := b.Call(1, nil); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("export unusable after contained panic: %v", got)
+	}
+	if e.HandlerPanics() != 1 {
+		t.Errorf("HandlerPanics = %d, want 1", e.HandlerPanics())
+	}
+	waitQuiesced(t, e, b)
+}
+
+func TestPanicPolicyTerminate(t *testing.T) {
+	sys := NewSystem()
+	e, err := sys.Export(&Interface{Name: "Fragile", Procs: []Proc{{
+		Name: "Boom", AStackSize: 8, Handler: func(c *Call) { panic("fatal") },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPanicPolicy(TerminateOnPanic)
+	b, err := sys.Import("Fragile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call(0, nil); !errors.Is(err, ErrCallFailed) {
+		t.Fatalf("panic under TerminateOnPanic: %v", err)
+	}
+	if !e.Terminated() {
+		t.Fatal("TerminateOnPanic did not terminate the export")
+	}
+	if _, err := b.Call(0, nil); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("call after panic-termination: %v, want ErrRevoked", err)
+	}
+}
+
+func TestPanicPolicyPropagate(t *testing.T) {
+	sys := NewSystem()
+	e, err := sys.Export(&Interface{Name: "Loud", Procs: []Proc{{
+		Name: "Boom", AStackSize: 8, Handler: func(c *Call) { panic("loud") },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPanicPolicy(PropagatePanic)
+	b, err := sys.Import("Loud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != "loud" {
+			t.Errorf("PropagatePanic recovered %v, want the original value", r)
+		}
+	}()
+	b.Call(0, nil)
+	t.Fatal("PropagatePanic swallowed the panic")
+}
+
+func TestMessagePanicContained(t *testing.T) {
+	sys := NewSystem()
+	if _, err := sys.Export(&Interface{Name: "M", Procs: []Proc{
+		{Name: "Boom", AStackSize: 8, Handler: func(c *Call) { panic("msg") }},
+		{Name: "Ok", AStackSize: 8, Handler: func(c *Call) { c.SetResults([]byte{7}) }},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := sys.ImportMessage("M", MessageConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if _, err := mb.Call(0, nil); !errors.Is(err, ErrCallFailed) {
+		t.Fatalf("worker panic: %v, want ErrCallFailed", err)
+	}
+	// The single worker must have survived to serve the next call.
+	res, err := mb.Call(1, nil)
+	if err != nil || !bytes.Equal(res, []byte{7}) {
+		t.Fatalf("worker dead after contained panic: %v %v", res, err)
+	}
+}
+
+func TestCallContextDeadlineAbandonsStalledServer(t *testing.T) {
+	sys := NewSystem()
+	release := make(chan struct{})
+	e, err := sys.Export(&Interface{Name: "Stall", Procs: []Proc{{
+		Name: "Hang", AStackSize: 8, NumAStacks: 1,
+		Handler: func(c *Call) { <-release; c.SetResults([]byte{9}) },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = b.CallContext(ctx, 0, nil)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("stalled call resolved as %v, want ErrCallTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("abandonment took %v", elapsed)
+	}
+	// The captured thread is still in the server, holding the A-stack:
+	// reclaim must wait for the activation to actually return.
+	if got := b.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding = %d while the server holds the stack, want 1", got)
+	}
+	if got := e.Active(); got != 1 {
+		t.Fatalf("Active = %d while the handler runs, want 1", got)
+	}
+	if got := e.Abandoned(); got != 1 {
+		t.Fatalf("Abandoned = %d, want 1", got)
+	}
+	close(release)
+	waitQuiesced(t, e, b)
+	// With the stack back, the binding serves new calls normally.
+	res, err := b.Call(0, nil)
+	if err != nil || !bytes.Equal(res, []byte{9}) {
+		t.Fatalf("call after abandoned predecessor: %v %v", res, err)
+	}
+}
+
+func TestCallContextDeliversResults(t *testing.T) {
+	sys := NewSystem()
+	e, err := sys.Export(arithInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	payload := bytes.Repeat([]byte{0xAB}, 300)
+	res, err := b.CallContext(ctx, 1, payload)
+	if err != nil || !bytes.Equal(res, payload) {
+		t.Fatalf("echo under deadline: %v %v", res, err)
+	}
+	// CallWithOpts is the non-context spelling of the same thing.
+	res, err = b.CallWithOpts(1, payload, CallOpts{Deadline: time.Now().Add(time.Second)})
+	if err != nil || !bytes.Equal(res, payload) {
+		t.Fatalf("echo under CallOpts deadline: %v %v", res, err)
+	}
+	waitQuiesced(t, e, b)
+}
+
+func TestCallContextCancelledBeforeCall(t *testing.T) {
+	sys := NewSystem()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.CallContext(ctx, 2, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("pre-cancelled call: %v, want ErrCallTimeout", err)
+	}
+}
+
+// TestWaitForAStackRevokedOnTerminate is the regression test for waiters
+// stranded in p.cond.Wait(): terminating the export must wake them with
+// ErrRevoked instead of leaving them parked forever.
+func TestWaitForAStackRevokedOnTerminate(t *testing.T) {
+	sys := NewSystem()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	e, err := sys.Export(&Interface{Name: "Slow", Procs: []Proc{{
+		Name: "Hold", AStackSize: 8, NumAStacks: 1,
+		Handler: func(c *Call) {
+			entered <- struct{}{}
+			<-release
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Policy = WaitForAStack
+
+	first := make(chan error, 1)
+	go func() { _, err := b.Call(0, nil); first <- err }()
+	<-entered // the only A-stack is now checked out
+
+	second := make(chan error, 1)
+	go func() { _, err := b.Call(0, nil); second <- err }()
+	// Give the second call time to park on the exhausted pool.
+	time.Sleep(10 * time.Millisecond)
+
+	e.Terminate()
+	select {
+	case err := <-second:
+		if !errors.Is(err, ErrRevoked) {
+			t.Fatalf("parked waiter resolved as %v, want ErrRevoked", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still parked after Terminate — the §5.3 strand")
+	}
+	close(release)
+	if err := <-first; !errors.Is(err, ErrCallFailed) {
+		t.Fatalf("in-flight call during terminate: %v, want ErrCallFailed", err)
+	}
+}
+
+// TestWaitForAStackDeadline: a caller parked on an exhausted pool must
+// honor its deadline rather than waiting indefinitely for a stack.
+func TestWaitForAStackDeadline(t *testing.T) {
+	sys := NewSystem()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	e, err := sys.Export(&Interface{Name: "Slow", Procs: []Proc{{
+		Name: "Hold", AStackSize: 8, NumAStacks: 1,
+		Handler: func(c *Call) {
+			entered <- struct{}{}
+			<-release
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Policy = WaitForAStack
+	go b.Call(0, nil)
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := b.CallContext(ctx, 0, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("parked caller past deadline: %v, want ErrCallTimeout", err)
+	}
+	close(release)
+	waitQuiesced(t, e, b)
+}
+
+// TestTerminateDuringOOBCall: termination while an out-of-band
+// (larger-than-A-stack) call is in flight must still deliver the
+// call-failed exception and leak nothing.
+func TestTerminateDuringOOBCall(t *testing.T) {
+	sys := NewSystem()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e, err := sys.Export(&Interface{Name: "Blob", Procs: []Proc{{
+		Name: "BigEcho", AStackSize: 32,
+		Handler: func(c *Call) {
+			close(started)
+			<-release
+			copy(c.ResultsBuf(len(c.Args())), c.Args()) // oversized results too
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xEE}, 10_000) // far beyond the 32-byte A-stack
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Call(0, big)
+		errCh <- err
+	}()
+	<-started
+	e.Terminate()
+	close(release)
+	if err := <-errCh; !errors.Is(err, ErrCallFailed) {
+		t.Fatalf("OOB call during terminate: %v, want ErrCallFailed", err)
+	}
+	waitQuiesced(t, e, b)
+}
+
+// TestTerminateFailsAllConcurrentCallers: every caller inside a
+// terminating export — not just one — receives the call-failed exception.
+func TestTerminateFailsAllConcurrentCallers(t *testing.T) {
+	const callers = 8
+	sys := NewSystem()
+	var started sync.WaitGroup
+	started.Add(callers)
+	release := make(chan struct{})
+	e, err := sys.Export(&Interface{Name: "Wide", Procs: []Proc{{
+		Name: "Hold", AStackSize: 8, NumAStacks: callers,
+		Handler: func(c *Call) {
+			started.Done()
+			<-release
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			_, err := b.Call(0, nil)
+			errs <- err
+		}()
+	}
+	started.Wait() // all callers are inside the server
+	e.Terminate()
+	close(release)
+	for i := 0; i < callers; i++ {
+		if err := <-errs; !errors.Is(err, ErrCallFailed) {
+			t.Fatalf("concurrent caller %d resolved as %v, want ErrCallFailed", i, err)
+		}
+	}
+	waitQuiesced(t, e, b)
+}
+
+// TestTerminateDoesNotUnregisterSuccessor: terminating an old export must
+// not tear down a new export that has since taken over the name.
+func TestTerminateDoesNotUnregisterSuccessor(t *testing.T) {
+	sys := NewSystem()
+	old, err := sys.Export(arithInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Terminate()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	old.Terminate() // second termination of the dead export
+	b, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatalf("successor export lost: %v", err)
+	}
+	if _, err := b.Call(2, nil); err != nil {
+		t.Fatalf("successor call: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lrpc"
+	"lrpc/internal/faultinject"
+	"lrpc/internal/stats"
+)
+
+// This driver is not a paper table: it is the robustness counterpart to
+// the performance experiments, measuring the §5.3 uncommon cases under an
+// injected fault schedule on the wall-clock planes. It exists so that
+// robustness regressions — a panic that escapes containment, a timeout
+// that hangs, a reconnect path that stops reconnecting — show up as
+// changed counts rather than anecdotes.
+
+// FaultsResult aggregates one run of the fault-injection driver: the
+// local (direct-handoff) plane under handler panics and stalls with
+// caller deadlines, and the network plane under connection drops with a
+// reconnecting client.
+type FaultsResult struct {
+	Seed int64
+
+	// Local plane.
+	LocalCalls      int
+	LocalSuccess    int
+	LocalCallFailed int // call-failed exceptions (panics, terminations)
+	LocalTimeouts   int // calls abandoned at their deadline
+	LocalOther      int // anything outside the allowed resolutions (must be 0)
+	InjPanics       uint64
+	InjStalls       uint64
+	LocalP50us      float64
+	LocalP95us      float64
+	LocalP99us      float64
+	LocalMaxUs      float64
+
+	// Network plane.
+	NetCalls      int
+	NetSuccess    int
+	NetConnErrors int // calls lost to a connection drop (not retried: on the wire)
+	NetTimeouts   int
+	NetOther      int // must be 0
+	ConnDrops     uint64
+	Reconnects    uint64
+	Retries       uint64
+	NetP50us      float64
+	NetP95us      float64
+	NetP99us      float64
+	NetMaxUs      float64
+}
+
+// Faults runs the fault-injection robustness driver: calls/2 local calls
+// under a seeded panic/stall schedule with tight deadlines, and calls/2
+// network calls through connections that drop every few kilobytes.
+func Faults(calls int, seed int64) FaultsResult {
+	if calls < 100 {
+		calls = 100
+	}
+	res := FaultsResult{Seed: seed}
+	runFaultsLocal(calls/2, seed, &res)
+	runFaultsNet(calls/2, seed, &res)
+	return res
+}
+
+func runFaultsLocal(calls int, seed int64, res *FaultsResult) {
+	sys := lrpc.NewSystem()
+	sched := faultinject.New(seed, faultinject.Config{
+		PanicProb: 0.05,
+		StallProb: 0.10,
+		StallMax:  2 * time.Millisecond,
+	})
+	sys.SetFaultInjector(sched)
+	if _, err := sys.Export(&lrpc.Interface{Name: "Robust", Procs: []lrpc.Proc{
+		{Name: "Echo", AStackSize: 256, Handler: func(c *lrpc.Call) {
+			copy(c.ResultsBuf(len(c.Args())), c.Args())
+		}},
+		{Name: "Sum", AStackSize: 16, Handler: func(c *lrpc.Call) {
+			a := binary.LittleEndian.Uint32(c.Args()[0:4])
+			b := binary.LittleEndian.Uint32(c.Args()[4:8])
+			binary.LittleEndian.PutUint32(c.ResultsBuf(4), a+b)
+		}},
+	}}); err != nil {
+		panic(err)
+	}
+
+	const workers = 4
+	type outcome struct {
+		lat time.Duration
+		err error
+	}
+	outcomes := make([][]outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b, err := sys.Import("Robust")
+			if err != nil {
+				panic(err)
+			}
+			args := make([]byte, 64)
+			n := calls / workers
+			for i := 0; i < n; i++ {
+				start := time.Now()
+				var err error
+				if i%2 == 0 {
+					// Half the calls carry a deadline shorter than the
+					// worst injected stall: stalls become timeouts.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					_, err = b.CallContext(ctx, 0, args)
+					cancel()
+				} else {
+					_, err = b.Call(0, args)
+				}
+				outcomes[w] = append(outcomes[w], outcome{time.Since(start), err})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var lats []float64
+	for _, os := range outcomes {
+		for _, o := range os {
+			res.LocalCalls++
+			lats = append(lats, float64(o.lat)/float64(time.Microsecond))
+			switch {
+			case o.err == nil:
+				res.LocalSuccess++
+			case errors.Is(o.err, lrpc.ErrCallTimeout):
+				res.LocalTimeouts++
+			case errors.Is(o.err, lrpc.ErrCallFailed):
+				res.LocalCallFailed++
+			default:
+				res.LocalOther++
+			}
+		}
+	}
+	counts := sched.Counts()
+	res.InjPanics = counts.Panics
+	res.InjStalls = counts.Stalls
+	res.LocalP50us = stats.Percentile(lats, 50)
+	res.LocalP95us = stats.Percentile(lats, 95)
+	res.LocalP99us = stats.Percentile(lats, 99)
+	res.LocalMaxUs = stats.Percentile(lats, 100)
+}
+
+func runFaultsNet(calls int, seed int64, res *FaultsResult) {
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(&lrpc.Interface{Name: "Wire", Procs: []lrpc.Proc{{
+		Name: "Echo", AStackSize: 256,
+		Handler: func(c *lrpc.Call) { copy(c.ResultsBuf(len(c.Args())), c.Args()) },
+	}}}); err != nil {
+		panic(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	go sys.ServeNetwork(l)
+
+	sched := faultinject.New(seed, faultinject.Config{
+		DropAfterMin: 2 << 10,
+		DropAfterMax: 6 << 10,
+	})
+	c, err := lrpc.NewReconnectingClient("Wire", lrpc.DialOptions{
+		Dial:           sched.Dialer("tcp", l.Addr().String()),
+		CallTimeout:    time.Second,
+		BackoffInitial: time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Seed:           seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	payload := bytes.Repeat([]byte{0x42}, 48)
+	var lats []float64
+	for i := 0; i < calls; i++ {
+		start := time.Now()
+		out, err := c.Call(0, payload)
+		lats = append(lats, float64(time.Since(start))/float64(time.Microsecond))
+		res.NetCalls++
+		switch {
+		case err == nil:
+			if !bytes.Equal(out, payload) {
+				res.NetOther++
+			} else {
+				res.NetSuccess++
+			}
+		case errors.Is(err, lrpc.ErrCallTimeout):
+			res.NetTimeouts++
+		case errors.Is(err, lrpc.ErrConnClosed):
+			res.NetConnErrors++
+		default:
+			res.NetOther++
+		}
+	}
+	st := c.Stats()
+	res.ConnDrops = sched.Counts().ConnDrops
+	res.Reconnects = st.Reconnects
+	res.Retries = st.Retries
+	res.NetP50us = stats.Percentile(lats, 50)
+	res.NetP95us = stats.Percentile(lats, 95)
+	res.NetP99us = stats.Percentile(lats, 99)
+	res.NetMaxUs = stats.Percentile(lats, 100)
+}
+
+// FaultsTable renders the robustness driver's report.
+func FaultsTable(r FaultsResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Faults: resolution counts and tail latency under injected faults (seed %d)", r.Seed),
+		Header: []string{"plane", "calls", "ok", "call-failed", "timeout", "conn-lost", "other",
+			"p50 µs", "p95 µs", "p99 µs", "max µs"},
+		Notes: []string{
+			fmt.Sprintf("injected: %d panics, %d stalls (local); %d conn drops -> %d reconnects, %d safe retries (net)",
+				r.InjPanics, r.InjStalls, r.ConnDrops, r.Reconnects, r.Retries),
+			"every call must resolve as ok, call-failed, or timeout (conn-lost only on the wire); other must be 0",
+		},
+	}
+	t.Rows = append(t.Rows, []string{
+		"local", fmt.Sprint(r.LocalCalls), fmt.Sprint(r.LocalSuccess),
+		fmt.Sprint(r.LocalCallFailed), fmt.Sprint(r.LocalTimeouts), "-", fmt.Sprint(r.LocalOther),
+		us(r.LocalP50us), us(r.LocalP95us), us(r.LocalP99us), us(r.LocalMaxUs),
+	})
+	t.Rows = append(t.Rows, []string{
+		"net", fmt.Sprint(r.NetCalls), fmt.Sprint(r.NetSuccess),
+		"-", fmt.Sprint(r.NetTimeouts), fmt.Sprint(r.NetConnErrors), fmt.Sprint(r.NetOther),
+		us(r.NetP50us), us(r.NetP95us), us(r.NetP99us), us(r.NetMaxUs),
+	})
+	return t
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestFaultsDriverResolvesEveryCall: the robustness driver's core
+// invariant — under injected panics, stalls, and connection drops, every
+// call resolves inside the allowed set and nothing falls through.
+func TestFaultsDriverResolvesEveryCall(t *testing.T) {
+	r := Faults(400, 1)
+	if r.LocalOther != 0 || r.NetOther != 0 {
+		t.Fatalf("calls resolved outside the allowed set: local=%d net=%d", r.LocalOther, r.NetOther)
+	}
+	if got := r.LocalSuccess + r.LocalCallFailed + r.LocalTimeouts; got != r.LocalCalls {
+		t.Fatalf("local resolutions %d != calls %d", got, r.LocalCalls)
+	}
+	if got := r.NetSuccess + r.NetTimeouts + r.NetConnErrors; got != r.NetCalls {
+		t.Fatalf("net resolutions %d != calls %d", got, r.NetCalls)
+	}
+	if r.LocalSuccess == 0 || r.NetSuccess == 0 {
+		t.Fatalf("no successes at all: local=%d net=%d", r.LocalSuccess, r.NetSuccess)
+	}
+	if r.InjPanics > 0 && r.LocalCallFailed == 0 {
+		t.Errorf("%d injected panics produced no call-failed resolutions", r.InjPanics)
+	}
+	if r.ConnDrops > 0 && r.Reconnects == 0 {
+		t.Errorf("%d conn drops but no reconnects", r.ConnDrops)
+	}
+	if tbl := FaultsTable(r).Render(); tbl == "" {
+		t.Error("empty table")
+	}
+}

@@ -1,0 +1,206 @@
+// Package faultinject is the deterministic fault-injection harness for
+// the wall-clock LRPC planes: it decides, from a seeded schedule, when a
+// handler panics, when it stalls, when its export terminates mid-call,
+// and when a network connection drops at byte N. The decisions are pure
+// functions of the seed and the decision sequence, so a failing stress
+// run replays from its seed.
+//
+// It plugs into the root package through two narrow joints: Schedule
+// implements lrpc.FaultInjector (installed with System.SetFaultInjector),
+// and Schedule.Dialer/WrapConn produce flaky net.Conns for
+// lrpc.DialOptions.Dial.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"lrpc"
+)
+
+// ErrInjectedDrop reports a connection cut by the schedule's byte budget.
+var ErrInjectedDrop = errors.New("faultinject: connection dropped (injected)")
+
+// Config sets the fault mix. Probabilities are per dispatch decision in
+// [0, 1]; zero fields inject nothing of that kind.
+type Config struct {
+	// PanicProb is the probability a handler dispatch panics instead of
+	// running.
+	PanicProb float64
+	// PanicValue is the value panicked with; nil selects a default.
+	PanicValue any
+
+	// StallProb is the probability a dispatch sleeps before running.
+	StallProb float64
+	// StallMax bounds the injected sleep; the stall is uniform over
+	// (0, StallMax]. Zero with StallProb > 0 selects 1ms.
+	StallMax time.Duration
+
+	// TerminateProb is the probability a dispatch terminates its export
+	// mid-call (the paper's domain-termination case, §5.3).
+	TerminateProb float64
+
+	// DropAfterMin/DropAfterMax, when Max > 0, give every wrapped
+	// connection a byte budget drawn uniformly from [Min, Max]; once the
+	// connection has carried that many bytes (reads plus writes), it is
+	// cut mid-stream.
+	DropAfterMin int64
+	DropAfterMax int64
+}
+
+// Counts is a snapshot of what a schedule has injected so far.
+type Counts struct {
+	Decisions  uint64 // handler dispatches consulted
+	Panics     uint64
+	Stalls     uint64
+	Terminates uint64
+	ConnDrops  uint64 // connections cut by their byte budget
+}
+
+// Schedule is a seeded fault source, safe for concurrent use. With
+// concurrent callers the interleaving of decisions varies, but the
+// decision stream itself is the deterministic function of the seed, so
+// aggregate behavior replays.
+type Schedule struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts Counts
+}
+
+// New returns a schedule drawing from cfg with the given seed.
+func New(seed int64, cfg Config) *Schedule {
+	if cfg.StallProb > 0 && cfg.StallMax <= 0 {
+		cfg.StallMax = time.Millisecond
+	}
+	return &Schedule{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// HandlerFault implements lrpc.FaultInjector: one seeded roll per
+// dispatch.
+func (s *Schedule) HandlerFault(iface, proc string) lrpc.HandlerFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts.Decisions++
+	var f lrpc.HandlerFault
+	if s.cfg.StallProb > 0 && s.rng.Float64() < s.cfg.StallProb {
+		f.Stall = time.Duration(1 + s.rng.Int63n(int64(s.cfg.StallMax)))
+		s.counts.Stalls++
+	}
+	if s.cfg.TerminateProb > 0 && s.rng.Float64() < s.cfg.TerminateProb {
+		f.Terminate = true
+		s.counts.Terminates++
+	}
+	if s.cfg.PanicProb > 0 && s.rng.Float64() < s.cfg.PanicProb {
+		f.Panic = true
+		f.PanicValue = s.cfg.PanicValue
+		s.counts.Panics++
+	}
+	return f
+}
+
+// Counts returns a snapshot of the injected-fault counters.
+func (s *Schedule) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// WrapConn wraps conn with this schedule's byte budget; with no budget
+// configured the conn is returned unwrapped.
+func (s *Schedule) WrapConn(conn net.Conn) net.Conn {
+	if s.cfg.DropAfterMax <= 0 {
+		return conn
+	}
+	s.mu.Lock()
+	budget := s.cfg.DropAfterMin
+	if span := s.cfg.DropAfterMax - s.cfg.DropAfterMin; span > 0 {
+		budget += s.rng.Int63n(span + 1)
+	}
+	s.mu.Unlock()
+	return &flakyConn{Conn: conn, sched: s, remaining: budget}
+}
+
+// Dialer returns a dial hook for lrpc.DialOptions.Dial whose connections
+// carry this schedule's byte budgets.
+func (s *Schedule) Dialer(network, addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return s.WrapConn(conn), nil
+	}
+}
+
+// flakyConn cuts the underlying connection once its byte budget (reads
+// plus writes) is spent — the "conn drop at byte N" fault. The cut is
+// mid-stream: the last operation may transfer a prefix of its buffer
+// before failing, which is exactly the partial-frame case the transport
+// has to survive.
+type flakyConn struct {
+	net.Conn
+	sched *Schedule
+
+	mu        sync.Mutex
+	remaining int64
+	dropped   bool
+}
+
+// take reserves up to n bytes of budget; it returns how many may move and
+// whether the connection must be cut after moving them.
+func (f *flakyConn) take(n int) (allowed int, cut bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.remaining >= int64(n) {
+		f.remaining -= int64(n)
+		return n, false
+	}
+	allowed = int(f.remaining)
+	f.remaining = 0
+	if !f.dropped {
+		f.dropped = true
+		f.sched.mu.Lock()
+		f.sched.counts.ConnDrops++
+		f.sched.mu.Unlock()
+	}
+	return allowed, true
+}
+
+func (f *flakyConn) Read(p []byte) (int, error) {
+	allowed, cut := f.take(len(p))
+	if !cut {
+		return f.Conn.Read(p)
+	}
+	if allowed == 0 {
+		f.Conn.Close()
+		return 0, ErrInjectedDrop
+	}
+	n, err := f.Conn.Read(p[:allowed])
+	f.Conn.Close()
+	if err == nil {
+		err = ErrInjectedDrop
+	}
+	return n, err
+}
+
+func (f *flakyConn) Write(p []byte) (int, error) {
+	allowed, cut := f.take(len(p))
+	if !cut {
+		return f.Conn.Write(p)
+	}
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = f.Conn.Write(p[:allowed])
+	}
+	f.Conn.Close()
+	if err == nil {
+		err = ErrInjectedDrop
+	}
+	return n, err
+}

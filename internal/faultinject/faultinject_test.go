@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"lrpc"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{PanicProb: 0.2, StallProb: 0.3, StallMax: time.Millisecond, TerminateProb: 0.1}
+	a, b := New(7, cfg), New(7, cfg)
+	for i := 0; i < 1000; i++ {
+		fa, fb := a.HandlerFault("I", "P"), b.HandlerFault("I", "P")
+		if fa != fb {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+func TestScheduleInjectsPanicAsCallFailed(t *testing.T) {
+	sys := lrpc.NewSystem()
+	sys.SetFaultInjector(New(1, Config{PanicProb: 1}))
+	if _, err := sys.Export(&lrpc.Interface{Name: "X", Procs: []lrpc.Proc{{
+		Name: "Nop", AStackSize: 8, Handler: func(c *lrpc.Call) {},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Call(0, nil)
+	if !errors.Is(err, lrpc.ErrCallFailed) {
+		t.Fatalf("injected panic surfaced as %v, want ErrCallFailed", err)
+	}
+	var pe *lrpc.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic did not carry a PanicError: %v", err)
+	}
+}
+
+func TestFlakyConnDropsAtByteN(t *testing.T) {
+	sched := New(3, Config{DropAfterMin: 10, DropAfterMax: 10})
+	server, client := net.Pipe()
+	defer server.Close()
+	fc := sched.WrapConn(client)
+
+	go io.Copy(io.Discard, server)
+	if n, err := fc.Write(bytes.Repeat([]byte{1}, 8)); n != 8 || err != nil {
+		t.Fatalf("write within budget: n=%d err=%v", n, err)
+	}
+	// The next write crosses byte 10: two bytes move, then the cut.
+	n, err := fc.Write(bytes.Repeat([]byte{2}, 8))
+	if n != 2 || !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write across budget: n=%d err=%v, want 2, ErrInjectedDrop", n, err)
+	}
+	if _, err := fc.Write([]byte{3}); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write after drop: %v", err)
+	}
+	if got := sched.Counts().ConnDrops; got != 1 {
+		t.Fatalf("ConnDrops = %d, want 1", got)
+	}
+}

@@ -1,0 +1,242 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lrpc"
+)
+
+// TestStressFaultMesh is the acceptance harness for the resilience layer:
+// a mesh of client workers calling into several server domains while a
+// seeded schedule injects handler panics, stalls, and mid-call export
+// terminations, with caller deadlines and every A-stack exhaustion policy
+// in play. Each iteration is deterministic from its seed. Afterwards it
+// asserts the §5.3 invariants:
+//
+//   - every call resolved as success, ErrCallFailed, ErrCallTimeout,
+//     ErrRevoked, or ErrNoAStacks — never a crash, never a hang;
+//   - every handler activation returned (no captured thread outlives its
+//     server procedure);
+//   - every A-stack went back to its pool (outstanding == 0), including
+//     stacks of abandoned and panicked calls.
+func TestStressFaultMesh(t *testing.T) {
+	const iterations = 100
+	for it := 0; it < iterations; it++ {
+		runFaultMesh(t, int64(it))
+		if t.Failed() {
+			t.Fatalf("mesh failed at seed %d", it)
+		}
+	}
+}
+
+func runFaultMesh(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	sys := lrpc.NewSystem()
+	sched := New(seed, Config{
+		PanicProb:     0.08,
+		StallProb:     0.12,
+		StallMax:      2 * time.Millisecond,
+		TerminateProb: 0.01,
+	})
+	sys.SetFaultInjector(sched)
+
+	const domains = 3
+	exports := make([]*lrpc.Export, domains)
+	for d := 0; d < domains; d++ {
+		e, err := sys.Export(&lrpc.Interface{
+			Name: fmt.Sprintf("D%d", d),
+			Procs: []lrpc.Proc{
+				{Name: "Echo", AStackSize: 64, NumAStacks: 2, Handler: func(c *lrpc.Call) {
+					copy(c.ResultsBuf(len(c.Args())), c.Args())
+				}},
+				{Name: "Sum", AStackSize: 16, NumAStacks: 2, Handler: func(c *lrpc.Call) {
+					a := binary.LittleEndian.Uint32(c.Args()[0:4])
+					b := binary.LittleEndian.Uint32(c.Args()[4:8])
+					binary.LittleEndian.PutUint32(c.ResultsBuf(4), a+b)
+				}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exports[d] = e
+	}
+
+	policies := []lrpc.AStackPolicy{lrpc.AllocateAStack, lrpc.WaitForAStack, lrpc.FailOnExhaustion}
+	const workers = 4
+	const callsPerWorker = 20
+
+	var bindings []*lrpc.Binding
+	type job struct {
+		bs   []*lrpc.Binding
+		seed int64
+	}
+	var jobs []job
+	for w := 0; w < workers; w++ {
+		bs := make([]*lrpc.Binding, domains)
+		for d := 0; d < domains; d++ {
+			b, err := sys.Import(fmt.Sprintf("D%d", d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Policy = policies[(w+d)%len(policies)]
+			bs[d] = b
+		}
+		bindings = append(bindings, bs...)
+		jobs = append(jobs, job{bs: bs, seed: rng.Int63()})
+	}
+
+	// Maybe terminate one domain mid-run, on the schedule's clock.
+	if rng.Intn(2) == 0 {
+		victim := exports[rng.Intn(domains)]
+		delay := time.Duration(rng.Int63n(int64(3 * time.Millisecond)))
+		go func() {
+			time.Sleep(delay)
+			victim.Terminate()
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(j.seed))
+			for i := 0; i < callsPerWorker; i++ {
+				b := j.bs[wrng.Intn(domains)]
+				proc := wrng.Intn(2)
+				var args []byte
+				wantEcho := false
+				if proc == 1 {
+					args = make([]byte, 8)
+					binary.LittleEndian.PutUint32(args[0:4], wrng.Uint32()>>1)
+					binary.LittleEndian.PutUint32(args[4:8], wrng.Uint32()>>1)
+				} else {
+					n := 1 + wrng.Intn(32)
+					if wrng.Intn(4) == 0 {
+						n = 100 + wrng.Intn(100) // out-of-band: beyond the 64-byte A-stack
+					}
+					args = bytes.Repeat([]byte{byte(i)}, n)
+					wantEcho = true
+				}
+				var res []byte
+				var err error
+				if wrng.Intn(2) == 0 {
+					ctx, cancel := context.WithTimeout(context.Background(),
+						time.Duration(1+wrng.Intn(3))*time.Millisecond)
+					res, err = b.CallContext(ctx, proc, args)
+					cancel()
+				} else {
+					res, err = b.Call(proc, args)
+				}
+				switch {
+				case err == nil:
+					if wantEcho && !bytes.Equal(res, args) {
+						t.Errorf("seed %d: echo corrupted (%d bytes in, %d out)", seed, len(args), len(res))
+						return
+					}
+				case errors.Is(err, lrpc.ErrCallFailed),
+					errors.Is(err, lrpc.ErrCallTimeout),
+					errors.Is(err, lrpc.ErrRevoked),
+					errors.Is(err, lrpc.ErrNoAStacks):
+					// The allowed resolutions: call-failed, call-aborted,
+					// revoked binding, or explicit backpressure.
+				default:
+					t.Errorf("seed %d: unexpected call resolution: %v", seed, err)
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	// Quiesce: abandoned activations may still be draining their stalls;
+	// they must all return and hand their A-stacks back.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var active int64
+		for _, e := range exports {
+			active += e.Active()
+		}
+		outstanding := 0
+		for _, b := range bindings {
+			outstanding += b.Outstanding()
+		}
+		if active == 0 && outstanding == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: leaked state after quiesce: active=%d outstanding=%d",
+				seed, active, outstanding)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// TestNetClientSurvivesConnDrops runs the network plane against a dialer
+// whose connections are cut every few hundred bytes: the client must
+// redial and keep completing calls, resolving every failure as
+// ErrCallTimeout or ErrConnClosed, never hanging.
+func TestNetClientSurvivesConnDrops(t *testing.T) {
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(&lrpc.Interface{Name: "Echo", Procs: []lrpc.Proc{{
+		Name: "Echo", AStackSize: 256,
+		Handler: func(c *lrpc.Call) { copy(c.ResultsBuf(len(c.Args())), c.Args()) },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sys.ServeNetwork(l)
+
+	sched := New(11, Config{DropAfterMin: 300, DropAfterMax: 900})
+	c, err := lrpc.NewReconnectingClient("Echo", lrpc.DialOptions{
+		Dial:           sched.Dialer("tcp", l.Addr().String()),
+		CallTimeout:    500 * time.Millisecond,
+		BackoffInitial: time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const calls = 200
+	success := 0
+	payload := bytes.Repeat([]byte{0x5A}, 40)
+	for i := 0; i < calls; i++ {
+		res, err := c.Call(0, payload)
+		switch {
+		case err == nil:
+			if !bytes.Equal(res, payload) {
+				t.Fatalf("call %d: echo corrupted", i)
+			}
+			success++
+		case errors.Is(err, lrpc.ErrConnClosed), errors.Is(err, lrpc.ErrCallTimeout):
+			// A drop caught this call on the wire; the next calls must
+			// recover over a fresh connection.
+		default:
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Reconnects == 0 {
+		t.Errorf("no reconnects despite %d injected drops", sched.Counts().ConnDrops)
+	}
+	if success < calls/2 {
+		t.Errorf("only %d/%d calls succeeded across reconnects", success, calls)
+	}
+}

@@ -150,11 +150,12 @@ func (c *Call) SetResults(b []byte) { copy(c.ResultsBuf(len(b)), b) }
 // System is one machine's LRPC installation: the name server plus the
 // binding validation state the kernel would hold.
 type System struct {
-	mu      sync.RWMutex
-	exports map[string]*Export
-	binds   map[uint64]*bindingRecord
-	nextID  uint64
-	rng     *rand.Rand
+	mu       sync.RWMutex
+	exports  map[string]*Export
+	binds    map[uint64]*bindingRecord
+	nextID   uint64
+	rng      *rand.Rand
+	injector FaultInjector
 }
 
 type bindingRecord struct {
@@ -177,10 +178,16 @@ type Export struct {
 	iface      *Interface
 	mu         sync.Mutex
 	terminated bool
-	bindings   []uint64
+	bindings   []*Binding
 
 	// Calls counts completed invocations across all bindings.
 	calls uint64
+
+	// Resilience accounting (see fault.go).
+	panicPolicy int32  // PanicPolicy, atomically
+	active      int64  // handler activations currently running
+	abandoned   uint64 // calls abandoned by their caller's deadline
+	panics      uint64 // handler invocations that panicked
 }
 
 // Export registers iface and returns its export handle. Every procedure
@@ -221,19 +228,41 @@ func (e *Export) Calls() uint64 {
 // Terminate withdraws the interface and revokes every binding minted for
 // it, following the paper's domain-termination semantics (section 5.3):
 // new calls fail with ErrRevoked; calls in progress complete their handler
-// but return ErrCallFailed to the caller.
+// but return ErrCallFailed to the caller; callers parked waiting for an
+// argument stack are woken and fail with ErrRevoked.
 func (e *Export) Terminate() {
 	e.mu.Lock()
+	if e.terminated {
+		e.mu.Unlock()
+		return
+	}
 	e.terminated = true
-	ids := append([]uint64(nil), e.bindings...)
+	bindings := append([]*Binding(nil), e.bindings...)
 	e.mu.Unlock()
 
 	e.sys.mu.Lock()
-	delete(e.sys.exports, e.iface.Name)
-	for _, id := range ids {
-		delete(e.sys.binds, id)
+	// Only unregister the name if it still refers to this export: the
+	// name may have been re-exported by a successor domain.
+	if cur, ok := e.sys.exports[e.iface.Name]; ok && cur == e {
+		delete(e.sys.exports, e.iface.Name)
+	}
+	for _, b := range bindings {
+		delete(e.sys.binds, b.id)
 	}
 	e.sys.mu.Unlock()
+
+	// Release every thread blocked on an exhausted A-stack pool: a
+	// terminated domain can never return a stack, so waiting would be
+	// forever.
+	seen := make(map[*astackPool]bool)
+	for _, b := range bindings {
+		for _, p := range b.pools {
+			if !seen[p] {
+				seen[p] = true
+				p.revoke()
+			}
+		}
+	}
 }
 
 // AStackPolicy selects what a call does when every argument stack of its
@@ -275,31 +304,74 @@ type Binding struct {
 // share group), guarded by its own lock so concurrent calls to different
 // procedures never contend (the paper's design-for-concurrency property).
 type astackPool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	size   int
-	stacks [][]byte
+	mu          sync.Mutex
+	cond        *sync.Cond
+	size        int
+	stacks      [][]byte
+	outstanding int  // stacks checked out to running activations
+	revoked     bool // export terminated: waiters fail, stacks are dropped
 }
 
-func (p *astackPool) get(policy AStackPolicy) ([]byte, error) {
+// errWaitCancelled reports a WaitForAStack sleep cut short by the
+// caller's cancel channel; CallContext maps it to ErrCallTimeout.
+var errWaitCancelled = errors.New("lrpc: astack wait cancelled")
+
+// get checks a stack out of the pool. cancel, when non-nil, aborts a
+// WaitForAStack sleep (it is the caller's ctx.Done()).
+func (p *astackPool) get(policy AStackPolicy, cancel <-chan struct{}) ([]byte, error) {
 	p.mu.Lock()
+	watching := false
+	stop := make(chan struct{})
+	defer func() {
+		if watching {
+			close(stop)
+		}
+	}()
 	for {
+		if p.revoked {
+			p.mu.Unlock()
+			return nil, ErrRevoked
+		}
 		if n := len(p.stacks); n > 0 {
 			s := p.stacks[n-1]
 			p.stacks = p.stacks[:n-1]
+			p.outstanding++
 			p.mu.Unlock()
 			return s, nil
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				p.mu.Unlock()
+				return nil, errWaitCancelled
+			default:
+			}
 		}
 		switch policy {
 		case WaitForAStack:
 			if p.cond == nil {
 				p.cond = sync.NewCond(&p.mu)
 			}
+			if cancel != nil && !watching {
+				// Wake the condition variable if the caller's context
+				// dies while we are parked on the pool.
+				watching = true
+				go func() {
+					select {
+					case <-cancel:
+						p.mu.Lock()
+						p.cond.Broadcast()
+						p.mu.Unlock()
+					case <-stop:
+					}
+				}()
+			}
 			p.cond.Wait()
 		case FailOnExhaustion:
 			p.mu.Unlock()
 			return nil, ErrNoAStacks
 		default:
+			p.outstanding++
 			p.mu.Unlock()
 			// Overflow allocation (section 5.2's "allocate more").
 			return make([]byte, p.size), nil
@@ -309,9 +381,40 @@ func (p *astackPool) get(policy AStackPolicy) ([]byte, error) {
 
 func (p *astackPool) put(s []byte) {
 	p.mu.Lock()
-	p.stacks = append(p.stacks, s)
+	p.outstanding--
+	if !p.revoked {
+		p.stacks = append(p.stacks, s)
+		if p.cond != nil {
+			p.cond.Signal()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// putPoisoned retires a stack whose handler panicked: the handler may
+// still hold a reference to it, so a fresh buffer replaces it in the pool
+// and the poisoned one is never reused.
+func (p *astackPool) putPoisoned(s []byte) {
+	p.mu.Lock()
+	p.outstanding--
+	if !p.revoked {
+		p.stacks = append(p.stacks, make([]byte, p.size))
+		if p.cond != nil {
+			p.cond.Signal()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// revoke marks the pool dead and wakes every WaitForAStack sleeper so it
+// can fail with ErrRevoked instead of blocking forever (section 5.3:
+// termination must release waiting threads, not strand them).
+func (p *astackPool) revoke() {
+	p.mu.Lock()
+	p.revoked = true
+	p.stacks = nil
 	if p.cond != nil {
-		p.cond.Signal()
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 }
@@ -362,7 +465,17 @@ func (s *System) Import(name string) (*Binding, error) {
 		b.pools = append(b.pools, pool)
 	}
 	e.mu.Lock()
-	e.bindings = append(e.bindings, b.id)
+	if e.terminated {
+		// The export died between lookup and registration; hand the
+		// caller a binding that is already revoked rather than one whose
+		// pools would never be released.
+		e.mu.Unlock()
+		for _, p := range b.pools {
+			p.revoke()
+		}
+		return b, nil
+	}
+	e.bindings = append(e.bindings, b)
 	e.mu.Unlock()
 	return b, nil
 }
@@ -390,46 +503,25 @@ func (b *Binding) Call(proc int, args []byte) ([]byte, error) {
 // CallAppend is Call appending the results to dst (which may be nil),
 // letting callers reuse result buffers across calls.
 func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
-	// Kernel half: validate the binding object against the system table.
-	b.sys.mu.RLock()
-	rec, ok := b.sys.binds[b.id]
-	b.sys.mu.RUnlock()
-	if !ok || rec.nonce != b.nonce || rec.export != b.exp {
-		return nil, ErrRevoked
-	}
-	if proc < 0 || proc >= len(b.pools) {
-		return nil, ErrBadProcedure
-	}
-	if len(args) > MaxOOBSize {
-		return nil, ErrTooLarge
-	}
-	p := &b.exp.iface.Procs[proc]
-
-	// Client stub: argument stack off the LIFO queue, single copy in.
-	pool := b.pools[proc]
-	astack, err := pool.get(b.Policy)
+	p, pool, err := b.validate(proc, args)
 	if err != nil {
 		return nil, err
 	}
-	callArgs := args
-	if len(args) <= len(astack) {
-		copy(astack, args) // copy A
-		callArgs = astack[:len(args)]
-	}
-	// else: oversized arguments stay in the caller's buffer — the Go
-	// analog of the out-of-band segment, which is itself just another
-	// pairwise-shared region.
 
-	c := Call{astack: astack, args: callArgs}
-	if p.ProtectArgs && len(callArgs) > 0 {
-		cp := make([]byte, len(callArgs))
-		copy(cp, callArgs) // copy E: immutability-sensitive procedures
-		c.args = cp
+	// Client stub: argument stack off the LIFO queue, single copy in.
+	astack, err := pool.get(b.Policy, nil)
+	if err != nil {
+		return nil, err
 	}
+	c := prepareCall(p, astack, args)
 
 	// Domain transfer: the calling goroutine executes the server's
-	// procedure directly — no scheduler rendezvous.
-	p.Handler(&c)
+	// procedure directly — no scheduler rendezvous. A handler panic is
+	// contained in runHandler and surfaces as the call-failed exception.
+	if herr := b.exp.runHandler(p, c); herr != nil {
+		pool.putPoisoned(astack)
+		return nil, herr
+	}
 
 	// Return: copy results to their final destination (copy F).
 	var out []byte
@@ -454,6 +546,45 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 		return nil, ErrCallFailed
 	}
 	return out, nil
+}
+
+// validate is the kernel half of a call: check the binding object against
+// the system table and the request against the interface.
+func (b *Binding) validate(proc int, args []byte) (*Proc, *astackPool, error) {
+	b.sys.mu.RLock()
+	rec, ok := b.sys.binds[b.id]
+	b.sys.mu.RUnlock()
+	if !ok || rec.nonce != b.nonce || rec.export != b.exp {
+		return nil, nil, ErrRevoked
+	}
+	if proc < 0 || proc >= len(b.pools) {
+		return nil, nil, ErrBadProcedure
+	}
+	if len(args) > MaxOOBSize {
+		return nil, nil, ErrTooLarge
+	}
+	return &b.exp.iface.Procs[proc], b.pools[proc], nil
+}
+
+// prepareCall stages the arguments on the A-stack (copy A) and builds the
+// server's view of the invocation.
+func prepareCall(p *Proc, astack, args []byte) *Call {
+	callArgs := args
+	if len(args) <= len(astack) {
+		copy(astack, args) // copy A
+		callArgs = astack[:len(args)]
+	}
+	// else: oversized arguments stay in the caller's buffer — the Go
+	// analog of the out-of-band segment, which is itself just another
+	// pairwise-shared region.
+
+	c := &Call{astack: astack, args: callArgs}
+	if p.ProtectArgs && len(callArgs) > 0 {
+		cp := make([]byte, len(callArgs))
+		copy(cp, callArgs) // copy E: immutability-sensitive procedures
+		c.args = cp
+	}
+	return c
 }
 
 // CallByName invokes a procedure by name.

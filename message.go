@@ -81,7 +81,14 @@ func (mb *MsgBinding) worker() {
 
 		astack := make([]byte, maxInt(len(serverArgs), DefaultAStackSize))
 		c := Call{astack: astack, args: serverArgs}
-		p.Handler(&c)
+		// Dispatch through the containment path: a handler panic must not
+		// kill the worker (which would strand every queued caller) — it
+		// becomes the call-failed exception for this one caller.
+		if err := mb.exp.runHandler(p, &c); err != nil {
+			msg.err = err
+			msg.reply <- msg
+			continue
+		}
 
 		// The server places results into the reply message.
 		var res []byte

@@ -1,12 +1,16 @@
 package lrpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // This file is the wall-clock cross-machine path of the paper's section
@@ -15,6 +19,15 @@ import (
 // signature, deciding "at the earliest possible moment — the first
 // instruction of the stub" via the binding's remote bit.
 //
+// Unlike the paper's prototype, the transport is built to survive the
+// network's uncommon cases: the client redials a broken connection with
+// capped exponential backoff plus jitter, bounds its in-flight window
+// (backpressure instead of unbounded pipelining), enforces per-call
+// deadlines, and retries only those calls that never reached the wire (so
+// a non-idempotent procedure is never executed twice). The server bounds
+// per-connection handler concurrency and applies write deadlines so a
+// stalled peer cannot pin goroutines forever.
+//
 // Wire protocol (all integers little-endian):
 //
 //	frame   = u32 length, payload
@@ -22,74 +35,205 @@ import (
 //	reply   = u64 callID, u8 status, body   (status 0: body = results;
 //	                                         status 1: body = error text)
 
-// ErrConnClosed reports a call on a closed network binding.
+// ErrConnClosed reports a call on a closed network binding, or a call
+// whose connection died after the request may have reached the server
+// (not safe to retry) or could not be re-established within the redial
+// budget.
 var ErrConnClosed = errors.New("lrpc: network connection closed")
 
 // maxFrame bounds a single network frame.
 const maxFrame = MaxOOBSize + 1024
 
+// ServeOptions tunes ServeNetworkOpts. The zero value selects defaults.
+type ServeOptions struct {
+	// MaxInFlight bounds concurrently running handlers per connection;
+	// once full, the read loop stops consuming requests (TCP backpressure
+	// reaches the client). 0 selects 64.
+	MaxInFlight int
+	// WriteTimeout bounds each reply write, so a handler is never pinned
+	// forever on a peer that stopped reading. 0 selects 10s.
+	WriteTimeout time.Duration
+}
+
+func (o *ServeOptions) fill() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+}
+
 // ServeNetwork serves this system's exported interfaces to remote clients
-// on l. It blocks until the listener fails or is closed; each connection
-// is handled on its own goroutine. Remote calls are dispatched through the
-// same export handlers local calls use.
+// on l with default options. It blocks until the listener fails or is
+// closed; each connection is handled on its own goroutine. Remote calls
+// are dispatched through the same export handlers local calls use.
 func (s *System) ServeNetwork(l net.Listener) error {
+	return s.ServeNetworkOpts(l, ServeOptions{})
+}
+
+// ServeNetworkOpts is ServeNetwork with explicit limits.
+func (s *System) ServeNetworkOpts(l net.Listener, opts ServeOptions) error {
+	opts.fill()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go s.serveConn(conn)
+		go s.serveConn(conn, opts)
 	}
 }
 
-func (s *System) serveConn(conn net.Conn) {
-	defer conn.Close()
+func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
+	// closing is the close signal to in-flight handlers: once the read
+	// side has failed the connection is dead, and a handler finishing
+	// afterwards must not try to write its reply into it.
+	closing := make(chan struct{})
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.MaxInFlight)
 	var wmu sync.Mutex // interleaved replies from concurrent handlers
 	bindings := map[string]*Binding{}
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
-			return
+			break
 		}
 		callID, name, proc, args, err := parseRequest(frame)
 		if err != nil {
-			return
+			break
 		}
 		b, ok := bindings[name]
 		if !ok {
 			nb, err := s.Import(name)
 			if err != nil {
-				writeReply(conn, &wmu, callID, 1, []byte(err.Error()))
+				writeReply(conn, &wmu, opts.WriteTimeout, callID, 1, []byte(err.Error()))
 				continue
 			}
 			bindings[name] = nb
 			b = nb
 		}
-		// Serve concurrently: each in-flight request gets a server-side
-		// thread of control, as a conventional RPC receiver would
-		// dispatch worker threads.
+		// Serve concurrently, but bounded: each in-flight request gets a
+		// server-side thread of control, and once MaxInFlight of them are
+		// running the read loop parks here instead of minting more.
+		sem <- struct{}{}
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
 			res, err := b.Call(proc, args)
+			select {
+			case <-closing:
+				return // the connection died while we ran; drop the reply
+			default:
+			}
 			if err != nil {
-				writeReply(conn, &wmu, callID, 1, []byte(err.Error()))
+				writeReply(conn, &wmu, opts.WriteTimeout, callID, 1, []byte(err.Error()))
 				return
 			}
-			writeReply(conn, &wmu, callID, 0, res)
+			writeReply(conn, &wmu, opts.WriteTimeout, callID, 0, res)
 		}()
+	}
+	close(closing)
+	conn.Close() // unblock any handler mid-write
+	wg.Wait()
+}
+
+// DialOptions tunes a NetClient. The zero value selects defaults.
+type DialOptions struct {
+	// MaxInFlight bounds the number of calls pipelined over the
+	// connection at once; further calls wait for a slot (or their
+	// deadline). 0 selects 128.
+	MaxInFlight int
+	// CallTimeout, when nonzero, is the default deadline applied to
+	// Call; CallContext deadlines take precedence.
+	CallTimeout time.Duration
+	// WriteTimeout bounds each request write. 0 selects 10s.
+	WriteTimeout time.Duration
+	// RedialAttempts is how many consecutive failed dials a single call
+	// tolerates before failing with ErrConnClosed. 0 selects 5.
+	RedialAttempts int
+	// BackoffInitial and BackoffMax shape the capped exponential redial
+	// backoff; the actual delay is jittered uniformly over
+	// [delay/2, delay]. Zero values select 10ms and 1s.
+	BackoffInitial time.Duration
+	BackoffMax     time.Duration
+	// Seed seeds the jitter source; 0 selects a random seed.
+	Seed int64
+	// Dial establishes a connection. DialInterfaceOpts fills it with
+	// net.Dial; fault-injection harnesses substitute flaky transports
+	// here (see internal/faultinject).
+	Dial func() (net.Conn, error)
+}
+
+func (o *DialOptions) fill() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 128
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.RedialAttempts <= 0 {
+		o.RedialAttempts = 5
+	}
+	if o.BackoffInitial <= 0 {
+		o.BackoffInitial = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = rand.Int63()
 	}
 }
 
-// NetClient is a client connection to a remote System, safe for
-// concurrent use; calls are pipelined over one connection.
-type NetClient struct {
-	conn net.Conn
-	name string
+// NetClientStats counts a client's lifetime events, for robustness
+// dashboards and the lrpcbench faults driver.
+type NetClientStats struct {
+	Calls      uint64 // calls issued
+	Failures   uint64 // calls that returned a remote error
+	Timeouts   uint64 // calls abandoned at their deadline
+	Reconnects uint64 // successful redials after a connection loss
+	Retries    uint64 // requests re-sent because they never reached the wire
+}
 
-	wmu    sync.Mutex
-	mu     sync.Mutex
-	nextID uint64
-	wait   map[uint64]chan netReply
-	closed bool
+// NetClient is a client connection to a remote System, safe for
+// concurrent use; calls are pipelined over one connection up to the
+// in-flight window. When the connection breaks the client redials with
+// capped exponential backoff and jitter; calls whose request never
+// reached the wire are retried transparently, calls already on the wire
+// fail with ErrConnClosed (the transport cannot know whether the server
+// executed them).
+type NetClient struct {
+	name string
+	opts DialOptions
+	sem  chan struct{}
+
+	closedCh chan struct{}
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu          sync.Mutex
+	conn        net.Conn
+	gen         uint64 // connection generation, bumps on every redial
+	dialing     bool
+	dialDone    chan struct{}
+	lastDialErr error
+	backoff     time.Duration
+	rng         *rand.Rand
+	nextID      uint64
+	wait        map[uint64]*pendingCall
+	closed      bool
+
+	calls      atomic.Uint64
+	failures   atomic.Uint64
+	timeouts   atomic.Uint64
+	reconnects atomic.Uint64
+	retries    atomic.Uint64
+}
+
+type pendingCall struct {
+	ch  chan netReply
+	gen uint64
 }
 
 type netReply struct {
@@ -100,32 +244,79 @@ type netReply struct {
 // DialInterface connects to a remote System at addr (as served by
 // ServeNetwork) and binds to the named interface.
 func DialInterface(network, addr, name string) (*NetClient, error) {
-	conn, err := net.Dial(network, addr)
+	return DialInterfaceOpts(network, addr, name, DialOptions{})
+}
+
+// DialInterfaceOpts is DialInterface with explicit resilience options.
+// The initial dial happens eagerly, so an unreachable address fails here
+// rather than on the first call.
+func DialInterfaceOpts(network, addr, name string, opts DialOptions) (*NetClient, error) {
+	if opts.Dial == nil {
+		opts.Dial = func() (net.Conn, error) { return net.Dial(network, addr) }
+	}
+	return NewReconnectingClient(name, opts)
+}
+
+// NewReconnectingClient builds a client around opts.Dial (which must be
+// set) and dials eagerly.
+func NewReconnectingClient(name string, opts DialOptions) (*NetClient, error) {
+	if opts.Dial == nil {
+		return nil, errors.New("lrpc: NewReconnectingClient requires DialOptions.Dial")
+	}
+	opts.fill()
+	conn, err := opts.Dial()
 	if err != nil {
 		return nil, err
 	}
-	return NewNetClient(conn, name), nil
+	c := newNetClient(conn, name, opts)
+	return c, nil
 }
 
 // NewNetClient wraps an established connection (useful with net.Pipe in
-// tests).
+// tests). Without a Dial hook the client cannot reconnect: when the
+// connection dies, calls fail with ErrConnClosed.
 func NewNetClient(conn net.Conn, name string) *NetClient {
-	c := &NetClient{conn: conn, name: name, wait: map[uint64]chan netReply{}}
-	go c.readLoop()
+	return NewNetClientOpts(conn, name, DialOptions{})
+}
+
+// NewNetClientOpts is NewNetClient with explicit options (the Dial hook,
+// if set, enables reconnection).
+func NewNetClientOpts(conn net.Conn, name string, opts DialOptions) *NetClient {
+	opts.fill()
+	return newNetClient(conn, name, opts)
+}
+
+func newNetClient(conn net.Conn, name string, opts DialOptions) *NetClient {
+	c := &NetClient{
+		name:     name,
+		opts:     opts,
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		closedCh: make(chan struct{}),
+		conn:     conn,
+		gen:      1,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		wait:     map[uint64]*pendingCall{},
+	}
+	go c.readLoop(conn, 1)
 	return c
 }
 
-func (c *NetClient) readLoop() {
+// Stats returns a snapshot of the client's event counters.
+func (c *NetClient) Stats() NetClientStats {
+	return NetClientStats{
+		Calls:      c.calls.Load(),
+		Failures:   c.failures.Load(),
+		Timeouts:   c.timeouts.Load(),
+		Reconnects: c.reconnects.Load(),
+		Retries:    c.retries.Load(),
+	}
+}
+
+func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 	for {
-		frame, err := readFrame(c.conn)
+		frame, err := readFrame(conn)
 		if err != nil {
-			c.mu.Lock()
-			c.closed = true
-			for id, ch := range c.wait {
-				close(ch)
-				delete(c.wait, id)
-			}
-			c.mu.Unlock()
+			c.connBroken(conn, gen, err)
 			return
 		}
 		if len(frame) < 9 {
@@ -134,63 +325,285 @@ func (c *NetClient) readLoop() {
 		id := binary.LittleEndian.Uint64(frame[0:8])
 		reply := netReply{status: frame[8], body: frame[9:]}
 		c.mu.Lock()
-		ch, ok := c.wait[id]
+		p, ok := c.wait[id]
 		if ok {
 			delete(c.wait, id)
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- reply
+			p.ch <- reply
 		}
 	}
 }
 
-// Call performs one network RPC.
+// connBroken retires a dead connection: detach it (if it is still the
+// current one) and fail every call that was pipelined on it. Calls on
+// other generations are untouched.
+func (c *NetClient) connBroken(conn net.Conn, gen uint64, _ error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.gen == gen && c.conn == conn {
+		c.conn = nil
+	}
+	for id, p := range c.wait {
+		if p.gen == gen {
+			delete(c.wait, id)
+			close(p.ch)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// getConn returns the live connection, redialing if necessary. Each
+// invocation tolerates at most RedialAttempts failed dials before giving
+// up, so a call can never spin forever against a dead server.
+func (c *NetClient) getConn(ctx context.Context) (net.Conn, uint64, error) {
+	fails := 0
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, 0, ErrConnClosed
+		}
+		if c.conn != nil {
+			conn, gen := c.conn, c.gen
+			c.mu.Unlock()
+			return conn, gen, nil
+		}
+		if c.opts.Dial == nil {
+			c.mu.Unlock()
+			return nil, 0, ErrConnClosed
+		}
+		if fails >= c.opts.RedialAttempts {
+			lastErr := c.lastDialErr
+			c.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: redial failed %d times, last error: %v",
+				ErrConnClosed, fails, lastErr)
+		}
+		if c.dialing {
+			// Another call is already dialing; wait for its round.
+			done := c.dialDone
+			c.mu.Unlock()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, 0, timeoutError(ctx.Err())
+			case <-c.closedCh:
+				return nil, 0, ErrConnClosed
+			}
+			fails++ // count the observed round against our budget
+			c.mu.Lock()
+			continue
+		}
+		// This call runs the dial round. Jittered, capped exponential
+		// backoff: delay doubles per consecutive failure, and the actual
+		// sleep is uniform over [delay/2, delay] so a thundering herd of
+		// reconnecting clients decorrelates.
+		c.dialing = true
+		c.dialDone = make(chan struct{})
+		done := c.dialDone
+		delay := c.backoff
+		if delay > 0 {
+			half := delay / 2
+			delay = half + time.Duration(c.rng.Int63n(int64(half)+1))
+		}
+		if c.backoff == 0 {
+			c.backoff = c.opts.BackoffInitial
+		} else if c.backoff < c.opts.BackoffMax {
+			c.backoff *= 2
+			if c.backoff > c.opts.BackoffMax {
+				c.backoff = c.opts.BackoffMax
+			}
+		}
+		c.mu.Unlock()
+
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				c.mu.Lock()
+				c.dialing = false
+				c.mu.Unlock()
+				close(done)
+				return nil, 0, timeoutError(ctx.Err())
+			case <-c.closedCh:
+				t.Stop()
+				c.mu.Lock()
+				c.dialing = false
+				c.mu.Unlock()
+				close(done)
+				return nil, 0, ErrConnClosed
+			}
+		}
+		conn, err := c.opts.Dial()
+
+		c.mu.Lock()
+		c.dialing = false
+		if err != nil {
+			c.lastDialErr = err
+			fails++
+		} else if c.closed {
+			conn.Close()
+		} else {
+			c.gen++
+			c.conn = conn
+			c.backoff = 0
+			c.reconnects.Add(1)
+			go c.readLoop(conn, c.gen)
+		}
+		close(done)
+	}
+}
+
+// Call performs one network RPC, under the client's default CallTimeout
+// when one is configured.
 func (c *NetClient) Call(proc int, args []byte) ([]byte, error) {
+	ctx := context.Background()
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
+	return c.CallContext(ctx, proc, args)
+}
+
+// CallContext performs one network RPC under ctx: the call fails with
+// ErrCallTimeout when the deadline expires, whether it is waiting for an
+// in-flight slot, a reconnection, or the reply.
+func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
 	if len(args) > MaxOOBSize {
 		return nil, ErrTooLarge
 	}
-	ch := make(chan netReply, 1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.calls.Add(1)
+
+	// Bounded in-flight window: backpressure instead of unbounded
+	// pipelining.
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.closedCh:
+		return nil, ErrConnClosed
+	case <-ctx.Done():
+		c.timeouts.Add(1)
+		return nil, timeoutError(ctx.Err())
+	}
+	defer func() { <-c.sem }()
+
+	for attempt := 0; attempt < c.opts.RedialAttempts; attempt++ {
+		conn, gen, err := c.getConn(ctx)
+		if err != nil {
+			if errors.Is(err, ErrCallTimeout) {
+				c.timeouts.Add(1)
+			}
+			return nil, err
+		}
+
+		p := &pendingCall{ch: make(chan netReply, 1), gen: gen}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrConnClosed
+		}
+		c.nextID++
+		id := c.nextID
+		c.wait[id] = p
+		c.mu.Unlock()
+
+		wrote, werr := c.writeRequest(ctx, conn, id, proc, args)
+		if werr != nil {
+			c.mu.Lock()
+			delete(c.wait, id)
+			c.mu.Unlock()
+			c.connBroken(conn, gen, werr)
+			if !wrote {
+				// The request never reached the wire: retrying cannot
+				// double-execute anything, so redial and resend.
+				c.retries.Add(1)
+				continue
+			}
+			return nil, fmt.Errorf("%w: send failed mid-request: %v", ErrConnClosed, werr)
+		}
+
+		select {
+		case reply, ok := <-p.ch:
+			if !ok {
+				// The connection died after the request reached the wire;
+				// the server may or may not have executed it, so this is
+				// not safe to retry.
+				return nil, fmt.Errorf("%w: connection lost awaiting reply", ErrConnClosed)
+			}
+			if reply.status != 0 {
+				c.failures.Add(1)
+				return nil, fmt.Errorf("lrpc: remote: %s", reply.body)
+			}
+			return reply.body, nil
+		case <-ctx.Done():
+			c.mu.Lock()
+			delete(c.wait, id)
+			c.mu.Unlock()
+			c.timeouts.Add(1)
+			return nil, timeoutError(ctx.Err())
+		case <-c.closedCh:
+			c.mu.Lock()
+			delete(c.wait, id)
+			c.mu.Unlock()
+			return nil, ErrConnClosed
+		}
+	}
+	return nil, fmt.Errorf("%w: request could not be sent after %d attempts",
+		ErrConnClosed, c.opts.RedialAttempts)
+}
+
+// writeRequest frames and writes one request as a single Write call, so
+// "reached the wire" is decidable: wrote reports whether any byte of the
+// frame made it into the connection.
+func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, proc int, args []byte) (wrote bool, err error) {
+	buf := make([]byte, 4+8+2+len(c.name)+4+len(args))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
+	binary.LittleEndian.PutUint64(buf[4:12], id)
+	binary.LittleEndian.PutUint16(buf[12:14], uint16(len(c.name)))
+	off := 14 + copy(buf[14:], c.name)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(proc))
+	copy(buf[off+4:], args)
+
+	deadline := time.Now().Add(c.opts.WriteTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	conn.SetWriteDeadline(deadline)
+	n, err := conn.Write(buf)
+	conn.SetWriteDeadline(time.Time{})
+	return n > 0, err
+}
+
+// Close tears down the connection permanently; in-flight calls fail with
+// ErrConnClosed and no redial is attempted.
+func (c *NetClient) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrConnClosed
+		return nil
 	}
-	c.nextID++
-	id := c.nextID
-	c.wait[id] = ch
-	c.mu.Unlock()
-
-	req := make([]byte, 8+2+len(c.name)+4+len(args))
-	binary.LittleEndian.PutUint64(req[0:8], id)
-	binary.LittleEndian.PutUint16(req[8:10], uint16(len(c.name)))
-	off := 10 + copy(req[10:], c.name)
-	binary.LittleEndian.PutUint32(req[off:], uint32(proc))
-	copy(req[off+4:], args)
-
-	c.wmu.Lock()
-	err := writeFrame(c.conn, req)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
+	c.closed = true
+	close(c.closedCh)
+	conn := c.conn
+	c.conn = nil
+	for id, p := range c.wait {
 		delete(c.wait, id)
-		c.mu.Unlock()
-		return nil, err
+		close(p.ch)
 	}
-
-	reply, ok := <-ch
-	if !ok {
-		return nil, ErrConnClosed
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
 	}
-	if reply.status != 0 {
-		return nil, fmt.Errorf("lrpc: remote: %s", reply.body)
-	}
-	return reply.body, nil
+	return nil
 }
-
-// Close tears down the connection; in-flight calls fail with
-// ErrConnClosed.
-func (c *NetClient) Close() error { return c.conn.Close() }
 
 // TransparentBinding serves the paper's transparency requirement: one
 // callable handle that is either local or remote, decided once at bind
@@ -215,6 +628,14 @@ func (tb *TransparentBinding) Call(proc int, args []byte) ([]byte, error) {
 		return tb.remote.Call(proc, args)
 	}
 	return tb.local.Call(proc, args)
+}
+
+// CallContext invokes the procedure under a context on either side.
+func (tb *TransparentBinding) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	if tb.remote != nil {
+		return tb.remote.CallContext(ctx, proc, args)
+	}
+	return tb.local.CallContext(ctx, proc, args)
 }
 
 // --- framing ---
@@ -245,14 +666,18 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-func writeReply(w io.Writer, wmu *sync.Mutex, callID uint64, status byte, body []byte) {
+func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID uint64, status byte, body []byte) {
 	buf := make([]byte, 9+len(body))
 	binary.LittleEndian.PutUint64(buf[0:8], callID)
 	buf[8] = status
 	copy(buf[9:], body)
 	wmu.Lock()
 	defer wmu.Unlock()
-	_ = writeFrame(w, buf)
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_ = writeFrame(conn, buf)
 }
 
 func parseRequest(frame []byte) (callID uint64, name string, proc int, args []byte, err error) {
