@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race stress bench
+.PHONY: ci vet build test race stress bench benchjson benchcheck
 
 ci: vet build test race
 
@@ -26,5 +26,18 @@ race:
 stress:
 	$(GO) test -race -count=1 -run 'TestStress|TestNetClient' ./internal/faultinject/ .
 
+# Full benchmark sweep with allocation counts (the wall-clock Null path
+# must report 0 allocs/op), then the multiprocessor throughput rig into a
+# fresh BENCH_pr2.json, checked against the recorded baseline.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkWallClock' -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkTable4|BenchmarkTable5' -run '^$$' .
+	$(MAKE) benchjson benchcheck
+
+# Regenerate the throughput artifact from a real run on this machine.
+benchjson:
+	$(GO) run ./cmd/lrpcbench -procs 4 -dur 500ms -json throughput > BENCH_pr2.json
+
+# Fail if the Null latency regressed >10% against the recorded baseline.
+benchcheck:
+	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr2.json

@@ -1,0 +1,383 @@
+package lrpc
+
+// This file is the wall-clock argument-stack plane rebuilt for the
+// paper's fourth technique, design for concurrency: the call transfer
+// path must touch no shared-data bottleneck, so throughput scales with
+// processors (Table 5, Figure 2).
+//
+// The pool has three tiers, fastest first:
+//
+//  1. a per-P sync.Pool front-end — the Go analog of the paper's
+//     idle-processor domain caching: a stack checked in on a processor
+//     is, with high probability, checked back out on the same processor
+//     with no cross-CPU traffic at all;
+//  2. a lock-free bounded MPMC ring (per-slot sequence numbers, the
+//     Vyukov construction) holding the provisioned stacks — the paper's
+//     per-procedure A-stack free list, with the spin lock deleted;
+//  3. a mutex+condvar slow path, entered only for the blocking
+//     WaitForAStack policy or a fault-path drain.
+//
+// Checkout accounting (Outstanding) is striped across padded cache
+// lines, indexed by the pooled Call's stripe, so the counters themselves
+// never become the shared bottleneck they are counting.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// numStripes is the stripe count for per-export and per-pool counters.
+// Power of two; indexed by Call.stripe.
+const numStripes = 8
+
+// padUint64 and padInt64 occupy a full cache line each so adjacent
+// stripes never false-share.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type padInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripedUint64 is a monotonic counter decomposed across cache lines.
+// The sum is exact whenever the counted activity is quiescent, and never
+// undercounts completed adds.
+type stripedUint64 [numStripes]padUint64
+
+func (s *stripedUint64) add(stripe uint32, d uint64) {
+	s[stripe&(numStripes-1)].v.Add(d)
+}
+
+func (s *stripedUint64) sum() uint64 {
+	var t uint64
+	for i := range s {
+		t += s[i].v.Load()
+	}
+	return t
+}
+
+// stripedInt64 is a +/- counter decomposed across cache lines. Each
+// logical participant adds and subtracts on the same stripe, so every
+// stripe — and therefore the sum — is non-negative at quiescence.
+type stripedInt64 [numStripes]padInt64
+
+func (s *stripedInt64) add(stripe uint32, d int64) {
+	s[stripe&(numStripes-1)].v.Add(d)
+}
+
+func (s *stripedInt64) sum() int64 {
+	var t int64
+	for i := range s {
+		t += s[i].v.Load()
+	}
+	return t
+}
+
+// astackBuf is one argument stack plus the stable box that lets it move
+// through interface values (sync.Pool, ring slots) without allocating.
+type astackBuf struct {
+	b []byte
+}
+
+// astackRing is a bounded lock-free MPMC queue of argument stacks: each
+// slot carries a sequence number that encodes, relative to the enqueue
+// and dequeue cursors, whether the slot is full or empty. Producers and
+// consumers claim slots with a single CAS on their cursor and then
+// publish through the slot's sequence — no lock, no ABA (the sequence
+// is the version counter).
+type astackRing struct {
+	mask  uint64
+	enq   atomic.Uint64
+	_     [56]byte // keep the two cursors off each other's cache line
+	deq   atomic.Uint64
+	_     [56]byte
+	slots []ringSlot
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	buf *astackBuf
+	_   [48]byte // pad to a cache line against neighbor-slot false sharing
+}
+
+func (r *astackRing) init(capacity int) {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r.mask = uint64(n - 1)
+	r.slots = make([]ringSlot, n)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+}
+
+// push enqueues buf; it reports false when the ring is full (an overflow
+// stack coming home to a full pool — the caller drops it for the GC).
+func (r *astackRing) push(buf *astackBuf) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.buf = buf
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			return false // full
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues a stack, or returns nil when the ring is empty.
+func (r *astackRing) pop() *astackBuf {
+	pos := r.deq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				buf := slot.buf
+				slot.buf = nil
+				slot.seq.Store(pos + r.mask + 1)
+				return buf
+			}
+			pos = r.deq.Load()
+		case seq < pos+1:
+			return nil // empty
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// astackPool is the pool of argument stacks for one procedure (or one
+// share group). The common-case checkout and checkin are entirely
+// lock-free; the mutex exists only for WaitForAStack parking and
+// revocation wakeups.
+type astackPool struct {
+	size   int // bytes per stack
+	seeded int // stacks provisioned at bind time
+
+	ring        astackRing
+	outstanding stripedInt64
+	revoked     atomic.Bool
+
+	// strict goes (and stays) true the first time the pool serves a
+	// non-default policy: from then on checkins bypass the front-end so
+	// exhaustion and waiting are judged against the ring alone.
+	strict atomic.Bool
+
+	// front is the per-P cache of checked-in stacks — the domain-caching
+	// analog. Only used while the pool has never been strict.
+	front sync.Pool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+}
+
+func newAStackPool(size, n int) *astackPool {
+	p := &astackPool{size: size, seeded: n}
+	p.ring.init(n)
+	for i := 0; i < n; i++ {
+		p.ring.push(&astackBuf{b: make([]byte, size)})
+	}
+	return p
+}
+
+// reseed replaces every provisioned stack with one of the new size. Only
+// called while the pool is still private to one Import (share-group
+// growth), so plain access is safe.
+func (p *astackPool) reseed(size int) {
+	p.size = size
+	for p.ring.pop() != nil {
+	}
+	for i := 0; i < p.seeded; i++ {
+		p.ring.push(&astackBuf{b: make([]byte, size)})
+	}
+}
+
+// errWaitCancelled reports a WaitForAStack sleep cut short by the
+// caller's cancel channel; CallContext maps it to ErrCallTimeout.
+var errWaitCancelled = errors.New("lrpc: astack wait cancelled")
+
+// get checks a stack out of the pool. cancel, when non-nil, aborts a
+// WaitForAStack sleep (it is the caller's ctx.Done()). stripe is the
+// calling invocation's counter stripe.
+func (p *astackPool) get(policy AStackPolicy, cancel <-chan struct{}, stripe uint32) (*astackBuf, error) {
+	if p.revoked.Load() {
+		return nil, ErrRevoked
+	}
+	if policy == AllocateAStack && !p.strict.Load() {
+		// Lock-free fast path: per-P cache, then the ring, then an
+		// overflow allocation (section 5.2's "allocate more") — a call
+		// never blocks and never takes a lock.
+		if v := p.front.Get(); v != nil {
+			p.outstanding.add(stripe, 1)
+			return v.(*astackBuf), nil
+		}
+		if buf := p.ring.pop(); buf != nil {
+			p.outstanding.add(stripe, 1)
+			return buf, nil
+		}
+		p.outstanding.add(stripe, 1)
+		return &astackBuf{b: make([]byte, p.size)}, nil
+	}
+	return p.getSlow(policy, cancel, stripe)
+}
+
+// getSlow serves the non-default policies. It marks the pool strict
+// (checkins go to the ring from now on) and judges exhaustion against
+// the ring under the pool mutex.
+func (p *astackPool) getSlow(policy AStackPolicy, cancel <-chan struct{}, stripe uint32) (*astackBuf, error) {
+	p.strict.Store(true)
+	// Stacks parked in the front-end before the pool turned strict are
+	// still honored, best effort.
+	if v := p.front.Get(); v != nil {
+		p.outstanding.add(stripe, 1)
+		return v.(*astackBuf), nil
+	}
+	var stop chan struct{}
+	watching := false
+	defer func() {
+		if watching {
+			close(stop)
+		}
+	}()
+	p.mu.Lock()
+	for {
+		if p.revoked.Load() {
+			p.mu.Unlock()
+			return nil, ErrRevoked
+		}
+		if buf := p.ring.pop(); buf != nil {
+			p.outstanding.add(stripe, 1)
+			p.mu.Unlock()
+			return buf, nil
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				p.mu.Unlock()
+				return nil, errWaitCancelled
+			default:
+			}
+		}
+		switch policy {
+		case WaitForAStack:
+			if p.cond == nil {
+				p.cond = sync.NewCond(&p.mu)
+			}
+			if cancel != nil && !watching {
+				// Wake the condition variable if the caller's context
+				// dies while we are parked on the pool. The stop channel
+				// and watcher goroutine exist only now that we actually
+				// park — never on the non-blocking paths.
+				watching = true
+				stop = make(chan struct{})
+				go func() {
+					select {
+					case <-cancel:
+						p.mu.Lock()
+						p.cond.Broadcast()
+						p.mu.Unlock()
+					case <-stop:
+					}
+				}()
+			}
+			// Register before the checkin side's waiter probe can miss
+			// us: put publishes to the ring first and reads waiters
+			// second, we publish waiters first and re-probe the ring
+			// second, so at least one side always sees the other.
+			p.waiters.Add(1)
+			if buf := p.ring.pop(); buf != nil {
+				p.waiters.Add(-1)
+				p.outstanding.add(stripe, 1)
+				p.mu.Unlock()
+				return buf, nil
+			}
+			p.cond.Wait()
+			p.waiters.Add(-1)
+		case FailOnExhaustion:
+			p.mu.Unlock()
+			return nil, ErrNoAStacks
+		default:
+			p.outstanding.add(stripe, 1)
+			p.mu.Unlock()
+			return &astackBuf{b: make([]byte, p.size)}, nil
+		}
+	}
+}
+
+// put checks a stack back in. On the default path this is one striped
+// add plus a per-P cache insert — no lock, no shared store.
+func (p *astackPool) put(buf *astackBuf, stripe uint32) {
+	p.outstanding.add(stripe, -1)
+	if p.revoked.Load() {
+		return // terminated pools never recycle stacks
+	}
+	if !p.strict.Load() {
+		p.front.Put(buf)
+		return
+	}
+	if !p.ring.push(buf) {
+		return // overflow stack returning to a full pool: drop it
+	}
+	if p.waiters.Load() > 0 {
+		p.mu.Lock()
+		if p.cond != nil {
+			p.cond.Signal()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// putPoisoned retires a stack whose handler panicked: the handler may
+// still hold a reference to it, so a fresh buffer replaces it in the
+// pool and the poisoned one is never reused.
+func (p *astackPool) putPoisoned(buf *astackBuf, stripe uint32) {
+	p.put(&astackBuf{b: make([]byte, p.size)}, stripe)
+}
+
+// free reports how many stacks are currently checked in (front-end
+// stacks are invisible to it; it is exact in strict mode or at rest with
+// an empty front-end). For tests and introspection.
+func (p *astackPool) free() int {
+	n := 0
+	pos := p.ring.deq.Load()
+	for {
+		slot := &p.ring.slots[pos&p.ring.mask]
+		if slot.seq.Load() != pos+1 {
+			return n
+		}
+		n++
+		pos++
+	}
+}
+
+// revoke marks the pool dead, drops its free stacks, and wakes every
+// WaitForAStack sleeper so it can fail with ErrRevoked instead of
+// blocking forever (section 5.3: termination must release waiting
+// threads, not strand them).
+func (p *astackPool) revoke() {
+	p.revoked.Store(true)
+	for p.ring.pop() != nil {
+	}
+	p.mu.Lock()
+	if p.cond != nil {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"runtime"
 	"testing"
+	"time"
 
 	"lrpc"
 	"lrpc/internal/core"
@@ -374,6 +375,55 @@ func BenchmarkWallClockLRPC(b *testing.B) {
 					buf = res
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkWallClockScaling is the Figure 2 analog on the real runtime:
+// aggregate Null throughput at GOMAXPROCS 1..4 through the lock-free
+// transfer path versus the message baseline under its global transfer
+// lock. The paper-comparable number is the "calls/s" metric; on a
+// multi-core host the LRPC curve rises with the processor count while the
+// global-lock curve stays flat.
+func BenchmarkWallClockScaling(b *testing.B) {
+	maxProcs := 4
+	if n := runtime.NumCPU(); n < maxProcs {
+		maxProcs = n
+	}
+	for procs := 1; procs <= maxProcs; procs++ {
+		procs := procs
+		b.Run(fmt.Sprintf("LRPC/procs-%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			_, bind := wallSystem(b)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := bind.Call(0, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "calls/s")
+		})
+		b.Run(fmt.Sprintf("GlobalLock/procs-%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			sys, _ := wallSystem(b)
+			mb, err := sys.ImportMessage("Bench", lrpc.MessageConfig{Workers: procs, GlobalLock: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mb.Close()
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := mb.Call(0, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "calls/s")
 		})
 	}
 }

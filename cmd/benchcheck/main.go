@@ -1,0 +1,65 @@
+// Command benchcheck compares two wall-clock benchmark artifacts (as
+// written by `lrpcbench -json throughput`, see BENCH_*.json) and fails —
+// exit status 1 — when the Null-call latency has regressed more than the
+// allowed percentage against the recorded baseline. A benchcmp for the
+// one number the paper's Table 4 cares most about.
+//
+//	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lrpc/internal/experiments"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10, "maximum allowed Null ns/op regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-max-regress N] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	delta := 100 * (cur.NullNsPerOp - base.NullNsPerOp) / base.NullNsPerOp
+	fmt.Printf("Null ns/op: baseline %.1f, current %.1f (%+.1f%%)\n",
+		base.NullNsPerOp, cur.NullNsPerOp, delta)
+	for _, p := range cur.Points {
+		fmt.Printf("GOMAXPROCS=%d: lrpc %.0f calls/s, global-lock %.0f calls/s, speedup %.2f\n",
+			p.GOMAXPROCS, p.LRPCCallsPerSec, p.GlobalLockCallsPerSec, p.Speedup)
+	}
+	if delta > *maxRegress {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: Null latency regressed %.1f%% (limit %.0f%%)\n",
+			delta, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+func load(path string) (experiments.ThroughputResult, error) {
+	var r experiments.ThroughputResult
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.NullNsPerOp <= 0 {
+		return r, fmt.Errorf("%s: missing null_ns_per_op", path)
+	}
+	return r, nil
+}

@@ -1,17 +1,21 @@
 // Command lrpcbench regenerates every table and figure of the paper's
-// evaluation on the simulated Firefly. With no arguments it runs
-// everything; otherwise pass any of: table1 figure1 table2 table3 table4
-// table5 figure2.
+// evaluation on the simulated Firefly, plus the wall-clock throughput
+// rig on the real Go runtime. With no arguments it runs every simulated
+// experiment; otherwise pass any of: table1 figure1 table2 table3 table4
+// table5 figure2 ablations mix workday structure faults throughput.
 //
-//	lrpcbench                 # all experiments
+//	lrpcbench                 # all simulated experiments
 //	lrpcbench table4 table5   # just Table 4 and Table 5
 //	lrpcbench -cpus 5 -machine microvax figure2
+//	lrpcbench -procs 4 -dur 500ms -json throughput > BENCH_pr2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lrpc/internal/experiments"
 	"lrpc/internal/machine"
@@ -24,6 +28,9 @@ func main() {
 	sizes := flag.Int("sizes", 500_000, "calls for the figure1 size distribution")
 	seed := flag.Int64("seed", 1, "workload seed")
 	machineName := flag.String("machine", "cvax", "machine for figure2: cvax or microvax")
+	procs := flag.Int("procs", 4, "max GOMAXPROCS for the wall-clock throughput rig")
+	dur := flag.Duration("dur", 500*time.Millisecond, "sample duration per throughput point")
+	asJSON := flag.Bool("json", false, "emit throughput results as JSON (for BENCH_*.json)")
 	flag.Parse()
 
 	which := flag.Args()
@@ -67,6 +74,18 @@ func main() {
 			fmt.Println(experiments.StructureTaxTable(experiments.StructureTax(10_000, *seed)).Render())
 		case "faults":
 			fmt.Println(experiments.FaultsTable(experiments.Faults(*calls, *seed)).Render())
+		case "throughput":
+			r := experiments.WallClockThroughput(*procs, *dur)
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.ThroughputTable(r).Render())
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "lrpcbench: unknown experiment %q\n", w)
 			os.Exit(2)

@@ -66,11 +66,11 @@ const (
 )
 
 // SetPanicPolicy selects the export's reaction to handler panics.
-func (e *Export) SetPanicPolicy(p PanicPolicy) { atomic.StoreInt32(&e.panicPolicy, int32(p)) }
+func (e *Export) SetPanicPolicy(p PanicPolicy) { e.panicPolicy.Store(int32(p)) }
 
 // PanicPolicy returns the export's current policy.
 func (e *Export) PanicPolicy() PanicPolicy {
-	return PanicPolicy(atomic.LoadInt32(&e.panicPolicy))
+	return PanicPolicy(e.panicPolicy.Load())
 }
 
 // HandlerFault is one injected fault, consulted immediately before a
@@ -94,16 +94,18 @@ type FaultInjector interface {
 // SetFaultInjector installs (or, with nil, removes) a fault injector
 // consulted on every handler dispatch of every export in the system.
 func (s *System) SetFaultInjector(fi FaultInjector) {
-	s.mu.Lock()
-	s.injector = fi
-	s.mu.Unlock()
+	if fi == nil {
+		s.injector.Store(nil)
+		return
+	}
+	s.injector.Store(&fi)
 }
 
 func (s *System) faultInjector() FaultInjector {
-	s.mu.RLock()
-	fi := s.injector
-	s.mu.RUnlock()
-	return fi
+	if p := s.injector.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // runHandler dispatches one invocation with panic containment and fault
@@ -114,14 +116,14 @@ func (s *System) faultInjector() FaultInjector {
 // the handler, which is what lets termination and abandonment reason
 // about in-flight activations.
 func (e *Export) runHandler(p *Proc, c *Call) (err error) {
-	atomic.AddInt64(&e.active, 1)
-	defer atomic.AddInt64(&e.active, -1)
+	e.active.add(c.stripe, 1)
+	defer e.active.add(c.stripe, -1)
 	defer func() {
 		r := recover()
 		if r == nil {
 			return
 		}
-		atomic.AddUint64(&e.panics, 1)
+		e.panics.Add(1)
 		switch e.PanicPolicy() {
 		case PropagatePanic:
 			panic(r)
@@ -153,14 +155,14 @@ func (e *Export) runHandler(p *Proc, c *Call) (err error) {
 // Active returns the number of handler activations currently executing in
 // the export's domain (including activations whose callers have already
 // abandoned them).
-func (e *Export) Active() int64 { return atomic.LoadInt64(&e.active) }
+func (e *Export) Active() int64 { return e.active.sum() }
 
 // Abandoned returns how many calls were abandoned by their callers
 // (deadline expiry or cancellation) while the handler was still running.
-func (e *Export) Abandoned() uint64 { return atomic.LoadUint64(&e.abandoned) }
+func (e *Export) Abandoned() uint64 { return e.abandoned.Load() }
 
 // HandlerPanics returns how many handler invocations panicked.
-func (e *Export) HandlerPanics() uint64 { return atomic.LoadUint64(&e.panics) }
+func (e *Export) HandlerPanics() uint64 { return e.panics.Load() }
 
 // Outstanding returns the number of A-stacks currently checked out of the
 // binding's pools — stacks held by running (or abandoned-but-running)
@@ -174,9 +176,7 @@ func (b *Binding) Outstanding() int {
 			continue
 		}
 		seen[p] = true
-		p.mu.Lock()
-		n += p.outstanding
-		p.mu.Unlock()
+		n += int(p.outstanding.sum())
 	}
 	return n
 }
@@ -220,15 +220,17 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 		return nil, timeoutError(err)
 	}
 
-	astack, err := pool.get(b.Policy, ctx.Done())
+	c := callPool.Get().(*Call)
+	buf, err := pool.get(b.Policy, ctx.Done(), c.stripe)
 	if err != nil {
+		c.release()
 		if err == errWaitCancelled {
 			return nil, timeoutError(ctx.Err())
 		}
 		return nil, err
 	}
 
-	c := prepareCall(p, astack, args)
+	prepareCall(c, p, buf.b, args)
 
 	// The activation: the server-side half of the call, which owns the
 	// A-stack until the handler returns. The linkage record (act) is what
@@ -250,16 +252,16 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 		// Reclaim the shared buffer only now that the server has
 		// actually returned — never under a running handler.
 		if herr != nil {
-			pool.putPoisoned(astack)
+			pool.putPoisoned(buf, c.stripe)
 		} else {
-			pool.put(astack)
+			pool.put(buf, c.stripe)
 		}
-		b.exp.mu.Lock()
-		b.exp.calls++
-		terminated := b.exp.terminated
-		b.exp.mu.Unlock()
-		if herr == nil && terminated {
-			herr = ErrCallFailed
+		b.exp.calls.add(c.stripe, 1)
+		if herr == nil {
+			c.release()
+			if b.exp.terminated.Load() {
+				herr = ErrCallFailed
+			}
 		}
 		act.err = herr
 		close(act.done)
@@ -273,7 +275,7 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 		return act.out, nil
 	case <-ctx.Done():
 		act.abandoned.Store(true)
-		atomic.AddUint64(&b.exp.abandoned, 1)
+		b.exp.abandoned.Add(1)
 		return nil, timeoutError(ctx.Err())
 	}
 }

@@ -1,0 +1,222 @@
+package experiments
+
+// Wall-clock multiprocessor throughput: the Figure 2 analog measured on
+// the real Go runtime instead of the simulated Firefly. N goroutines on
+// GOMAXPROCS=N processors make Null calls in a tight loop through the
+// lock-free LRPC transfer path, and through the message-passing baseline
+// under its global transfer lock — the two curves of the paper's
+// Figure 2, with real nanoseconds on the x-axis of time.
+//
+// The shape is hardware-dependent: on a multi-core host the LRPC curve
+// rises with GOMAXPROCS while the global-lock curve flattens; on a
+// single-core host both are flat (there is no parallelism to expose).
+// NumCPU is recorded in the result so a reader can tell which case a
+// JSON artifact captured.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrpc"
+)
+
+// ThroughputPoint is one x-position of the wall-clock throughput curve.
+type ThroughputPoint struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// LRPCCallsPerSec is the aggregate Null-call rate through the direct
+	// handoff path, all goroutines calling concurrently.
+	LRPCCallsPerSec float64 `json:"lrpc_calls_per_sec"`
+	// GlobalLockCallsPerSec is the same workload through the
+	// message-passing baseline with its global transfer lock — the SRC
+	// RPC structure of Figure 2.
+	GlobalLockCallsPerSec float64 `json:"global_lock_calls_per_sec"`
+	// Speedup is LRPCCallsPerSec over the 1-processor LRPC rate.
+	Speedup float64 `json:"speedup"`
+}
+
+// ThroughputResult is the full wall-clock rig output, shaped for JSON
+// (BENCH_*.json artifacts; see cmd/lrpcbench and cmd/benchcheck).
+type ThroughputResult struct {
+	NumCPU      int               `json:"num_cpu"`
+	PerPointMs  int64             `json:"per_point_ms"`
+	NullNsPerOp float64           `json:"null_ns_per_op"`
+	Points      []ThroughputPoint `json:"points"`
+}
+
+// WallClockThroughput measures aggregate Null calls/second at
+// GOMAXPROCS = 1..maxProcs, each point sampled for perPoint, plus
+// single-goroutine Null latency in ns/op. GOMAXPROCS is restored before
+// returning.
+func WallClockThroughput(maxProcs int, perPoint time.Duration) ThroughputResult {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	res := ThroughputResult{
+		NumCPU:     runtime.NumCPU(),
+		PerPointMs: perPoint.Milliseconds(),
+	}
+	res.NullNsPerOp = nullLatencyNs()
+
+	var oneCPU float64
+	for n := 1; n <= maxProcs; n++ {
+		runtime.GOMAXPROCS(n)
+		lrpcRate := lrpcWallRate(n, perPoint)
+		lockRate := globalLockWallRate(n, perPoint)
+		if n == 1 {
+			oneCPU = lrpcRate
+		}
+		res.Points = append(res.Points, ThroughputPoint{
+			GOMAXPROCS:            n,
+			LRPCCallsPerSec:       lrpcRate,
+			GlobalLockCallsPerSec: lockRate,
+			Speedup:               lrpcRate / oneCPU,
+		})
+	}
+	return res
+}
+
+// throughputSystem builds the Null rig: one export, one shared binding —
+// the same shape as the paper's throughput experiment, where every
+// processor calls through the same binding so any shared mediation state
+// would show up as a plateau.
+func throughputSystem() (*lrpc.System, *lrpc.Binding, error) {
+	sys := lrpc.NewSystem()
+	iface := &lrpc.Interface{
+		Name: "Throughput",
+		Procs: []lrpc.Proc{{
+			Name: "Null", AStackSize: 8, NumAStacks: 64,
+			Handler: func(c *lrpc.Call) { c.ResultsBuf(0) },
+		}},
+	}
+	if _, err := sys.Export(iface); err != nil {
+		return nil, nil, err
+	}
+	b, err := sys.Import("Throughput")
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, b, nil
+}
+
+// nullLatencyNs measures single-goroutine Null call latency as the best
+// of several samples — the minimum is the standard latency estimator on
+// shared hardware, where any single sample can absorb a descheduling or a
+// GC cycle and read tens of percent high.
+func nullLatencyNs() float64 {
+	_, b, err := throughputSystem()
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 1000; i++ {
+		b.Call(0, nil)
+	}
+	const iters = 100_000
+	best := math.MaxFloat64
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := b.Call(0, nil); err != nil {
+				panic(err)
+			}
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / iters; ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// lrpcWallRate runs n goroutines hammering Null LRPCs for d and returns
+// aggregate calls/second.
+func lrpcWallRate(n int, d time.Duration) float64 {
+	_, b, err := throughputSystem()
+	if err != nil {
+		panic(err)
+	}
+	call := func() {
+		if _, err := b.Call(0, nil); err != nil {
+			panic(err)
+		}
+	}
+	return parallelRate(n, d, call)
+}
+
+// globalLockWallRate is the same workload through the message baseline's
+// global transfer lock.
+func globalLockWallRate(n int, d time.Duration) float64 {
+	sys, _, err := throughputSystem()
+	if err != nil {
+		panic(err)
+	}
+	mb, err := sys.ImportMessage("Throughput", lrpc.MessageConfig{Workers: n, GlobalLock: true})
+	if err != nil {
+		panic(err)
+	}
+	defer mb.Close()
+	call := func() {
+		if _, err := mb.Call(0, nil); err != nil {
+			panic(err)
+		}
+	}
+	return parallelRate(n, d, call)
+}
+
+// parallelRate runs n goroutines invoking call until d elapses and
+// returns the aggregate rate. Per-goroutine counters avoid a shared
+// counter perturbing the measurement.
+func parallelRate(n int, d time.Duration, call func()) float64 {
+	var stop atomic.Bool
+	counts := make([]int64, n*16) // spread across cache lines
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Warm this P's caches before the clock matters.
+			for i := 0; i < 100; i++ {
+				call()
+			}
+			var local int64
+			for !stop.Load() {
+				for i := 0; i < 64; i++ {
+					call()
+				}
+				local += 64
+			}
+			counts[g*16] = local
+		}(g)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for g := 0; g < n; g++ {
+		total += counts[g*16]
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// ThroughputTable renders the rig result as a table.
+func ThroughputTable(r ThroughputResult) *Table {
+	t := &Table{
+		Title: "Wall-clock multiprocessor throughput (Null calls/second, real time)",
+		Header: []string{"GOMAXPROCS", "LRPC", "global-lock baseline", "LRPC speedup"},
+		Notes: []string{
+			us(float64(r.NumCPU)) + " CPUs available; single-goroutine Null latency " + us1(r.NullNsPerOp) + " ns/op",
+			"the Figure 2 analog on the Go runtime: lock-free transfer path vs global transfer lock",
+		},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			us(float64(p.GOMAXPROCS)),
+			us(p.LRPCCallsPerSec), us(p.GlobalLockCallsPerSec),
+			us1(p.Speedup),
+		})
+	}
+	return t
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestWallClockThroughput smoke-tests the rig with short samples: every
+// point must have measured a nonzero rate on both paths, speedup must be
+// populated, and the result must round-trip through JSON (the BENCH_*
+// artifact format).
+func TestWallClockThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock sampling")
+	}
+	r := WallClockThroughput(2, 30*time.Millisecond)
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(r.Points))
+	}
+	if r.NullNsPerOp <= 0 {
+		t.Errorf("null latency %v ns/op", r.NullNsPerOp)
+	}
+	for _, p := range r.Points {
+		if p.LRPCCallsPerSec <= 0 || p.GlobalLockCallsPerSec <= 0 {
+			t.Errorf("procs %d: zero rate: %+v", p.GOMAXPROCS, p)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("procs %d: speedup %v", p.GOMAXPROCS, p.Speedup)
+		}
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ThroughputResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCPU != r.NumCPU || len(back.Points) != len(r.Points) {
+		t.Errorf("JSON round-trip mutated the result")
+	}
+	if ThroughputTable(r).Render() == "" {
+		t.Error("empty table")
+	}
+}

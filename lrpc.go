@@ -13,6 +13,14 @@
 // uses concrete server goroutines and channel rendezvous, the structure of
 // conventional RPC systems.
 //
+// The call transfer path follows the paper's fourth technique, design for
+// concurrency: a Binding.Call with in-band arguments takes no locks and
+// performs no heap allocations. Binding validation is an atomic load
+// against an immutable record, completion accounting is striped across
+// cache lines, and argument stacks move through a per-P cache backed by a
+// lock-free ring (see astack.go), so aggregate throughput scales with
+// processors instead of flattening against a shared lock.
+//
 // Two planes exist in this repository:
 //
 //   - this package: wall-clock execution on the Go runtime, for real
@@ -45,6 +53,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the package.
@@ -115,12 +124,37 @@ type Interface struct {
 	Procs []Proc
 }
 
-// Call is the server procedure's view of one invocation.
+// Call is the server procedure's view of one invocation. It is valid only
+// for the duration of the handler: the dispatch path recycles Call
+// structures across invocations, so handlers must not retain one.
 type Call struct {
 	args   []byte
 	astack []byte
 	oob    []byte
 	resLen int
+
+	// stripe selects the cache line this invocation's counters land on.
+	// Assigned once when the Call is minted; sync.Pool's per-P caching
+	// keeps each processor reusing the same Calls, and therefore the
+	// same counter stripes, so completion accounting never bounces a
+	// shared cache line between cores.
+	stripe uint32
+}
+
+// callStripe round-robins the stripe assignment of freshly minted Calls.
+var callStripe atomic.Uint32
+
+// callPool recycles Call structures so the dispatch path allocates
+// nothing per invocation.
+var callPool = sync.Pool{New: func() any {
+	return &Call{stripe: callStripe.Add(1) & (numStripes - 1)}
+}}
+
+// release returns the Call to the pool. Never called on a panicked
+// invocation — the handler may still hold references.
+func (c *Call) release() {
+	c.args, c.astack, c.oob, c.resLen = nil, nil, nil, 0
+	callPool.Put(c)
 }
 
 // Args returns the argument bytes. Unless the procedure declared
@@ -148,46 +182,65 @@ func (c *Call) ResultsBuf(n int) []byte {
 func (c *Call) SetResults(b []byte) { copy(c.ResultsBuf(len(b)), b) }
 
 // System is one machine's LRPC installation: the name server plus the
-// binding validation state the kernel would hold.
+// binding-issue state the kernel would hold. The call path itself never
+// touches the System lock — validation happens at bind time, and
+// revocation reaches in-flight bindings through an atomic flag on the
+// binding record.
 type System struct {
-	mu       sync.RWMutex
-	exports  map[string]*Export
-	binds    map[uint64]*bindingRecord
-	nextID   uint64
-	rng      *rand.Rand
-	injector FaultInjector
+	mu      sync.RWMutex
+	exports map[string]*Export
+	nextID  uint64
+	rng     *rand.Rand
+
+	// injector is consulted once per dispatch; it is an atomic pointer
+	// load (nil for the common no-injection case), never a lock.
+	injector atomic.Pointer[FaultInjector]
 }
 
+// bindingRecord is the kernel-held truth about one issued binding: the
+// fields the Binding must match (unforgeability) are immutable, and
+// revocation is a single atomic flip that every subsequent call observes
+// without any lock — the bind-time-validation design the paper's
+// concurrency technique requires.
 type bindingRecord struct {
+	id     uint64
 	nonce  uint64
 	export *Export
+	revoked atomic.Bool
 }
 
 // NewSystem returns an empty system.
 func NewSystem() *System {
 	return &System{
 		exports: make(map[string]*Export),
-		binds:   make(map[uint64]*bindingRecord),
 		rng:     rand.New(rand.NewSource(rand.Int63())),
 	}
 }
 
 // Export is a server domain's registration of an interface.
 type Export struct {
-	sys        *System
-	iface      *Interface
-	mu         sync.Mutex
-	terminated bool
-	bindings   []*Binding
+	sys     *System
+	iface   *Interface
+	nameIdx map[string]int // procedure name -> index, immutable after Export
 
-	// Calls counts completed invocations across all bindings.
-	calls uint64
+	// terminated is the domain-alive bit, read once per call with a
+	// single atomic load (the line is never written until termination, so
+	// every processor keeps a shared copy).
+	terminated atomic.Bool
+
+	mu       sync.Mutex // guards bindings only
+	bindings []*Binding
+
+	// calls counts completed invocations and active counts running
+	// handler activations, both striped across cache lines by the
+	// invocation's Call stripe so per-call accounting scales with cores.
+	calls  stripedUint64
+	active stripedInt64
 
 	// Resilience accounting (see fault.go).
-	panicPolicy int32  // PanicPolicy, atomically
-	active      int64  // handler activations currently running
-	abandoned   uint64 // calls abandoned by their caller's deadline
-	panics      uint64 // handler invocations that panicked
+	panicPolicy atomic.Int32  // PanicPolicy
+	abandoned   atomic.Uint64 // calls abandoned by their caller's deadline
+	panics      atomic.Uint64 // handler invocations that panicked
 }
 
 // Export registers iface and returns its export handle. Every procedure
@@ -196,9 +249,13 @@ func (s *System) Export(iface *Interface) (*Export, error) {
 	if len(iface.Procs) == 0 {
 		return nil, fmt.Errorf("lrpc: interface %q has no procedures", iface.Name)
 	}
+	nameIdx := make(map[string]int, len(iface.Procs))
 	for i := range iface.Procs {
 		if iface.Procs[i].Handler == nil {
 			return nil, fmt.Errorf("lrpc: procedure %s.%s has no handler", iface.Name, iface.Procs[i].Name)
+		}
+		if _, dup := nameIdx[iface.Procs[i].Name]; !dup {
+			nameIdx[iface.Procs[i].Name] = i
 		}
 	}
 	s.mu.Lock()
@@ -206,24 +263,16 @@ func (s *System) Export(iface *Interface) (*Export, error) {
 	if _, ok := s.exports[iface.Name]; ok {
 		return nil, fmt.Errorf("lrpc: interface %q already exported", iface.Name)
 	}
-	e := &Export{sys: s, iface: iface}
+	e := &Export{sys: s, iface: iface, nameIdx: nameIdx}
 	s.exports[iface.Name] = e
 	return e, nil
 }
 
 // Terminated reports whether the export has been terminated.
-func (e *Export) Terminated() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.terminated
-}
+func (e *Export) Terminated() bool { return e.terminated.Load() }
 
 // Calls returns the number of completed invocations.
-func (e *Export) Calls() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.calls
-}
+func (e *Export) Calls() uint64 { return e.calls.sum() }
 
 // Terminate withdraws the interface and revokes every binding minted for
 // it, following the paper's domain-termination semantics (section 5.3):
@@ -231,23 +280,24 @@ func (e *Export) Calls() uint64 {
 // but return ErrCallFailed to the caller; callers parked waiting for an
 // argument stack are woken and fail with ErrRevoked.
 func (e *Export) Terminate() {
-	e.mu.Lock()
-	if e.terminated {
-		e.mu.Unlock()
+	if !e.terminated.CompareAndSwap(false, true) {
 		return
 	}
-	e.terminated = true
+	e.mu.Lock()
 	bindings := append([]*Binding(nil), e.bindings...)
 	e.mu.Unlock()
+
+	// Revoke every issued binding record: one atomic flip per binding,
+	// observed by the next validate of every caller.
+	for _, b := range bindings {
+		b.rec.revoked.Store(true)
+	}
 
 	e.sys.mu.Lock()
 	// Only unregister the name if it still refers to this export: the
 	// name may have been re-exported by a successor domain.
 	if cur, ok := e.sys.exports[e.iface.Name]; ok && cur == e {
 		delete(e.sys.exports, e.iface.Name)
-	}
-	for _, b := range bindings {
-		delete(e.sys.binds, b.id)
 	}
 	e.sys.mu.Unlock()
 
@@ -286,150 +336,37 @@ const (
 var ErrNoAStacks = errors.New("lrpc: no argument stack available")
 
 // Binding is a client's handle on an imported interface: the binding
-// object (id + nonce, validated on every call against the system's table,
-// so a forged or revoked binding never reaches a server) and the
-// per-procedure argument-stack pools.
+// object (id + nonce, matched on every call against the kernel's record,
+// so a tampered or revoked binding never reaches a server) and the
+// per-procedure argument-stack pools. Validation is bind-time work — the
+// per-call check is three immutable compares and one atomic load.
 type Binding struct {
 	sys   *System
 	exp   *Export
 	id    uint64
 	nonce uint64
+	rec   *bindingRecord
 	pools []*astackPool
 
 	// Policy selects the pool-exhaustion behavior; zero value allocates.
 	Policy AStackPolicy
 }
 
-// astackPool is a LIFO pool of argument stacks for one procedure (or one
-// share group), guarded by its own lock so concurrent calls to different
-// procedures never contend (the paper's design-for-concurrency property).
-type astackPool struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
-	size        int
-	stacks      [][]byte
-	outstanding int  // stacks checked out to running activations
-	revoked     bool // export terminated: waiters fail, stacks are dropped
-}
-
-// errWaitCancelled reports a WaitForAStack sleep cut short by the
-// caller's cancel channel; CallContext maps it to ErrCallTimeout.
-var errWaitCancelled = errors.New("lrpc: astack wait cancelled")
-
-// get checks a stack out of the pool. cancel, when non-nil, aborts a
-// WaitForAStack sleep (it is the caller's ctx.Done()).
-func (p *astackPool) get(policy AStackPolicy, cancel <-chan struct{}) ([]byte, error) {
-	p.mu.Lock()
-	watching := false
-	stop := make(chan struct{})
-	defer func() {
-		if watching {
-			close(stop)
-		}
-	}()
-	for {
-		if p.revoked {
-			p.mu.Unlock()
-			return nil, ErrRevoked
-		}
-		if n := len(p.stacks); n > 0 {
-			s := p.stacks[n-1]
-			p.stacks = p.stacks[:n-1]
-			p.outstanding++
-			p.mu.Unlock()
-			return s, nil
-		}
-		if cancel != nil {
-			select {
-			case <-cancel:
-				p.mu.Unlock()
-				return nil, errWaitCancelled
-			default:
-			}
-		}
-		switch policy {
-		case WaitForAStack:
-			if p.cond == nil {
-				p.cond = sync.NewCond(&p.mu)
-			}
-			if cancel != nil && !watching {
-				// Wake the condition variable if the caller's context
-				// dies while we are parked on the pool.
-				watching = true
-				go func() {
-					select {
-					case <-cancel:
-						p.mu.Lock()
-						p.cond.Broadcast()
-						p.mu.Unlock()
-					case <-stop:
-					}
-				}()
-			}
-			p.cond.Wait()
-		case FailOnExhaustion:
-			p.mu.Unlock()
-			return nil, ErrNoAStacks
-		default:
-			p.outstanding++
-			p.mu.Unlock()
-			// Overflow allocation (section 5.2's "allocate more").
-			return make([]byte, p.size), nil
-		}
-	}
-}
-
-func (p *astackPool) put(s []byte) {
-	p.mu.Lock()
-	p.outstanding--
-	if !p.revoked {
-		p.stacks = append(p.stacks, s)
-		if p.cond != nil {
-			p.cond.Signal()
-		}
-	}
-	p.mu.Unlock()
-}
-
-// putPoisoned retires a stack whose handler panicked: the handler may
-// still hold a reference to it, so a fresh buffer replaces it in the pool
-// and the poisoned one is never reused.
-func (p *astackPool) putPoisoned(s []byte) {
-	p.mu.Lock()
-	p.outstanding--
-	if !p.revoked {
-		p.stacks = append(p.stacks, make([]byte, p.size))
-		if p.cond != nil {
-			p.cond.Signal()
-		}
-	}
-	p.mu.Unlock()
-}
-
-// revoke marks the pool dead and wakes every WaitForAStack sleeper so it
-// can fail with ErrRevoked instead of blocking forever (section 5.3:
-// termination must release waiting threads, not strand them).
-func (p *astackPool) revoke() {
-	p.mu.Lock()
-	p.revoked = true
-	p.stacks = nil
-	if p.cond != nil {
-		p.cond.Broadcast()
-	}
-	p.mu.Unlock()
-}
-
 // Import binds the caller to the named exported interface.
 func (s *System) Import(name string) (*Binding, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.exports[name]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrNotExported, name)
 	}
 	s.nextID++
-	b := &Binding{sys: s, exp: e, id: s.nextID, nonce: s.rng.Uint64()}
-	s.binds[b.id] = &bindingRecord{nonce: b.nonce, export: e}
+	id := s.nextID
+	nonce := s.rng.Uint64()
+	s.mu.Unlock()
+
+	rec := &bindingRecord{id: id, nonce: nonce, export: e}
+	b := &Binding{sys: s, exp: e, id: id, nonce: nonce, rec: rec}
 	groups := make(map[string]*astackPool)
 	for i := range e.iface.Procs {
 		p := &e.iface.Procs[i]
@@ -445,31 +382,26 @@ func (s *System) Import(name string) (*Binding, error) {
 			if pool, ok := groups[p.ShareGroup]; ok {
 				if size > pool.size {
 					// The shared pool must fit the group's largest
-					// member; grow the existing stacks.
-					pool.size = size
-					for j := range pool.stacks {
-						pool.stacks[j] = make([]byte, size)
-					}
+					// member; replace the existing stacks.
+					pool.reseed(size)
 				}
 				b.pools = append(b.pools, pool)
 				continue
 			}
 		}
-		pool := &astackPool{size: size}
-		for j := 0; j < n; j++ {
-			pool.stacks = append(pool.stacks, make([]byte, size))
-		}
+		pool := newAStackPool(size, n)
 		if p.ShareGroup != "" {
 			groups[p.ShareGroup] = pool
 		}
 		b.pools = append(b.pools, pool)
 	}
 	e.mu.Lock()
-	if e.terminated {
+	if e.terminated.Load() {
 		// The export died between lookup and registration; hand the
 		// caller a binding that is already revoked rather than one whose
 		// pools would never be released.
 		e.mu.Unlock()
+		rec.revoked.Store(true)
 		for _, p := range b.pools {
 			p.revoke()
 		}
@@ -493,33 +425,39 @@ func (s *System) Names() []string {
 
 // Call invokes procedure proc with the given argument bytes and returns
 // the result bytes. The call path is the paper's: validate the binding,
-// take an argument stack from the procedure's LIFO pool, copy the
-// arguments once onto it, run the server procedure directly on the calling
-// goroutine, copy the results once to the caller.
+// take an argument stack from the procedure's pool, copy the arguments
+// once onto it, run the server procedure directly on the calling
+// goroutine, copy the results once to the caller. For in-band arguments
+// and results the path takes no locks and performs no heap allocations
+// beyond the result copy; see CallAppend to elide that too.
 func (b *Binding) Call(proc int, args []byte) ([]byte, error) {
 	return b.CallAppend(proc, args, nil)
 }
 
 // CallAppend is Call appending the results to dst (which may be nil),
-// letting callers reuse result buffers across calls.
+// letting callers reuse result buffers across calls. With a dst of
+// sufficient capacity the whole call is zero-alloc.
 func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 	p, pool, err := b.validate(proc, args)
 	if err != nil {
 		return nil, err
 	}
 
-	// Client stub: argument stack off the LIFO queue, single copy in.
-	astack, err := pool.get(b.Policy, nil)
+	// Client stub: argument stack off the pool's per-P cache or
+	// lock-free ring, single copy in.
+	c := callPool.Get().(*Call)
+	buf, err := pool.get(b.Policy, nil, c.stripe)
 	if err != nil {
+		c.release()
 		return nil, err
 	}
-	c := prepareCall(p, astack, args)
+	prepareCall(c, p, buf.b, args)
 
 	// Domain transfer: the calling goroutine executes the server's
 	// procedure directly — no scheduler rendezvous. A handler panic is
 	// contained in runHandler and surfaces as the call-failed exception.
 	if herr := b.exp.runHandler(p, c); herr != nil {
-		pool.putPoisoned(astack)
+		pool.putPoisoned(buf, c.stripe)
 		return nil, herr
 	}
 
@@ -534,13 +472,11 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 	} else {
 		out = dst
 	}
-	pool.put(astack)
+	pool.put(buf, c.stripe)
 
-	b.exp.mu.Lock()
-	b.exp.calls++
-	terminated := b.exp.terminated
-	b.exp.mu.Unlock()
-	if terminated {
+	b.exp.calls.add(c.stripe, 1)
+	c.release()
+	if b.exp.terminated.Load() {
 		// The server terminated while we were inside it: the call,
 		// completed or not, returns the call-failed exception.
 		return nil, ErrCallFailed
@@ -548,13 +484,13 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 	return out, nil
 }
 
-// validate is the kernel half of a call: check the binding object against
-// the system table and the request against the interface.
+// validate is the kernel half of a call, moved to bind time: the binding
+// object is matched against the immutable record issued at Import, and
+// revocation is observed through the record's atomic flag. No lock, no
+// table lookup.
 func (b *Binding) validate(proc int, args []byte) (*Proc, *astackPool, error) {
-	b.sys.mu.RLock()
-	rec, ok := b.sys.binds[b.id]
-	b.sys.mu.RUnlock()
-	if !ok || rec.nonce != b.nonce || rec.export != b.exp {
+	rec := b.rec
+	if rec == nil || rec.id != b.id || rec.nonce != b.nonce || rec.export != b.exp || rec.revoked.Load() {
 		return nil, nil, ErrRevoked
 	}
 	if proc < 0 || proc >= len(b.pools) {
@@ -566,9 +502,9 @@ func (b *Binding) validate(proc int, args []byte) (*Proc, *astackPool, error) {
 	return &b.exp.iface.Procs[proc], b.pools[proc], nil
 }
 
-// prepareCall stages the arguments on the A-stack (copy A) and builds the
-// server's view of the invocation.
-func prepareCall(p *Proc, astack, args []byte) *Call {
+// prepareCall stages the arguments on the A-stack (copy A) and fills in
+// the server's view of the invocation.
+func prepareCall(c *Call, p *Proc, astack, args []byte) {
 	callArgs := args
 	if len(args) <= len(astack) {
 		copy(astack, args) // copy A
@@ -578,21 +514,22 @@ func prepareCall(p *Proc, astack, args []byte) *Call {
 	// analog of the out-of-band segment, which is itself just another
 	// pairwise-shared region.
 
-	c := &Call{astack: astack, args: callArgs}
+	c.astack = astack
+	c.args = callArgs
+	c.oob = nil
+	c.resLen = 0
 	if p.ProtectArgs && len(callArgs) > 0 {
 		cp := make([]byte, len(callArgs))
 		copy(cp, callArgs) // copy E: immutability-sensitive procedures
 		c.args = cp
 	}
-	return c
 }
 
-// CallByName invokes a procedure by name.
+// CallByName invokes a procedure by name, resolved through the index
+// built at Export time.
 func (b *Binding) CallByName(name string, args []byte) ([]byte, error) {
-	for i := range b.exp.iface.Procs {
-		if b.exp.iface.Procs[i].Name == name {
-			return b.Call(i, args)
-		}
+	if i, ok := b.exp.nameIdx[name]; ok {
+		return b.Call(i, args)
 	}
 	return nil, fmt.Errorf("%w: %q", ErrBadProcedure, name)
 }

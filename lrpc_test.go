@@ -443,7 +443,7 @@ func TestShareGroupPoolsAreShared(t *testing.T) {
 		t.Fatalf("B over shared pool: %v %v", res, err)
 	}
 	// Group pool has 2 stacks total (A's count won as first declarer).
-	if got := len(b.pools[0].stacks); got != 2 {
+	if got := b.pools[0].seeded; got != 2 {
 		t.Errorf("shared pool has %d stacks, want 2", got)
 	}
 }

@@ -80,11 +80,12 @@ func (mb *MsgBinding) worker() {
 		copy(serverArgs, msg.buf)
 
 		astack := make([]byte, maxInt(len(serverArgs), DefaultAStackSize))
-		c := Call{astack: astack, args: serverArgs}
+		c := callPool.Get().(*Call)
+		c.astack, c.args, c.oob, c.resLen = astack, serverArgs, nil, 0
 		// Dispatch through the containment path: a handler panic must not
 		// kill the worker (which would strand every queued caller) — it
 		// becomes the call-failed exception for this one caller.
-		if err := mb.exp.runHandler(p, &c); err != nil {
+		if err := mb.exp.runHandler(p, c); err != nil {
 			msg.err = err
 			msg.reply <- msg
 			continue
@@ -99,6 +100,7 @@ func (mb *MsgBinding) worker() {
 				res = append([]byte(nil), c.astack[:c.resLen]...)
 			}
 		}
+		c.release()
 
 		if mb.cfg.GlobalLock {
 			mb.lock.Lock()
@@ -119,10 +121,7 @@ func (mb *MsgBinding) worker() {
 // (copy F). Contrast with Binding.Call, which runs the procedure on the
 // calling goroutine with one copy each way.
 func (mb *MsgBinding) Call(proc int, args []byte) ([]byte, error) {
-	mb.exp.mu.Lock()
-	terminated := mb.exp.terminated
-	mb.exp.mu.Unlock()
-	if terminated {
+	if mb.exp.terminated.Load() {
 		return nil, ErrRevoked
 	}
 
@@ -154,11 +153,8 @@ func (mb *MsgBinding) Call(proc int, args []byte) ([]byte, error) {
 		copy(out, reply.buf)
 	}
 
-	mb.exp.mu.Lock()
-	mb.exp.calls++
-	terminated = mb.exp.terminated
-	mb.exp.mu.Unlock()
-	if terminated {
+	mb.exp.calls.add(0, 1)
+	if mb.exp.terminated.Load() {
 		return nil, ErrCallFailed
 	}
 	return out, nil

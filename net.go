@@ -562,7 +562,8 @@ func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 // "reached the wire" is decidable: wrote reports whether any byte of the
 // frame made it into the connection.
 func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, proc int, args []byte) (wrote bool, err error) {
-	buf := make([]byte, 4+8+2+len(c.name)+4+len(args))
+	bp := frameBuf(4 + 8 + 2 + len(c.name) + 4 + len(args))
+	buf := *bp
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
 	binary.LittleEndian.PutUint64(buf[4:12], id)
 	binary.LittleEndian.PutUint16(buf[12:14], uint16(len(c.name)))
@@ -575,10 +576,11 @@ func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, 
 		deadline = d
 	}
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	conn.SetWriteDeadline(deadline)
 	n, err := conn.Write(buf)
 	conn.SetWriteDeadline(time.Time{})
+	c.wmu.Unlock()
+	frameBufPool.Put(bp)
 	return n > 0, err
 }
 
@@ -640,6 +642,27 @@ func (tb *TransparentBinding) CallContext(ctx context.Context, proc int, args []
 
 // --- framing ---
 
+// frameBufPool recycles the per-write frame buffers on both sides of the
+// connection — the network plane's analog of the pooled A-stacks on the
+// local path, keeping steady-state request and reply writes off the heap.
+// Read-side frames are NOT pooled: a reply body is handed to the caller
+// as a sub-slice of its frame, so the frame's lifetime is the caller's.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// frameBuf returns a pooled buffer of length n. Return it with
+// frameBufPool.Put once the write has completed.
+func frameBuf(n int) *[]byte {
+	bp := frameBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -667,17 +690,24 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID uint64, status byte, body []byte) {
-	buf := make([]byte, 9+len(body))
-	binary.LittleEndian.PutUint64(buf[0:8], callID)
-	buf[8] = status
-	copy(buf[9:], body)
+	// Frame the length header and payload into one pooled buffer so the
+	// reply is a single Write (one syscall, no per-reply allocation).
+	bp := frameBuf(4 + 9 + len(body))
+	buf := *bp
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(9+len(body)))
+	binary.LittleEndian.PutUint64(buf[4:12], callID)
+	buf[12] = status
+	copy(buf[13:], body)
 	wmu.Lock()
-	defer wmu.Unlock()
 	if timeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(timeout))
-		defer conn.SetWriteDeadline(time.Time{})
 	}
-	_ = writeFrame(conn, buf)
+	_, _ = conn.Write(buf)
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	wmu.Unlock()
+	frameBufPool.Put(bp)
 }
 
 func parseRequest(frame []byte) (callID uint64, name string, proc int, args []byte, err error) {

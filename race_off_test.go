@@ -1,0 +1,5 @@
+//go:build !race
+
+package lrpc
+
+const raceEnabled = false
