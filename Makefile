@@ -4,9 +4,19 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race stress bench benchjson benchcheck
+.PHONY: ci fmtcheck vet build test race stress bench benchjson benchcheck
 
-ci: vet build test race
+# Formatting, vet, build, tests (plain and -race), then the perf gate:
+# the whole merge bar in one command. The gate checks the committed
+# BENCH_pr2.json against the baseline (deterministic); regenerate the
+# artifact with `make benchjson` (or the full `make bench`) when the
+# call path changes.
+ci: fmtcheck vet build test race benchcheck
+
+# gofmt -l prints nonconforming files; any output is a failure.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -110,6 +110,8 @@ func (r *astackRing) init(capacity int) {
 		n <<= 1
 	}
 	r.mask = uint64(n - 1)
+	r.enq.Store(0) // re-init (share-group growth) must reset the cursors
+	r.deq.Store(0)
 	r.slots = make([]ringSlot, n)
 	for i := range r.slots {
 		r.slots[i].seq.Store(uint64(i))
@@ -170,9 +172,22 @@ type astackPool struct {
 	size   int // bytes per stack
 	seeded int // stacks provisioned at bind time
 
+	// sys/iface/group label the pool for the observability plane; set
+	// once at Import, before the pool is shared. sys is nil for pools
+	// that predate the labels (none in practice).
+	sys   *System
+	iface string
+	group string
+
 	ring        astackRing
 	outstanding stripedInt64
 	revoked     atomic.Bool
+
+	// obs is the gauge block, installed by EnableMetrics: one atomic
+	// nil-checked load on checkout and checkin, exactly like the
+	// fault-injector hook, so the disabled path stays lock- and
+	// alloc-free.
+	obs atomic.Pointer[poolObs]
 
 	// strict goes (and stays) true the first time the pool serves a
 	// non-default policy: from then on checkins bypass the front-end so
@@ -197,16 +212,26 @@ func newAStackPool(size, n int) *astackPool {
 	return p
 }
 
-// reseed replaces every provisioned stack with one of the new size. Only
-// called while the pool is still private to one Import (share-group
-// growth), so plain access is safe.
-func (p *astackPool) reseed(size int) {
-	p.size = size
-	for p.ring.pop() != nil {
+// grow adds a later share-group member's contribution to the pool: the
+// stack size becomes the group's largest and the provisioned count grows
+// by the member's declared count, so the group admits its combined
+// number of concurrent calls ("bounded by its combined stack count").
+// Only called while the pool is still private to one Import, so the
+// ring rebuild needs no synchronization.
+func (p *astackPool) grow(size, n int) {
+	if size > p.size {
+		p.size = size
 	}
+	p.seeded += n
+	p.ring.init(p.seeded) // re-init: the ring must hold the combined total
 	for i := 0; i < p.seeded; i++ {
-		p.ring.push(&astackBuf{b: make([]byte, size)})
+		p.ring.push(&astackBuf{b: make([]byte, p.size)})
 	}
+}
+
+// enableObs installs the pool's gauge block (idempotent).
+func (p *astackPool) enableObs() {
+	p.obs.CompareAndSwap(nil, &poolObs{})
 }
 
 // errWaitCancelled reports a WaitForAStack sleep cut short by the
@@ -220,19 +245,30 @@ func (p *astackPool) get(policy AStackPolicy, cancel <-chan struct{}, stripe uin
 	if p.revoked.Load() {
 		return nil, ErrRevoked
 	}
+	o := p.obs.Load() // nil unless EnableMetrics: one load, no lock
 	if policy == AllocateAStack && !p.strict.Load() {
 		// Lock-free fast path: per-P cache, then the ring, then an
 		// overflow allocation (section 5.2's "allocate more") — a call
 		// never blocks and never takes a lock.
 		if v := p.front.Get(); v != nil {
 			p.outstanding.add(stripe, 1)
+			if o != nil {
+				o.checkouts.add(stripe, 1)
+			}
 			return v.(*astackBuf), nil
 		}
 		if buf := p.ring.pop(); buf != nil {
 			p.outstanding.add(stripe, 1)
+			if o != nil {
+				o.checkouts.add(stripe, 1)
+			}
 			return buf, nil
 		}
 		p.outstanding.add(stripe, 1)
+		if o != nil {
+			o.checkouts.add(stripe, 1)
+			o.overflows.add(stripe, 1)
+		}
 		return &astackBuf{b: make([]byte, p.size)}, nil
 	}
 	return p.getSlow(policy, cancel, stripe)
@@ -243,10 +279,14 @@ func (p *astackPool) get(policy AStackPolicy, cancel <-chan struct{}, stripe uin
 // the ring under the pool mutex.
 func (p *astackPool) getSlow(policy AStackPolicy, cancel <-chan struct{}, stripe uint32) (*astackBuf, error) {
 	p.strict.Store(true)
+	o := p.obs.Load()
 	// Stacks parked in the front-end before the pool turned strict are
 	// still honored, best effort.
 	if v := p.front.Get(); v != nil {
 		p.outstanding.add(stripe, 1)
+		if o != nil {
+			o.checkouts.add(stripe, 1)
+		}
 		return v.(*astackBuf), nil
 	}
 	var stop chan struct{}
@@ -264,6 +304,9 @@ func (p *astackPool) getSlow(policy AStackPolicy, cancel <-chan struct{}, stripe
 		}
 		if buf := p.ring.pop(); buf != nil {
 			p.outstanding.add(stripe, 1)
+			if o != nil {
+				o.checkouts.add(stripe, 1)
+			}
 			p.mu.Unlock()
 			return buf, nil
 		}
@@ -305,8 +348,17 @@ func (p *astackPool) getSlow(policy AStackPolicy, cancel <-chan struct{}, stripe
 			if buf := p.ring.pop(); buf != nil {
 				p.waiters.Add(-1)
 				p.outstanding.add(stripe, 1)
+				if o != nil {
+					o.checkouts.add(stripe, 1)
+				}
 				p.mu.Unlock()
 				return buf, nil
+			}
+			if o != nil {
+				o.waits.add(stripe, 1)
+			}
+			if p.sys != nil {
+				p.sys.emitTrace(TraceStackWait, p.iface, p.group, nil)
 			}
 			p.cond.Wait()
 			p.waiters.Add(-1)
@@ -315,6 +367,10 @@ func (p *astackPool) getSlow(policy AStackPolicy, cancel <-chan struct{}, stripe
 			return nil, ErrNoAStacks
 		default:
 			p.outstanding.add(stripe, 1)
+			if o != nil {
+				o.checkouts.add(stripe, 1)
+				o.overflows.add(stripe, 1)
+			}
 			p.mu.Unlock()
 			return &astackBuf{b: make([]byte, p.size)}, nil
 		}
@@ -325,7 +381,11 @@ func (p *astackPool) getSlow(policy AStackPolicy, cancel <-chan struct{}, stripe
 // add plus a per-P cache insert — no lock, no shared store.
 func (p *astackPool) put(buf *astackBuf, stripe uint32) {
 	p.outstanding.add(stripe, -1)
+	o := p.obs.Load()
 	if p.revoked.Load() {
+		if o != nil {
+			o.drops.add(stripe, 1)
+		}
 		return // terminated pools never recycle stacks
 	}
 	if !p.strict.Load() {
@@ -333,7 +393,22 @@ func (p *astackPool) put(buf *astackBuf, stripe uint32) {
 		return
 	}
 	if !p.ring.push(buf) {
+		if o != nil {
+			o.drops.add(stripe, 1)
+		}
 		return // overflow stack returning to a full pool: drop it
+	}
+	if p.revoked.Load() {
+		// revoke drained the ring between our first revoked check and
+		// the push: the stack just re-entered a dead pool. Drain again
+		// — whichever of the racing checkins observes the flag clears
+		// the ring, so no stack survives in a revoked pool.
+		for p.ring.pop() != nil {
+			if o != nil {
+				o.drops.add(stripe, 1)
+			}
+		}
+		return
 	}
 	if p.waiters.Load() > 0 {
 		p.mu.Lock()
@@ -373,7 +448,11 @@ func (p *astackPool) free() int {
 // threads, not strand them).
 func (p *astackPool) revoke() {
 	p.revoked.Store(true)
+	o := p.obs.Load()
 	for p.ring.pop() != nil {
+		if o != nil {
+			o.drops.add(0, 1)
+		}
 	}
 	p.mu.Lock()
 	if p.cond != nil {

@@ -1,32 +1,173 @@
-// Command lrpcstat performs the static interface analysis of the paper's
-// section 2.2 over a set of .idl definition files: the census of
-// procedures and parameters whose published form is "four out of five
-// parameters were of fixed size known at compile time; sixty-five percent
-// were four bytes or fewer. Two-thirds of all procedures passed only
-// parameters of fixed size, and sixty percent transferred 32 or fewer
-// bytes."
+// Command lrpcstat is the observability companion to the lrpc runtime.
+// It has three modes:
 //
-// Usage:
+//	lrpcstat idl file.idl...
+//	    The static interface census of the paper's section 2.2 over .idl
+//	    definitions ("four out of five parameters were of fixed size
+//	    known at compile time; ...").
 //
-//	lrpcstat iface1.idl iface2.idl ...
+//	lrpcstat metrics [-watch interval] URL
+//	    Fetch the JSON snapshot a running system serves through
+//	    System.MetricsHandler and render the live Table-2-style
+//	    breakdown: per-interface call counters, dispatch/handler/copy
+//	    percentiles, the residual facility overhead, the latency
+//	    distribution, and the A-stack pool gauges. With -watch, refetch
+//	    and redraw on the given interval.
+//
+//	lrpcstat demo [-calls n]
+//	    Run an in-process workload with metrics and tracing enabled and
+//	    render its snapshot: the zero-setup way to see what the
+//	    observability layer reports.
+//
+// For backward compatibility, invoking lrpcstat with .idl file arguments
+// and no mode word selects the idl mode.
 package main
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
+	"lrpc"
 	"lrpc/internal/idl"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lrpcstat file.idl...\n")
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
+	switch args[0] {
+	case "idl":
+		idlMode(args[1:])
+	case "metrics":
+		metricsMode(args[1:])
+	case "demo":
+		demoMode(args[1:])
+	case "-h", "-help", "--help":
+		usage()
+	default:
+		// Bare .idl arguments: the original invocation style.
+		if strings.HasSuffix(args[0], ".idl") {
+			idlMode(args)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "lrpcstat: unknown mode %q\n\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  lrpcstat idl file.idl...          static interface census (paper 2.2)
+  lrpcstat metrics [-watch d] URL   render a running system's snapshot
+  lrpcstat demo [-calls n]          run a demo workload and render it
+`)
+}
+
+// --- metrics mode ---
+
+func metricsMode(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	watch := fs.Duration("watch", 0, "refetch and redraw on this interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lrpcstat metrics [-watch interval] URL")
+		os.Exit(2)
+	}
+	url := fs.Arg(0)
+	for {
+		sn, err := fetchSnapshot(url)
+		if err != nil {
+			fatal(err)
+		}
+		if *watch > 0 {
+			fmt.Print("\033[H\033[2J") // clear between redraws
+		}
+		fmt.Printf("snapshot at %s\n\n%s", sn.TakenAt.Format(time.RFC3339), sn.Render())
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+func fetchSnapshot(url string) (lrpc.Snapshot, error) {
+	var sn lrpc.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return sn, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sn, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		return sn, fmt.Errorf("decoding snapshot from %s: %w", url, err)
+	}
+	return sn, nil
+}
+
+// --- demo mode ---
+
+func demoMode(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	calls := fs.Int("calls", 50_000, "calls to drive through the demo workload")
+	fs.Parse(args)
+
+	sys := lrpc.NewSystem()
+	sys.EnableMetrics()
+	log := lrpc.NewTraceLog(256)
+	sys.SetTracer(log)
+
+	if _, err := sys.Export(&lrpc.Interface{Name: "Arith", Procs: []lrpc.Proc{
+		{Name: "Add", AStackSize: 8, Handler: func(c *lrpc.Call) {
+			a := binary.LittleEndian.Uint32(c.Args()[0:4])
+			b := binary.LittleEndian.Uint32(c.Args()[4:8])
+			binary.LittleEndian.PutUint32(c.ResultsBuf(4), a+b)
+		}},
+		{Name: "Null", AStackSize: 8, Handler: func(c *lrpc.Call) {}},
+	}}); err != nil {
+		fatal(err)
+	}
+	b, err := sys.Import("Arith")
+	if err != nil {
+		fatal(err)
+	}
+	argbuf := make([]byte, 8)
+	dst := make([]byte, 0, 16)
+	for i := 0; i < *calls; i++ {
+		binary.LittleEndian.PutUint32(argbuf[0:4], uint32(i))
+		binary.LittleEndian.PutUint32(argbuf[4:8], 1)
+		if _, err := b.CallAppend(i%2, argbuf, dst[:0]); err != nil {
+			fatal(err)
+		}
+	}
+	// One uncommon case so the trace log has something to show.
+	b.Call(99, nil)
+
+	fmt.Printf("demo workload: %d calls\n\n%s", *calls, sys.Snapshot().Render())
+	if evs := log.Events(); len(evs) > 0 {
+		fmt.Printf("\ntrace events (%d):\n", len(evs))
+		for _, ev := range evs {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+}
+
+// --- idl mode (the original census) ---
+
+func idlMode(paths []string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lrpcstat idl file.idl...")
 		os.Exit(2)
 	}
 
@@ -36,7 +177,7 @@ func main() {
 		fixedOnlyProcs, small32Procs int
 		astackBytes                  int
 	)
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)

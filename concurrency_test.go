@@ -9,6 +9,8 @@ package lrpc
 import (
 	"encoding/binary"
 	"errors"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -58,6 +60,105 @@ func TestCallZeroAllocs(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("Add CallAppend allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCallZeroAllocsWithMetrics asserts the observability layer's
+// when-on contract: with the recorder installed AND a tracer hooked up,
+// the successful fast path still allocates nothing — histograms are
+// atomic adds into pre-sized stripes, and trace events exist only on
+// uncommon paths, so no event is constructed here.
+func TestCallZeroAllocsWithMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; alloc counts not meaningful")
+	}
+	sys := NewSystem()
+	sys.EnableMetrics()
+	sys.SetTracer(NewTraceLog(64))
+	e, err := sys.Export(arithInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := make([]byte, 8)
+	for i := 0; i < 16; i++ {
+		if _, err := b.Call(2, args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := b.Call(2, args); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Null Call with metrics on allocates %.1f objects/op, want 0", allocs)
+	}
+	if sn := e.MetricsSnapshot(); sn.Dispatch.Count == 0 || sn.Handler.Count == 0 {
+		t.Errorf("recorder saw nothing: %+v", sn)
+	}
+}
+
+// TestCallPathTakesNoLocks turns the mutex profiler all the way up and
+// hammers the call path from several goroutines, metrics enabled: no
+// contended mutex may have Binding.CallAppend in its stack outside the
+// deliberate getSlow fallback. (Contention-based, so it can only catch a
+// lock that actually contended — but any mutex added to the fast path
+// would contend under this hammer.)
+func TestCallPathTakesNoLocks(t *testing.T) {
+	old := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(old)
+
+	sys := NewSystem()
+	sys.EnableMetrics()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			args := make([]byte, 8)
+			for i := 0; i < 5000; i++ {
+				if _, err := b.Call(2, args); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	n, _ := runtime.MutexProfile(nil)
+	records := make([]runtime.BlockProfileRecord, n+64)
+	n, _ = runtime.MutexProfile(records)
+	for _, r := range records[:n] {
+		frames := runtime.CallersFrames(r.Stack())
+		var stack []string
+		onFastPath, viaSlowPath := false, false
+		for {
+			f, more := frames.Next()
+			stack = append(stack, f.Function)
+			if strings.Contains(f.Function, "lrpc.(*Binding).CallAppend") {
+				onFastPath = true
+			}
+			if strings.Contains(f.Function, "getSlow") {
+				viaSlowPath = true
+			}
+			if !more {
+				break
+			}
+		}
+		if onFastPath && !viaSlowPath {
+			t.Errorf("contended mutex on the call fast path:\n  %s", strings.Join(stack, "\n  "))
+		}
 	}
 }
 

@@ -76,10 +76,10 @@ func (e *Export) PanicPolicy() PanicPolicy {
 // HandlerFault is one injected fault, consulted immediately before a
 // handler runs. The zero value injects nothing.
 type HandlerFault struct {
-	Stall     time.Duration // sleep this long before dispatching
-	Terminate bool          // terminate the export mid-call
-	Panic     bool          // panic instead of running the handler
-	PanicValue any          // value to panic with (nil selects a default)
+	Stall      time.Duration // sleep this long before dispatching
+	Terminate  bool          // terminate the export mid-call
+	Panic      bool          // panic instead of running the handler
+	PanicValue any           // value to panic with (nil selects a default)
 }
 
 // FaultInjector is the hook interface through which a fault schedule
@@ -124,6 +124,7 @@ func (e *Export) runHandler(p *Proc, c *Call) (err error) {
 			return
 		}
 		e.panics.Add(1)
+		e.sys.emitTrace(TracePanic, e.iface.Name, p.Name, nil)
 		switch e.PanicPolicy() {
 		case PropagatePanic:
 			panic(r)
@@ -147,6 +148,15 @@ func (e *Export) runHandler(p *Proc, c *Call) (err error) {
 			}
 			panic(v)
 		}
+	}
+	// Every dispatch plane funnels through here, so the handler span
+	// histogram covers the direct, context, network, and message paths
+	// alike. One nil-checked load when metrics are off.
+	if m := e.metrics.Load(); m != nil {
+		t := time.Now()
+		p.Handler(c)
+		m.handler.record(c.stripe, time.Since(t))
+		return nil
 	}
 	p.Handler(c)
 	return nil
@@ -214,10 +224,17 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 	}
 	p, pool, err := b.validate(proc, args)
 	if err != nil {
+		b.traceValidateFail(proc, err)
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, timeoutError(err)
+	}
+
+	m := b.exp.metrics.Load()
+	var started time.Time
+	if m != nil {
+		started = time.Now()
 	}
 
 	c := callPool.Get().(*Call)
@@ -256,8 +273,14 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 		} else {
 			pool.put(buf, c.stripe)
 		}
-		b.exp.calls.add(c.stripe, 1)
 		if herr == nil {
+			// A completion is counted only when the handler returned
+			// normally, matching CallAppend's accounting: a panicked
+			// activation is a failed call, not a completed one.
+			b.exp.calls.add(c.stripe, 1)
+			if m != nil {
+				m.dispatch.record(c.stripe, time.Since(started))
+			}
 			c.release()
 			if b.exp.terminated.Load() {
 				herr = ErrCallFailed
@@ -276,6 +299,7 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 	case <-ctx.Done():
 		act.abandoned.Store(true)
 		b.exp.abandoned.Add(1)
+		b.sys.emitTrace(TraceAbandon, b.exp.iface.Name, p.Name, ctx.Err())
 		return nil, timeoutError(ctx.Err())
 	}
 }

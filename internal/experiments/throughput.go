@@ -204,7 +204,7 @@ func parallelRate(n int, d time.Duration, call func()) float64 {
 // ThroughputTable renders the rig result as a table.
 func ThroughputTable(r ThroughputResult) *Table {
 	t := &Table{
-		Title: "Wall-clock multiprocessor throughput (Null calls/second, real time)",
+		Title:  "Wall-clock multiprocessor throughput (Null calls/second, real time)",
 		Header: []string{"GOMAXPROCS", "LRPC", "global-lock baseline", "LRPC speedup"},
 		Notes: []string{
 			us(float64(r.NumCPU)) + " CPUs available; single-goroutine Null latency " + us1(r.NullNsPerOp) + " ns/op",

@@ -182,6 +182,77 @@ func runFaultMesh(t *testing.T, seed int64) {
 	}
 }
 
+// TestStressPutTerminateRace aims workers of back-to-back short calls at
+// an export while Terminate fires at a randomized instant, over many
+// seeded iterations: the checkin path (put) races the revocation drain
+// constantly. The invariant is total reclamation — no activation still
+// running, no A-stack still outstanding, and no call resolving as
+// anything but success/ErrCallFailed/ErrRevoked. (A put that raced past
+// the revoked check used to strand its stack in the drained ring.)
+func TestStressPutTerminateRace(t *testing.T) {
+	const iterations = 150
+	for it := 0; it < iterations; it++ {
+		rng := rand.New(rand.NewSource(int64(it)))
+		sys := lrpc.NewSystem()
+		e, err := sys.Export(&lrpc.Interface{Name: "Hot", Procs: []lrpc.Proc{{
+			Name: "Null", AStackSize: 16, NumAStacks: 2,
+			Handler: func(c *lrpc.Call) { c.ResultsBuf(0) },
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers = 4
+		bindings := make([]*lrpc.Binding, workers)
+		for w := range bindings {
+			b, err := sys.Import("Hot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			bindings[w] = b
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for _, b := range bindings {
+			wg.Add(1)
+			go func(b *lrpc.Binding) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					_, err := b.Call(0, nil)
+					if err != nil && !errors.Is(err, lrpc.ErrCallFailed) && !errors.Is(err, lrpc.ErrRevoked) {
+						t.Errorf("seed %d: unexpected resolution: %v", it, err)
+						return
+					}
+					if errors.Is(err, lrpc.ErrRevoked) {
+						return
+					}
+				}
+			}(b)
+		}
+		delay := time.Duration(rng.Int63n(int64(200 * time.Microsecond)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(delay)
+			e.Terminate()
+		}()
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("failed at seed %d", it)
+		}
+		if n := e.Active(); n != 0 {
+			t.Fatalf("seed %d: %d activations still running", it, n)
+		}
+		for _, b := range bindings {
+			if n := b.Outstanding(); n != 0 {
+				t.Fatalf("seed %d: %d stacks leaked", it, n)
+			}
+		}
+	}
+}
+
 // TestNetClientSurvivesConnDrops runs the network plane against a dialer
 // whose connections are cut every few hundred bytes: the client must
 // redial and keep completing calls, resolving every failure as

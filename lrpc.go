@@ -54,6 +54,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Errors returned by the package.
@@ -192,9 +193,18 @@ type System struct {
 	nextID  uint64
 	rng     *rand.Rand
 
+	// metricsOn records EnableMetrics so exports registered afterwards
+	// start with their recorders installed. Guarded by mu.
+	metricsOn bool
+
 	// injector is consulted once per dispatch; it is an atomic pointer
 	// load (nil for the common no-injection case), never a lock.
 	injector atomic.Pointer[FaultInjector]
+
+	// tracer is the uncommon-case event hook (see metrics.go): same
+	// shape as injector, a nil-checked atomic load at the event sites
+	// and nothing at all on the successful fast path.
+	tracer atomic.Pointer[Tracer]
 }
 
 // bindingRecord is the kernel-held truth about one issued binding: the
@@ -203,9 +213,9 @@ type System struct {
 // without any lock — the bind-time-validation design the paper's
 // concurrency technique requires.
 type bindingRecord struct {
-	id     uint64
-	nonce  uint64
-	export *Export
+	id      uint64
+	nonce   uint64
+	export  *Export
 	revoked atomic.Bool
 }
 
@@ -241,10 +251,17 @@ type Export struct {
 	panicPolicy atomic.Int32  // PanicPolicy
 	abandoned   atomic.Uint64 // calls abandoned by their caller's deadline
 	panics      atomic.Uint64 // handler invocations that panicked
+
+	// metrics is the observability recorder (see metrics.go): nil until
+	// EnableMetrics, consulted with one atomic load per dispatch — when
+	// nil the call path does not even read the clock.
+	metrics atomic.Pointer[exportMetrics]
 }
 
 // Export registers iface and returns its export handle. Every procedure
-// must have a handler.
+// must have a handler, and procedure names must be unique within the
+// interface — a duplicate would make CallByName resolve ambiguously, so
+// it is rejected here rather than silently bound to the first index.
 func (s *System) Export(iface *Interface) (*Export, error) {
 	if len(iface.Procs) == 0 {
 		return nil, fmt.Errorf("lrpc: interface %q has no procedures", iface.Name)
@@ -254,17 +271,24 @@ func (s *System) Export(iface *Interface) (*Export, error) {
 		if iface.Procs[i].Handler == nil {
 			return nil, fmt.Errorf("lrpc: procedure %s.%s has no handler", iface.Name, iface.Procs[i].Name)
 		}
-		if _, dup := nameIdx[iface.Procs[i].Name]; !dup {
-			nameIdx[iface.Procs[i].Name] = i
+		if prev, dup := nameIdx[iface.Procs[i].Name]; dup {
+			return nil, fmt.Errorf("lrpc: interface %q declares procedure %q twice (indices %d and %d)",
+				iface.Name, iface.Procs[i].Name, prev, i)
 		}
+		nameIdx[iface.Procs[i].Name] = i
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.exports[iface.Name]; ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("lrpc: interface %q already exported", iface.Name)
 	}
 	e := &Export{sys: s, iface: iface, nameIdx: nameIdx}
 	s.exports[iface.Name] = e
+	metricsOn := s.metricsOn
+	s.mu.Unlock()
+	if metricsOn {
+		e.EnableMetrics()
+	}
 	return e, nil
 }
 
@@ -283,6 +307,7 @@ func (e *Export) Terminate() {
 	if !e.terminated.CompareAndSwap(false, true) {
 		return
 	}
+	e.sys.emitTrace(TraceTerminate, e.iface.Name, "", nil)
 	e.mu.Lock()
 	bindings := append([]*Binding(nil), e.bindings...)
 	e.mu.Unlock()
@@ -380,18 +405,23 @@ func (s *System) Import(name string) (*Binding, error) {
 		}
 		if p.ShareGroup != "" {
 			if pool, ok := groups[p.ShareGroup]; ok {
-				if size > pool.size {
-					// The shared pool must fit the group's largest
-					// member; replace the existing stacks.
-					pool.reseed(size)
-				}
+				// Every member contributes: the shared pool grows to
+				// the group's largest stack size and its combined
+				// stack count, so the group admits the combined
+				// number of concurrent calls.
+				pool.grow(size, n)
 				b.pools = append(b.pools, pool)
 				continue
 			}
 		}
 		pool := newAStackPool(size, n)
+		pool.sys = s
+		pool.iface = e.iface.Name
 		if p.ShareGroup != "" {
+			pool.group = p.ShareGroup
 			groups[p.ShareGroup] = pool
+		} else {
+			pool.group = p.Name
 		}
 		b.pools = append(b.pools, pool)
 	}
@@ -409,6 +439,15 @@ func (s *System) Import(name string) (*Binding, error) {
 	}
 	e.bindings = append(e.bindings, b)
 	e.mu.Unlock()
+	// Registration precedes the recorder probe, so a concurrent
+	// EnableMetrics either sees the binding in e.bindings or we see its
+	// installed recorder here — never neither.
+	if e.metrics.Load() != nil {
+		for _, p := range b.pools {
+			p.enableObs()
+		}
+	}
+	s.emitTrace(TraceBind, name, "", nil)
 	return b, nil
 }
 
@@ -438,8 +477,18 @@ func (b *Binding) Call(proc int, args []byte) ([]byte, error) {
 // letting callers reuse result buffers across calls. With a dst of
 // sufficient capacity the whole call is zero-alloc.
 func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
+	// One nil-checked atomic load decides whether this invocation is
+	// measured; when the recorder is absent the path reads no clock,
+	// takes no lock, and allocates nothing.
+	m := b.exp.metrics.Load()
+	var started time.Time
+	if m != nil {
+		started = time.Now()
+	}
+
 	p, pool, err := b.validate(proc, args)
 	if err != nil {
+		b.traceValidateFail(proc, err)
 		return nil, err
 	}
 
@@ -451,7 +500,14 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 		c.release()
 		return nil, err
 	}
-	prepareCall(c, p, buf.b, args)
+	var copySpan time.Duration
+	if m != nil {
+		t := time.Now()
+		prepareCall(c, p, buf.b, args) // copy A
+		copySpan = time.Since(t)
+	} else {
+		prepareCall(c, p, buf.b, args)
+	}
 
 	// Domain transfer: the calling goroutine executes the server's
 	// procedure directly — no scheduler rendezvous. A handler panic is
@@ -468,13 +524,23 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 		if src == nil {
 			src = c.astack[:c.resLen]
 		}
-		out = append(dst, src...)
+		if m != nil {
+			t := time.Now()
+			out = append(dst, src...)
+			copySpan += time.Since(t)
+		} else {
+			out = append(dst, src...)
+		}
 	} else {
 		out = dst
 	}
 	pool.put(buf, c.stripe)
 
 	b.exp.calls.add(c.stripe, 1)
+	if m != nil {
+		m.copySpan.record(c.stripe, copySpan)
+		m.dispatch.record(c.stripe, time.Since(started))
+	}
 	c.release()
 	if b.exp.terminated.Load() {
 		// The server terminated while we were inside it: the call,
@@ -482,6 +548,20 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 		return nil, ErrCallFailed
 	}
 	return out, nil
+}
+
+// traceValidateFail reports a pre-dispatch rejection (revoked or forged
+// binding, bad index, oversized arguments) to the tracer, if one is
+// installed. Nothing is constructed when tracing is off.
+func (b *Binding) traceValidateFail(proc int, err error) {
+	if b.sys.tracer.Load() == nil {
+		return
+	}
+	name := ""
+	if proc >= 0 && proc < len(b.exp.iface.Procs) {
+		name = b.exp.iface.Procs[proc].Name
+	}
+	b.sys.emitTrace(TraceValidateFail, b.exp.iface.Name, name, err)
 }
 
 // validate is the kernel half of a call, moved to bind time: the binding

@@ -442,9 +442,11 @@ func TestShareGroupPoolsAreShared(t *testing.T) {
 	if err != nil || !bytes.Equal(res, payload) {
 		t.Fatalf("B over shared pool: %v %v", res, err)
 	}
-	// Group pool has 2 stacks total (A's count won as first declarer).
-	if got := b.pools[0].seeded; got != 2 {
-		t.Errorf("shared pool has %d stacks, want 2", got)
+	// Group pool is sized by the members' combined stack counts: A's
+	// declared 2 plus B's default, exactly as the ShareGroup doc promises.
+	want := 2 + DefaultNumAStacks
+	if got := b.pools[0].seeded; got != want {
+		t.Errorf("shared pool has %d stacks, want %d", got, want)
 	}
 }
 

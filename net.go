@@ -163,6 +163,9 @@ type DialOptions struct {
 	// net.Dial; fault-injection harnesses substitute flaky transports
 	// here (see internal/faultinject).
 	Dial func() (net.Conn, error)
+	// Tracer, when set, receives TraceReconnect events on every
+	// successful redial. SetTracer installs or replaces it later.
+	Tracer Tracer
 }
 
 func (o *DialOptions) fill() {
@@ -229,6 +232,8 @@ type NetClient struct {
 	timeouts   atomic.Uint64
 	reconnects atomic.Uint64
 	retries    atomic.Uint64
+
+	tracer atomic.Pointer[Tracer]
 }
 
 type pendingCall struct {
@@ -297,8 +302,29 @@ func newNetClient(conn net.Conn, name string, opts DialOptions) *NetClient {
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		wait:     map[uint64]*pendingCall{},
 	}
+	if opts.Tracer != nil {
+		c.tracer.Store(&opts.Tracer)
+	}
 	go c.readLoop(conn, 1)
 	return c
+}
+
+// SetTracer installs (or, with nil, removes) a tracer receiving the
+// client's TraceReconnect events: the network plane's analog of
+// System.SetTracer, nil-checked with one atomic load on the redial path.
+func (c *NetClient) SetTracer(t Tracer) {
+	if t == nil {
+		c.tracer.Store(nil)
+		return
+	}
+	c.tracer.Store(&t)
+}
+
+func (c *NetClient) emitReconnect(gen uint64) {
+	if p := c.tracer.Load(); p != nil {
+		(*p).TraceEvent(TraceEvent{Kind: TraceReconnect, Iface: c.name,
+			Proc: fmt.Sprintf("gen-%d", gen)})
+	}
 }
 
 // Stats returns a snapshot of the client's event counters.
@@ -451,7 +477,11 @@ func (c *NetClient) getConn(ctx context.Context) (net.Conn, uint64, error) {
 			c.conn = conn
 			c.backoff = 0
 			c.reconnects.Add(1)
-			go c.readLoop(conn, c.gen)
+			gen := c.gen
+			go c.readLoop(conn, gen)
+			c.mu.Unlock()
+			c.emitReconnect(gen) // tracer callback runs outside the client lock
+			c.mu.Lock()
 		}
 		close(done)
 	}
