@@ -34,9 +34,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	delta := 100 * (cur.NullNsPerOp - base.NullNsPerOp) / base.NullNsPerOp
-	fmt.Printf("Null ns/op: baseline %.1f, current %.1f (%+.1f%%)\n",
-		base.NullNsPerOp, cur.NullNsPerOp, delta)
+	// When both artifacts carry a calibration anchor (the per-iteration
+	// time of a fixed scalar loop on the recording host), compare
+	// Null/Calib ratios: that cancels host-speed differences between the
+	// two recording moments — shared hardware, thermal throttling, noisy
+	// neighbors — so the gate trips on code regressions, not on the
+	// machine having a slow day. Artifacts predating the anchor fall back
+	// to the absolute comparison.
+	baseN, curN := base.NullNsPerOp, cur.NullNsPerOp
+	unit := "ns/op"
+	if base.CalibNsPerOp > 0 && cur.CalibNsPerOp > 0 {
+		baseN /= base.CalibNsPerOp
+		curN /= cur.CalibNsPerOp
+		unit = "×calib"
+		fmt.Printf("Null ns/op: baseline %.1f (calib %.3f), current %.1f (calib %.3f)\n",
+			base.NullNsPerOp, base.CalibNsPerOp, cur.NullNsPerOp, cur.CalibNsPerOp)
+	}
+	delta := 100 * (curN - baseN) / baseN
+	fmt.Printf("Null %s: baseline %.2f, current %.2f (%+.1f%%)\n",
+		unit, baseN, curN, delta)
 	for _, p := range cur.Points {
 		fmt.Printf("GOMAXPROCS=%d: lrpc %.0f calls/s, global-lock %.0f calls/s, speedup %.2f\n",
 			p.GOMAXPROCS, p.LRPCCallsPerSec, p.GlobalLockCallsPerSec, p.Speedup)

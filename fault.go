@@ -76,10 +76,11 @@ func (e *Export) PanicPolicy() PanicPolicy {
 // HandlerFault is one injected fault, consulted immediately before a
 // handler runs. The zero value injects nothing.
 type HandlerFault struct {
-	Stall      time.Duration // sleep this long before dispatching
-	Terminate  bool          // terminate the export mid-call
-	Panic      bool          // panic instead of running the handler
-	PanicValue any           // value to panic with (nil selects a default)
+	Stall      time.Duration   // sleep this long before dispatching
+	Hold       <-chan struct{} // block until closed (deterministic stall)
+	Terminate  bool            // terminate the export mid-call
+	Panic      bool            // panic instead of running the handler
+	PanicValue any             // value to panic with (nil selects a default)
 }
 
 // FaultInjector is the hook interface through which a fault schedule
@@ -138,6 +139,12 @@ func (e *Export) runHandler(p *Proc, c *Call) (err error) {
 		if f.Stall > 0 {
 			time.Sleep(f.Stall)
 		}
+		if f.Hold != nil {
+			// A deterministic stall: the activation parks until the
+			// schedule releases it, letting overload tests pin handlers
+			// in place without wall-clock sleeps.
+			<-f.Hold
+		}
 		if f.Terminate {
 			e.Terminate()
 		}
@@ -195,17 +202,24 @@ func (b *Binding) Outstanding() int {
 type CallOpts struct {
 	// Deadline, when nonzero, bounds the call: if the handler has not
 	// returned by then the caller abandons it and gets ErrCallTimeout.
+	// Under admission control the deadline also bounds the wait for
+	// admission — a call that cannot be admitted in time is shed with
+	// ErrOverload (resilience.go).
 	Deadline time.Time
+
+	// Priority is the call's load-shedding class: under admission
+	// pressure lower classes shed first. Zero is PriorityNormal.
+	Priority Priority
 }
 
 // CallWithOpts is Call with per-call options.
 func (b *Binding) CallWithOpts(proc int, args []byte, opts CallOpts) ([]byte, error) {
 	if opts.Deadline.IsZero() {
-		return b.Call(proc, args)
+		return b.callAppend(proc, args, nil, opts.Priority)
 	}
 	ctx, cancel := context.WithDeadline(context.Background(), opts.Deadline)
 	defer cancel()
-	return b.CallContext(ctx, proc, args)
+	return b.callContextPrio(ctx, proc, args, opts.Priority)
 }
 
 // CallContext is Call under a context: if ctx is cancelled or its deadline
@@ -219,15 +233,41 @@ func (b *Binding) CallWithOpts(proc int, args []byte, opts CallOpts) ([]byte, er
 // A context that can never be cancelled (context.Background()) takes the
 // ordinary direct-handoff path with no extra goroutine.
 func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	return b.callContextPrio(ctx, proc, args, PriorityNormal)
+}
+
+// callContextPrio is CallContext carrying the call's load-shedding class.
+func (b *Binding) callContextPrio(ctx context.Context, proc int, args []byte, prio Priority) ([]byte, error) {
 	if ctx == nil || ctx.Done() == nil {
-		return b.Call(proc, args)
+		return b.callAppend(proc, args, nil, prio)
 	}
 	p, pool, err := b.validate(proc, args)
 	if err != nil {
 		b.traceValidateFail(proc, err)
 		return nil, err
 	}
+	// Admission control (resilience.go): the context's deadline bounds
+	// the wait for a slot — a call that cannot be admitted before it is
+	// shed with ErrOverload instead of parking past its budget. The gate
+	// precedes the ctx.Err check so an over-deadline call against a full
+	// export reports the true cause: it was shed, not timed out.
+	adm := b.exp.admission.Load()
+	if adm != nil {
+		var deadline time.Time
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+		if err := adm.enter(prio, deadline, ctx.Done()); err != nil {
+			if err == ErrOverload {
+				b.recordShed(p, pool, err)
+			}
+			return nil, err
+		}
+	}
 	if err := ctx.Err(); err != nil {
+		if adm != nil {
+			adm.exit()
+		}
 		return nil, timeoutError(err)
 	}
 
@@ -241,6 +281,9 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 	buf, err := pool.get(b.Policy, ctx.Done(), c.stripe)
 	if err != nil {
 		c.release()
+		if adm != nil {
+			adm.exit()
+		}
 		if err == errWaitCancelled {
 			return nil, timeoutError(ctx.Err())
 		}
@@ -273,6 +316,12 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 		} else {
 			pool.put(buf, c.stripe)
 		}
+		if adm != nil {
+			// The admission slot spans the activation, not the caller's
+			// wait: an abandoned call keeps its slot until the handler
+			// lets go, so the cap truly bounds running handlers.
+			adm.exit()
+		}
 		if herr == nil {
 			// A completion is counted only when the handler returned
 			// normally, matching CallAppend's accounting: a panicked
@@ -299,6 +348,10 @@ func (b *Binding) CallContext(ctx context.Context, proc int, args []byte) ([]byt
 	case <-ctx.Done():
 		act.abandoned.Store(true)
 		b.exp.abandoned.Add(1)
+		// Register the orphan: the handler is still running — possibly
+		// in an export that terminates before it returns — and the
+		// reaper (resilience.go) accounts for it until it does.
+		b.sys.addOrphan(act, b.exp, p.Name)
 		b.sys.emitTrace(TraceAbandon, b.exp.iface.Name, p.Name, ctx.Err())
 		return nil, timeoutError(ctx.Err())
 	}

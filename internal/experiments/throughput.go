@@ -40,10 +40,18 @@ type ThroughputPoint struct {
 // ThroughputResult is the full wall-clock rig output, shaped for JSON
 // (BENCH_*.json artifacts; see cmd/lrpcbench and cmd/benchcheck).
 type ThroughputResult struct {
-	NumCPU      int               `json:"num_cpu"`
-	PerPointMs  int64             `json:"per_point_ms"`
-	NullNsPerOp float64           `json:"null_ns_per_op"`
-	Points      []ThroughputPoint `json:"points"`
+	NumCPU      int     `json:"num_cpu"`
+	PerPointMs  int64   `json:"per_point_ms"`
+	NullNsPerOp float64 `json:"null_ns_per_op"`
+	// CalibNsPerOp anchors the artifact to the recording host's scalar
+	// speed: the per-iteration time of a fixed pure-integer loop, measured
+	// with the same minimum estimator at the same moment as NullNsPerOp.
+	// Comparing Null/Calib ratios across artifacts cancels host-speed
+	// differences (shared hardware, throttling, noisy neighbors), so a
+	// perf gate sees code regressions rather than machine drift. Zero in
+	// artifacts recorded before the field existed.
+	CalibNsPerOp float64           `json:"calib_ns_per_op,omitempty"`
+	Points       []ThroughputPoint `json:"points"`
 }
 
 // WallClockThroughput measures aggregate Null calls/second at
@@ -59,6 +67,7 @@ func WallClockThroughput(maxProcs int, perPoint time.Duration) ThroughputResult 
 		PerPointMs: perPoint.Milliseconds(),
 	}
 	res.NullNsPerOp = nullLatencyNs()
+	res.CalibNsPerOp = calibNsPerOp()
 
 	var oneCPU float64
 	for n := 1; n <= maxProcs; n++ {
@@ -102,9 +111,12 @@ func throughputSystem() (*lrpc.System, *lrpc.Binding, error) {
 }
 
 // nullLatencyNs measures single-goroutine Null call latency as the best
-// of several samples — the minimum is the standard latency estimator on
-// shared hardware, where any single sample can absorb a descheduling or a
-// GC cycle and read tens of percent high.
+// of many short samples — the minimum is the standard latency estimator
+// on shared hardware, where any single sample can absorb a descheduling
+// or a GC cycle and read tens of percent high. The windows are kept
+// short (~2 ms) so on a busy host at least some of them land between
+// preemptions; a long window averages the noise *in* instead of letting
+// the minimum reject it.
 func nullLatencyNs() float64 {
 	_, b, err := throughputSystem()
 	if err != nil {
@@ -113,9 +125,10 @@ func nullLatencyNs() float64 {
 	for i := 0; i < 1000; i++ {
 		b.Call(0, nil)
 	}
-	const iters = 100_000
+	const iters = 20_000
+	const reps = 40
 	best := math.MaxFloat64
-	for rep := 0; rep < 5; rep++ {
+	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			if _, err := b.Call(0, nil); err != nil {
@@ -126,6 +139,34 @@ func nullLatencyNs() float64 {
 			best = ns
 		}
 	}
+	return best
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// calibNsPerOp times a fixed xorshift64 loop with the same best-of-short-
+// windows minimum estimator as nullLatencyNs — the artifact's record of
+// how fast this host ran scalar code at the moment the Null latency was
+// taken. The loop has no memory traffic and no branches that depend on
+// data, so its speed tracks the host clock and nothing else.
+func calibNsPerOp() float64 {
+	const iters = 100_000
+	const reps = 40
+	best := math.MaxFloat64
+	x := uint64(88172645463325252)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / iters; ns < best {
+			best = ns
+		}
+	}
+	calibSink = x
 	return best
 }
 

@@ -43,6 +43,18 @@ type Config struct {
 	// mid-call (the paper's domain-termination case, §5.3).
 	TerminateProb float64
 
+	// CrashMidCallProb is the probability a dispatch crashes its whole
+	// domain mid-call: the export terminates AND the handler panics in
+	// the same dispatch — the §5.3 "domain terminates due to an unhandled
+	// exception" case, with callers seeing the call-failed exception and
+	// the binding revoked at once.
+	CrashMidCallProb float64
+
+	// HoldFirst, when > 0, pins the first HoldFirst handler dispatches on
+	// a channel until Release is called: the deterministic way to fill an
+	// export to its admission cap (no wall-clock sleeps, no probability).
+	HoldFirst int
+
 	// DropAfterMin/DropAfterMax, when Max > 0, give every wrapped
 	// connection a byte budget drawn uniformly from [Min, Max]; once the
 	// connection has carried that many bytes (reads plus writes), it is
@@ -53,11 +65,13 @@ type Config struct {
 
 // Counts is a snapshot of what a schedule has injected so far.
 type Counts struct {
-	Decisions  uint64 // handler dispatches consulted
-	Panics     uint64
-	Stalls     uint64
-	Terminates uint64
-	ConnDrops  uint64 // connections cut by their byte budget
+	Decisions     uint64 // handler dispatches consulted
+	Panics        uint64
+	Stalls        uint64
+	Terminates    uint64
+	CrashMidCalls uint64 // simultaneous terminate + panic injections
+	Holds         uint64 // dispatches pinned by HoldFirst
+	ConnDrops     uint64 // connections cut by their byte budget
 }
 
 // Schedule is a seeded fault source, safe for concurrent use. With
@@ -70,6 +84,10 @@ type Schedule struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	counts Counts
+	held   int // dispatches pinned so far (up to cfg.HoldFirst)
+
+	hold        chan struct{}
+	releaseOnce sync.Once
 }
 
 // New returns a schedule drawing from cfg with the given seed.
@@ -77,7 +95,19 @@ func New(seed int64, cfg Config) *Schedule {
 	if cfg.StallProb > 0 && cfg.StallMax <= 0 {
 		cfg.StallMax = time.Millisecond
 	}
-	return &Schedule{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	s := &Schedule{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.HoldFirst > 0 {
+		s.hold = make(chan struct{})
+	}
+	return s
+}
+
+// Release unpins every dispatch held by HoldFirst (idempotent).
+func (s *Schedule) Release() {
+	if s.hold == nil {
+		return
+	}
+	s.releaseOnce.Do(func() { close(s.hold) })
 }
 
 // HandlerFault implements lrpc.FaultInjector: one seeded roll per
@@ -99,6 +129,19 @@ func (s *Schedule) HandlerFault(iface, proc string) lrpc.HandlerFault {
 		f.Panic = true
 		f.PanicValue = s.cfg.PanicValue
 		s.counts.Panics++
+	}
+	if s.cfg.CrashMidCallProb > 0 && s.rng.Float64() < s.cfg.CrashMidCallProb {
+		f.Terminate = true
+		f.Panic = true
+		if f.PanicValue == nil {
+			f.PanicValue = s.cfg.PanicValue
+		}
+		s.counts.CrashMidCalls++
+	}
+	if s.held < s.cfg.HoldFirst {
+		s.held++
+		s.counts.Holds++
+		f.Hold = s.hold
 	}
 	return f
 }

@@ -1,0 +1,353 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lrpc"
+)
+
+// TestOverloadShedding is the acceptance scenario for admission control,
+// deterministic by construction: the schedule's HoldFirst pins the first
+// two dispatches on a channel (no wall-clock sleeps, no probabilities),
+// filling the export's cap, and then each assertion drives exactly one
+// outcome — over-deadline calls shed before parking, low priority sheds
+// before high, and every shed lands in the gauges and the tracer.
+func TestOverloadShedding(t *testing.T) {
+	sys := lrpc.NewSystem()
+	sys.EnableMetrics()
+	sched := New(1, Config{HoldFirst: 2})
+	sys.SetFaultInjector(sched)
+	log := lrpc.NewTraceLog(64)
+	sys.SetTracer(log)
+
+	e, err := sys.Export(&lrpc.Interface{Name: "Work", Procs: []lrpc.Proc{{
+		Name: "Do", AStackSize: 16, NumAStacks: 8,
+		Handler: func(c *lrpc.Call) { c.ResultsBuf(0) },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetAdmission(lrpc.AdmissionConfig{MaxConcurrent: 2, MaxQueue: 1})
+	b, err := sys.Import("Work")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the cap: the first two dispatches hold until Release.
+	var held sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		held.Add(1)
+		go func() {
+			defer held.Done()
+			if _, err := b.Call(0, nil); err != nil {
+				t.Errorf("held call resolved %v", err)
+			}
+		}()
+	}
+	waitActive(t, e, 2)
+
+	// (a) An over-deadline call sheds with ErrOverload before parking:
+	// the budget is already spent, so it never joins the queue.
+	if _, err := b.CallWithOpts(0, nil, lrpc.CallOpts{
+		Deadline: time.Now().Add(-time.Millisecond),
+	}); !errors.Is(err, lrpc.ErrOverload) {
+		t.Fatalf("over-deadline call: got %v, want ErrOverload", err)
+	}
+
+	// (b) Low priority sheds before high: park a low-priority waiter in
+	// the single queue slot, then arrive with a high-priority call — the
+	// low waiter is evicted with ErrOverload and the high call takes its
+	// place.
+	lowErr := make(chan error, 1)
+	go func() {
+		_, err := b.CallWithOpts(0, nil, lrpc.CallOpts{Priority: lrpc.PriorityLow})
+		lowErr <- err
+	}()
+	waitQueued(t, e, 1)
+	highErr := make(chan error, 1)
+	go func() {
+		_, err := b.CallWithOpts(0, nil, lrpc.CallOpts{Priority: lrpc.PriorityHigh})
+		highErr <- err
+	}()
+	if err := <-lowErr; !errors.Is(err, lrpc.ErrOverload) {
+		t.Fatalf("evicted low-priority call: got %v, want ErrOverload", err)
+	}
+
+	// Release the held dispatches: the high-priority waiter is granted
+	// the freed slot and completes.
+	sched.Release()
+	held.Wait()
+	if err := <-highErr; err != nil {
+		t.Fatalf("high-priority call after release: %v", err)
+	}
+
+	// (c) Every shed is accounted, everywhere: export counter, pool
+	// gauge, tracer, and snapshot all agree on 2 (one over-deadline, one
+	// eviction).
+	const wantSheds = 2
+	if got := e.Sheds(); got != wantSheds {
+		t.Errorf("export Sheds = %d, want %d", got, wantSheds)
+	}
+	if got := log.Count(lrpc.TraceShed); got != wantSheds {
+		t.Errorf("TraceShed count = %d, want %d", got, wantSheds)
+	}
+	sn := e.MetricsSnapshot()
+	if sn.Sheds != wantSheds {
+		t.Errorf("snapshot Sheds = %d, want %d", sn.Sheds, wantSheds)
+	}
+	if sn.Pools.Sheds != wantSheds {
+		t.Errorf("pool gauge Sheds = %d, want %d", sn.Pools.Sheds, wantSheds)
+	}
+	if got := sched.Counts().Holds; got != 2 {
+		t.Errorf("schedule held %d dispatches, want 2", got)
+	}
+	// The system quiesces clean: nothing admitted is still running and
+	// every A-stack went home.
+	waitActive(t, e, 0)
+	if n := b.Outstanding(); n != 0 {
+		t.Errorf("%d A-stacks leaked", n)
+	}
+}
+
+// TestCrashMidCall drives the schedule's crash-mid-call fault: the export
+// terminates AND the handler panics in one dispatch — the paper's "domain
+// terminates due to an unhandled exception". The caller must see the
+// call-failed exception, the binding must be revoked, and nothing leaks.
+func TestCrashMidCall(t *testing.T) {
+	sys := lrpc.NewSystem()
+	sched := New(7, Config{CrashMidCallProb: 1})
+	sys.SetFaultInjector(sched)
+
+	e, err := sys.Export(&lrpc.Interface{Name: "Fragile", Procs: []lrpc.Proc{{
+		Name: "Do", AStackSize: 16, NumAStacks: 2,
+		Handler: func(c *lrpc.Call) { c.ResultsBuf(0) },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Fragile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call(0, nil); !errors.Is(err, lrpc.ErrCallFailed) {
+		t.Fatalf("crash-mid-call resolved %v, want ErrCallFailed", err)
+	}
+	if !e.Terminated() {
+		t.Error("export survived its own crash")
+	}
+	if _, err := b.Call(0, nil); !errors.Is(err, lrpc.ErrRevoked) {
+		t.Fatalf("call after crash: got %v, want ErrRevoked", err)
+	}
+	if got := sched.Counts().CrashMidCalls; got != 1 {
+		t.Errorf("CrashMidCalls = %d, want 1", got)
+	}
+	if n := b.Outstanding(); n != 0 {
+		t.Errorf("%d A-stacks leaked by the crash", n)
+	}
+}
+
+// TestBreakerFailFastAndRecovery is the breaker acceptance scenario: a
+// controllable dialer takes the peer down, consecutive dial failures open
+// the breaker, calls fail fast with ErrBreakerOpen while it is open, and
+// bringing the peer back lets the half-open probe recover the client.
+func TestBreakerFailFastAndRecovery(t *testing.T) {
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(&lrpc.Interface{Name: "Echo", Procs: []lrpc.Proc{{
+		Name: "Echo", AStackSize: 64,
+		Handler: func(c *lrpc.Call) { copy(c.ResultsBuf(len(c.Args())), c.Args()) },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sys.ServeNetwork(l)
+
+	var down sync.Mutex
+	peerDown := false
+	var conns []net.Conn
+	setDown := func(d bool) {
+		down.Lock()
+		peerDown = d
+		if d {
+			for _, c := range conns {
+				c.Close() // cut live connections so redials begin
+			}
+			conns = nil
+		}
+		down.Unlock()
+	}
+	dial := func() (net.Conn, error) {
+		down.Lock()
+		defer down.Unlock()
+		if peerDown {
+			return nil, errors.New("injected: peer down")
+		}
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err == nil {
+			conns = append(conns, c)
+		}
+		return c, err
+	}
+
+	log := lrpc.NewTraceLog(64)
+	c, err := lrpc.NewReconnectingClient("Echo", lrpc.DialOptions{
+		Dial:             dial,
+		CallTimeout:      time.Second,
+		RedialAttempts:   2,
+		BackoffInitial:   time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+		Tracer:           log,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := []byte("ping")
+	if res, err := c.Call(0, payload); err != nil || string(res) != "ping" {
+		t.Fatalf("call with peer up: %v (%q)", err, res)
+	}
+
+	// Take the peer down: the next call burns its redial budget, each
+	// failed dial counts against the breaker, and the threshold opens it.
+	setDown(true)
+	if _, err := c.Call(0, payload); err == nil {
+		t.Fatal("call with peer down succeeded")
+	}
+	waitCond(t, func() bool { return c.Stats().BreakerOpens >= 1 })
+
+	// While open: fail fast, no dial attempts, no queueing.
+	start := time.Now()
+	_, err = c.Call(0, payload)
+	if !errors.Is(err, lrpc.ErrBreakerOpen) {
+		t.Fatalf("call while open: got %v, want ErrBreakerOpen", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("fail-fast took %v", d)
+	}
+	st := c.Stats()
+	if st.BreakerOpens == 0 || st.BreakerRejects == 0 {
+		t.Errorf("stats = %+v, want opens and rejects recorded", st)
+	}
+	if log.Count(lrpc.TraceBreakerOpen) == 0 {
+		t.Error("no TraceBreakerOpen event emitted")
+	}
+
+	// Bring the peer back; after the cooldown the half-open probe closes
+	// the breaker and calls flow again.
+	setDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.Call(0, payload)
+		if err == nil && string(res) == "ping" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if log.Count(lrpc.TraceBreakerClose) == 0 {
+		t.Error("no TraceBreakerClose event emitted on recovery")
+	}
+}
+
+// TestWriteReplyFailureTearsDownConn pins the reply-write repair: when the
+// server's reply write fails mid-frame, the server must surface the
+// failure through the tracer and close the connection — so the client's
+// pending call fails promptly (and redials) instead of stranding until
+// its deadline on a half-dead pipe.
+func TestWriteReplyFailureTearsDownConn(t *testing.T) {
+	sys := lrpc.NewSystem()
+	log := lrpc.NewTraceLog(64)
+	sys.SetTracer(log)
+	if _, err := sys.Export(&lrpc.Interface{Name: "Echo", Procs: []lrpc.Proc{{
+		Name: "Echo", AStackSize: 64,
+		Handler: func(c *lrpc.Call) { copy(c.ResultsBuf(len(c.Args())), c.Args()) },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	// The server's side of each connection gets a byte budget sized so
+	// the request (30 bytes) is read whole but the reply write (21
+	// bytes) is cut mid-frame: a deterministic half-dead pipe.
+	sched := New(5, Config{DropAfterMin: 40, DropAfterMax: 40})
+	go sys.ServeNetwork(&wrappingListener{Listener: inner, sched: sched})
+
+	c, err := lrpc.DialInterface("tcp", inner.Addr().String(), "Echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	args := make([]byte, 8)
+	binary.LittleEndian.PutUint32(args, 42)
+	start := time.Now()
+	_, err = c.Call(0, args)
+	if err == nil {
+		t.Fatal("call succeeded across a cut reply write")
+	}
+	if !errors.Is(err, lrpc.ErrConnClosed) && !errors.Is(err, lrpc.ErrCallTimeout) {
+		t.Fatalf("call across cut reply: %v", err)
+	}
+	// The teardown must be prompt — the conn was closed on the failed
+	// write, not left to the client's deadline.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("client waited %v for a reply the server knew it lost", d)
+	}
+	waitCond(t, func() bool { return log.Count(lrpc.TraceWriteFail) >= 1 })
+}
+
+// wrappingListener wraps every accepted connection with the schedule's
+// byte budget, so the server side of the wire is the flaky one.
+type wrappingListener struct {
+	net.Listener
+	sched *Schedule
+}
+
+func (l *wrappingListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.sched.WrapConn(conn), nil
+}
+
+func waitActive(t *testing.T, e *lrpc.Export, want int64) {
+	t.Helper()
+	waitCond(t, func() bool { return e.Active() == want })
+}
+
+func waitQueued(t *testing.T, e *lrpc.Export, want int) {
+	t.Helper()
+	waitCond(t, func() bool {
+		sn := e.MetricsSnapshot()
+		return sn.Admission != nil && sn.Admission.Queued == want
+	})
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -205,6 +205,14 @@ type System struct {
 	// shape as injector, a nil-checked atomic load at the event sites
 	// and nothing at all on the successful fast path.
 	tracer atomic.Pointer[Tracer]
+
+	// Orphan-activation registry (see resilience.go): abandoned
+	// activations are tracked system-wide because their export may be
+	// unregistered by Terminate before they return. Touched only on the
+	// abandon path and by the reaper, never on the fast path.
+	orphanMu sync.Mutex
+	orphans  map[*activation]orphanRec
+	reaped   atomic.Uint64
 }
 
 // bindingRecord is the kernel-held truth about one issued binding: the
@@ -251,6 +259,12 @@ type Export struct {
 	panicPolicy atomic.Int32  // PanicPolicy
 	abandoned   atomic.Uint64 // calls abandoned by their caller's deadline
 	panics      atomic.Uint64 // handler invocations that panicked
+
+	// admission is the overload controller (see resilience.go): nil
+	// until SetAdmission, consulted with one nil-checked atomic load per
+	// call — absent, the path is unchanged.
+	admission atomic.Pointer[admission]
+	sheds     atomic.Uint64 // calls shed with ErrOverload
 
 	// metrics is the observability recorder (see metrics.go): nil until
 	// EnableMetrics, consulted with one atomic load per dispatch — when
@@ -325,6 +339,12 @@ func (e *Export) Terminate() {
 		delete(e.sys.exports, e.iface.Name)
 	}
 	e.sys.mu.Unlock()
+
+	// Release every caller parked for admission: a terminated domain
+	// will never free capacity, so waiting would be forever.
+	if a := e.admission.Load(); a != nil {
+		a.revoke()
+	}
 
 	// Release every thread blocked on an exhausted A-stack pool: a
 	// terminated domain can never return a stack, so waiting would be
@@ -477,6 +497,12 @@ func (b *Binding) Call(proc int, args []byte) ([]byte, error) {
 // letting callers reuse result buffers across calls. With a dst of
 // sufficient capacity the whole call is zero-alloc.
 func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
+	return b.callAppend(proc, args, dst, PriorityNormal)
+}
+
+// callAppend is the direct-transfer call path, shared by Call/CallAppend
+// and the priority-carrying CallWithOpts route (resilience.go).
+func (b *Binding) callAppend(proc int, args, dst []byte, prio Priority) ([]byte, error) {
 	// One nil-checked atomic load decides whether this invocation is
 	// measured; when the recorder is absent the path reads no clock,
 	// takes no lock, and allocates nothing.
@@ -492,12 +518,28 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 		return nil, err
 	}
 
+	// Admission control (resilience.go): one nil-checked load when off;
+	// one CAS when on and under the cap. A shed call never touches the
+	// Call pool or an A-stack.
+	adm := b.exp.admission.Load()
+	if adm != nil {
+		if err := adm.enter(prio, time.Time{}, nil); err != nil {
+			if err == ErrOverload {
+				b.recordShed(p, pool, err)
+			}
+			return nil, err
+		}
+	}
+
 	// Client stub: argument stack off the pool's per-P cache or
 	// lock-free ring, single copy in.
 	c := callPool.Get().(*Call)
 	buf, err := pool.get(b.Policy, nil, c.stripe)
 	if err != nil {
 		c.release()
+		if adm != nil {
+			adm.exit()
+		}
 		return nil, err
 	}
 	var copySpan time.Duration
@@ -514,6 +556,9 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 	// contained in runHandler and surfaces as the call-failed exception.
 	if herr := b.exp.runHandler(p, c); herr != nil {
 		pool.putPoisoned(buf, c.stripe)
+		if adm != nil {
+			adm.exit()
+		}
 		return nil, herr
 	}
 
@@ -535,6 +580,11 @@ func (b *Binding) CallAppend(proc int, args, dst []byte) ([]byte, error) {
 		out = dst
 	}
 	pool.put(buf, c.stripe)
+	if adm != nil {
+		// The slot is released only after the A-stack went back, so the
+		// cap bounds stack pressure as well as handler concurrency.
+		adm.exit()
+	}
 
 	b.exp.calls.add(c.stripe, 1)
 	if m != nil {

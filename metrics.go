@@ -65,12 +65,32 @@ const (
 	// TraceReconnect: a network client re-established a broken
 	// connection.
 	TraceReconnect
+	// TraceShed: admission control shed a call with ErrOverload
+	// (resilience.go).
+	TraceShed
+	// TraceBreakerOpen: a network client's circuit breaker opened —
+	// subsequent calls fail fast with ErrBreakerOpen.
+	TraceBreakerOpen
+	// TraceBreakerClose: a half-open probe succeeded and the breaker
+	// closed again.
+	TraceBreakerClose
+	// TraceRebind: a Supervisor re-imported after its binding was
+	// revoked.
+	TraceRebind
+	// TraceReap: the orphan reaper closed the books on an abandoned
+	// activation that has since returned.
+	TraceReap
+	// TraceWriteFail: a reply or request write failed on the wire; the
+	// connection is torn down so the peer redials instead of waiting on
+	// a half-dead pipe.
+	TraceWriteFail
 
 	numTraceKinds
 )
 
 var traceKindNames = [numTraceKinds]string{
 	"bind", "validate-fail", "stack-wait", "abandon", "panic", "terminate", "reconnect",
+	"shed", "breaker-open", "breaker-close", "rebind", "reap", "write-fail",
 }
 
 func (k TraceKind) String() string {
@@ -325,6 +345,7 @@ type poolObs struct {
 	overflows stripedUint64 // overflow allocations beyond the provisioned set
 	waits     stripedUint64 // WaitForAStack parks
 	drops     stripedUint64 // stacks dropped: overflow into a full ring, or a revoked pool
+	sheds     stripedUint64 // calls shed by admission control before reaching the pool
 }
 
 // EnableMetrics switches the recording plane on for every current and
@@ -381,6 +402,12 @@ type ExportSnapshot struct {
 	Active    int64  `json:"active"`    // handler activations running now
 	Abandoned uint64 `json:"abandoned"` // calls abandoned at their deadline
 	Panics    uint64 `json:"panics"`    // handler invocations that panicked
+	Sheds     uint64 `json:"sheds"`     // calls shed with ErrOverload
+	Orphans   int    `json:"orphans"`   // live orphaned activations
+
+	// Admission reports the overload controller's configuration and
+	// occupancy; nil when admission control is off.
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
 
 	Dispatch HistogramSnapshot `json:"dispatch"`
 	Handler  HistogramSnapshot `json:"handler"`
@@ -401,6 +428,15 @@ type PoolSnapshot struct {
 	Overflows uint64 `json:"overflows"`
 	Waits     uint64 `json:"waits"`
 	Drops     uint64 `json:"drops"`
+	Sheds     uint64 `json:"sheds"` // calls shed before reaching the pool
+}
+
+// AdmissionSnapshot is the overload controller's point-in-time state.
+type AdmissionSnapshot struct {
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
+	Inflight      int64 `json:"inflight"` // admitted calls running now
+	Queued        int   `json:"queued"`   // callers waiting for admission
 }
 
 // MetricsSnapshot returns the export's current observability state. The
@@ -413,6 +449,16 @@ func (e *Export) MetricsSnapshot() ExportSnapshot {
 		Active:     e.Active(),
 		Abandoned:  e.Abandoned(),
 		Panics:     e.HandlerPanics(),
+		Sheds:      e.Sheds(),
+		Orphans:    e.Orphans(),
+	}
+	if a := e.admission.Load(); a != nil {
+		sn.Admission = &AdmissionSnapshot{
+			MaxConcurrent: a.cfg.MaxConcurrent,
+			MaxQueue:      a.cfg.MaxQueue,
+			Inflight:      a.inflight.Load(),
+			Queued:        int(a.waiters.Load()),
+		}
 	}
 	if m := e.metrics.Load(); m != nil {
 		sn.Dispatch = m.dispatch.snapshot()
@@ -438,6 +484,7 @@ func (e *Export) MetricsSnapshot() ExportSnapshot {
 				sn.Pools.Overflows += o.overflows.sum()
 				sn.Pools.Waits += o.waits.sum()
 				sn.Pools.Drops += o.drops.sum()
+				sn.Pools.Sheds += o.sheds.sum()
 			}
 		}
 	}
@@ -479,9 +526,17 @@ func (s *System) WriteMetricsText(w io.Writer) error {
 	for _, e := range sn.Interfaces {
 		lbl := fmt.Sprintf("{iface=%q}", e.Name)
 		if _, err := fmt.Fprintf(w,
-			"lrpc_calls_total%s %d\nlrpc_active%s %d\nlrpc_abandoned_total%s %d\nlrpc_handler_panics_total%s %d\n",
-			lbl, e.Calls, lbl, e.Active, lbl, e.Abandoned, lbl, e.Panics); err != nil {
+			"lrpc_calls_total%s %d\nlrpc_active%s %d\nlrpc_abandoned_total%s %d\nlrpc_handler_panics_total%s %d\nlrpc_sheds_total%s %d\nlrpc_orphans%s %d\n",
+			lbl, e.Calls, lbl, e.Active, lbl, e.Abandoned, lbl, e.Panics,
+			lbl, e.Sheds, lbl, e.Orphans); err != nil {
 			return err
+		}
+		if a := e.Admission; a != nil {
+			if _, err := fmt.Fprintf(w,
+				"lrpc_admission_max%s %d\nlrpc_admission_inflight%s %d\nlrpc_admission_queued%s %d\n",
+				lbl, a.MaxConcurrent, lbl, a.Inflight, lbl, a.Queued); err != nil {
+				return err
+			}
 		}
 		for _, span := range []struct {
 			name string
@@ -502,10 +557,10 @@ func (s *System) WriteMetricsText(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w,
-			"lrpc_pool_seeded%s %d\nlrpc_pool_free%s %d\nlrpc_pool_outstanding%s %d\nlrpc_pool_checkouts_total%s %d\nlrpc_pool_overflow_allocs_total%s %d\nlrpc_pool_waits_total%s %d\nlrpc_pool_drops_total%s %d\n",
+			"lrpc_pool_seeded%s %d\nlrpc_pool_free%s %d\nlrpc_pool_outstanding%s %d\nlrpc_pool_checkouts_total%s %d\nlrpc_pool_overflow_allocs_total%s %d\nlrpc_pool_waits_total%s %d\nlrpc_pool_drops_total%s %d\nlrpc_pool_sheds_total%s %d\n",
 			lbl, e.Pools.Seeded, lbl, e.Pools.Free, lbl, e.Pools.Outstanding,
 			lbl, e.Pools.Checkouts, lbl, e.Pools.Overflows, lbl, e.Pools.Waits,
-			lbl, e.Pools.Drops); err != nil {
+			lbl, e.Pools.Drops, lbl, e.Pools.Sheds); err != nil {
 			return err
 		}
 	}
@@ -557,8 +612,12 @@ func (e ExportSnapshot) Render() string {
 		state = "  [terminated]"
 	}
 	fmt.Fprintf(&b, "interface %s%s\n", e.Name, state)
-	fmt.Fprintf(&b, "  calls %d   active %d   abandoned %d   panics %d\n",
-		e.Calls, e.Active, e.Abandoned, e.Panics)
+	fmt.Fprintf(&b, "  calls %d   active %d   abandoned %d   panics %d   sheds %d   orphans %d\n",
+		e.Calls, e.Active, e.Abandoned, e.Panics, e.Sheds, e.Orphans)
+	if a := e.Admission; a != nil {
+		fmt.Fprintf(&b, "  admission: cap %d, queue %d; %d inflight, %d queued\n",
+			a.MaxConcurrent, a.MaxQueue, a.Inflight, a.Queued)
+	}
 	if e.Dispatch.Count > 0 || e.Handler.Count > 0 || e.Copy.Count > 0 {
 		fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s %10s\n",
 			"span", "p50", "p90", "p99", "max", "mean")
@@ -581,9 +640,9 @@ func (e ExportSnapshot) Render() string {
 		}
 		b.WriteString(renderHistogram("  dispatch", e.Dispatch))
 	}
-	fmt.Fprintf(&b, "  pools: %d binding(s), %d seeded, %d free, %d outstanding; %d checkouts, %d overflow allocs, %d waits, %d drops\n",
+	fmt.Fprintf(&b, "  pools: %d binding(s), %d seeded, %d free, %d outstanding; %d checkouts, %d overflow allocs, %d waits, %d drops, %d sheds\n",
 		e.Pools.Bindings, e.Pools.Seeded, e.Pools.Free, e.Pools.Outstanding,
-		e.Pools.Checkouts, e.Pools.Overflows, e.Pools.Waits, e.Pools.Drops)
+		e.Pools.Checkouts, e.Pools.Overflows, e.Pools.Waits, e.Pools.Drops, e.Pools.Sheds)
 	return b.String()
 }
 

@@ -41,6 +41,16 @@ import (
 // budget.
 var ErrConnClosed = errors.New("lrpc: network connection closed")
 
+// RemoteError is an error the remote side reported in its reply: the
+// request crossed the wire, a handler (or the server's dispatch) failed,
+// and the failure text came back. Because a reply was received, the peer
+// is provably alive — the circuit breaker counts RemoteError as success.
+type RemoteError struct {
+	Msg string // the remote error text, verbatim
+}
+
+func (e *RemoteError) Error() string { return "lrpc: remote: " + e.Msg }
+
 // maxFrame bounds a single network frame.
 const maxFrame = MaxOOBSize + 1024
 
@@ -92,6 +102,17 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.MaxInFlight)
 	var wmu sync.Mutex // interleaved replies from concurrent handlers
+	var closeOnce sync.Once
+	// reply writes one reply and, on failure, tears the connection down:
+	// a half-dead pipe that swallows replies would otherwise strand every
+	// pending client call until its deadline, when closing it makes the
+	// client redial immediately.
+	reply := func(iface string, callID uint64, status byte, body []byte) {
+		if err := writeReply(conn, &wmu, opts.WriteTimeout, callID, status, body); err != nil {
+			s.emitTrace(TraceWriteFail, iface, "", err)
+			closeOnce.Do(func() { conn.Close() })
+		}
+	}
 	bindings := map[string]*Binding{}
 	for {
 		frame, err := readFrame(conn)
@@ -106,7 +127,7 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		if !ok {
 			nb, err := s.Import(name)
 			if err != nil {
-				writeReply(conn, &wmu, opts.WriteTimeout, callID, 1, []byte(err.Error()))
+				reply(name, callID, 1, []byte(err.Error()))
 				continue
 			}
 			bindings[name] = nb
@@ -127,14 +148,14 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 			default:
 			}
 			if err != nil {
-				writeReply(conn, &wmu, opts.WriteTimeout, callID, 1, []byte(err.Error()))
+				reply(name, callID, 1, []byte(err.Error()))
 				return
 			}
-			writeReply(conn, &wmu, opts.WriteTimeout, callID, 0, res)
+			reply(name, callID, 0, res)
 		}()
 	}
 	close(closing)
-	conn.Close() // unblock any handler mid-write
+	closeOnce.Do(func() { conn.Close() }) // unblock any handler mid-write
 	wg.Wait()
 }
 
@@ -166,6 +187,19 @@ type DialOptions struct {
 	// Tracer, when set, receives TraceReconnect events on every
 	// successful redial. SetTracer installs or replaces it later.
 	Tracer Tracer
+
+	// BreakerThreshold, when > 0, arms a circuit breaker on the client
+	// (resilience.go): after that many consecutive connection-level
+	// failures (failed dials, dead connections) the breaker opens and
+	// calls fail fast with ErrBreakerOpen instead of queueing behind a
+	// dead peer. After a cooldown one probe call is let through; its
+	// success closes the breaker. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the initial open interval; it doubles on every
+	// re-open up to BreakerMaxCooldown and resets on recovery. Zero
+	// values select 100ms and 10× the cooldown.
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
 }
 
 func (o *DialOptions) fill() {
@@ -187,16 +221,24 @@ func (o *DialOptions) fill() {
 	if o.Seed == 0 {
 		o.Seed = rand.Int63()
 	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 100 * time.Millisecond
+	}
+	if o.BreakerMaxCooldown <= 0 {
+		o.BreakerMaxCooldown = 10 * o.BreakerCooldown
+	}
 }
 
 // NetClientStats counts a client's lifetime events, for robustness
 // dashboards and the lrpcbench faults driver.
 type NetClientStats struct {
-	Calls      uint64 // calls issued
-	Failures   uint64 // calls that returned a remote error
-	Timeouts   uint64 // calls abandoned at their deadline
-	Reconnects uint64 // successful redials after a connection loss
-	Retries    uint64 // requests re-sent because they never reached the wire
+	Calls          uint64 // calls issued
+	Failures       uint64 // calls that returned a remote error
+	Timeouts       uint64 // calls abandoned at their deadline
+	Reconnects     uint64 // successful redials after a connection loss
+	Retries        uint64 // requests re-sent because they never reached the wire
+	BreakerOpens   uint64 // times the circuit breaker opened
+	BreakerRejects uint64 // calls failed fast with ErrBreakerOpen
 }
 
 // NetClient is a client connection to a remote System, safe for
@@ -232,6 +274,10 @@ type NetClient struct {
 	timeouts   atomic.Uint64
 	reconnects atomic.Uint64
 	retries    atomic.Uint64
+
+	// br is the circuit breaker (resilience.go); nil unless
+	// DialOptions.BreakerThreshold armed it.
+	br *breaker
 
 	tracer atomic.Pointer[Tracer]
 }
@@ -302,6 +348,9 @@ func newNetClient(conn net.Conn, name string, opts DialOptions) *NetClient {
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		wait:     map[uint64]*pendingCall{},
 	}
+	if opts.BreakerThreshold > 0 {
+		c.br = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.BreakerMaxCooldown)
+	}
 	if opts.Tracer != nil {
 		c.tracer.Store(&opts.Tracer)
 	}
@@ -327,15 +376,61 @@ func (c *NetClient) emitReconnect(gen uint64) {
 	}
 }
 
+// emitEvent delivers one client-side trace event (breaker transitions,
+// write failures) to the installed tracer, if any.
+func (c *NetClient) emitEvent(kind TraceKind, err error) {
+	if p := c.tracer.Load(); p != nil {
+		(*p).TraceEvent(TraceEvent{Kind: kind, Iface: c.name, Err: err})
+	}
+}
+
+// brFailure records one connection-level failure against the breaker and
+// emits TraceBreakerOpen when it was the one that opened it.
+func (c *NetClient) brFailure() {
+	if c.br == nil {
+		return
+	}
+	if c.br.failure(time.Now()) {
+		c.br.opens.Add(1)
+		c.emitEvent(TraceBreakerOpen, nil)
+	}
+}
+
+// brObserve classifies a finished call for the breaker: a reply — even a
+// remote error — proves the peer alive; a connection-level failure counts
+// against it. A probe that reaches no verdict (timeout) re-opens the
+// breaker, so the half-open state can never wedge.
+func (c *NetClient) brObserve(probe bool, err error) {
+	if c.br == nil {
+		return
+	}
+	var remote *RemoteError
+	switch {
+	case err == nil, errors.As(err, &remote):
+		if c.br.success() {
+			c.emitEvent(TraceBreakerClose, nil)
+		}
+	case errors.Is(err, ErrConnClosed):
+		c.brFailure()
+	case probe:
+		c.brFailure()
+	}
+}
+
 // Stats returns a snapshot of the client's event counters.
 func (c *NetClient) Stats() NetClientStats {
-	return NetClientStats{
+	st := NetClientStats{
 		Calls:      c.calls.Load(),
 		Failures:   c.failures.Load(),
 		Timeouts:   c.timeouts.Load(),
 		Reconnects: c.reconnects.Load(),
 		Retries:    c.retries.Load(),
 	}
+	if c.br != nil {
+		st.BreakerOpens = c.br.opens.Load()
+		st.BreakerRejects = c.br.rejects.Load()
+	}
+	return st
 }
 
 func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
@@ -464,6 +559,11 @@ func (c *NetClient) getConn(ctx context.Context) (net.Conn, uint64, error) {
 			}
 		}
 		conn, err := c.opts.Dial()
+		if err != nil {
+			// Each failed dial counts against the breaker, so a dead
+			// peer opens it even when no request ever reaches the wire.
+			c.brFailure()
+		}
 
 		c.mu.Lock()
 		c.dialing = false
@@ -511,6 +611,23 @@ func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 	}
 	c.calls.Add(1)
 
+	// Circuit breaker gate, ahead of the in-flight window: while the
+	// peer is known dead, calls fail fast instead of queueing on the sem
+	// behind doomed requests.
+	var probe bool
+	if c.br != nil {
+		var err error
+		probe, err = c.br.allow(time.Now())
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := c.doCall(ctx, proc, args)
+	c.brObserve(probe, err)
+	return res, err
+}
+
+func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, error) {
 	// Bounded in-flight window: backpressure instead of unbounded
 	// pipelining.
 	select {
@@ -548,6 +665,7 @@ func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 			c.mu.Lock()
 			delete(c.wait, id)
 			c.mu.Unlock()
+			c.emitEvent(TraceWriteFail, werr)
 			c.connBroken(conn, gen, werr)
 			if !wrote {
 				// The request never reached the wire: retrying cannot
@@ -568,7 +686,7 @@ func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 			}
 			if reply.status != 0 {
 				c.failures.Add(1)
-				return nil, fmt.Errorf("lrpc: remote: %s", reply.body)
+				return nil, &RemoteError{Msg: string(reply.body)}
 			}
 			return reply.body, nil
 		case <-ctx.Done():
@@ -592,6 +710,9 @@ func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 // "reached the wire" is decidable: wrote reports whether any byte of the
 // frame made it into the connection.
 func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, proc int, args []byte) (wrote bool, err error) {
+	if len(c.name) > 0xFFFF {
+		return false, fmt.Errorf("lrpc: interface name of %d bytes exceeds the wire limit", len(c.name))
+	}
 	bp := frameBuf(4 + 8 + 2 + len(c.name) + 4 + len(args))
 	buf := *bp
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
@@ -698,13 +819,42 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("lrpc: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	// Small frames (the common case) are read in one shot. Large ones
+	// grow incrementally as payload actually arrives, so a hostile length
+	// header cannot commit megabytes of memory per connection before a
+	// single body byte is sent.
+	const chunk = 64 << 10
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		want := n - len(buf)
+		if want > chunk {
+			want = chunk
+		}
+		if len(buf)+want > cap(buf) {
+			grown := cap(buf) * 2
+			if grown > n {
+				grown = n
+			}
+			nb := make([]byte, len(buf), grown)
+			copy(nb, buf)
+			buf = nb
+		}
+		off := len(buf)
+		buf = buf[:off+want]
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return buf, nil
 }
@@ -719,7 +869,7 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID uint64, status byte, body []byte) {
+func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID uint64, status byte, body []byte) error {
 	// Frame the length header and payload into one pooled buffer so the
 	// reply is a single Write (one syscall, no per-reply allocation).
 	bp := frameBuf(4 + 9 + len(body))
@@ -732,12 +882,13 @@ func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID ui
 	if timeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
-	_, _ = conn.Write(buf)
+	_, err := conn.Write(buf)
 	if timeout > 0 {
 		conn.SetWriteDeadline(time.Time{})
 	}
 	wmu.Unlock()
 	frameBufPool.Put(bp)
+	return err
 }
 
 func parseRequest(frame []byte) (callID uint64, name string, proc int, args []byte, err error) {

@@ -1,0 +1,118 @@
+package lrpc
+
+// Native Go fuzz targets for the wire parsers in net.go. Both parsers
+// face attacker-controlled bytes (anything that can reach the TCP port),
+// so the invariants are: never panic, never over-read, and on success
+// account for every byte of the input.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func FuzzParseRequest(f *testing.F) {
+	// Seed corpus: a well-formed request, the boundary shapes, and a few
+	// liars (nameLen pointing past the end).
+	valid := make([]byte, 0, 32)
+	valid = binary.LittleEndian.AppendUint64(valid, 7) // callID
+	valid = binary.LittleEndian.AppendUint16(valid, 4) // nameLen
+	valid = append(valid, "Echo"...)                   // name
+	valid = binary.LittleEndian.AppendUint32(valid, 1) // proc
+	valid = append(valid, 0xAA, 0xBB)                  // args
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, 9))  // one byte short of the fixed header
+	f.Add(make([]byte, 10)) // header only: nameLen 0, no proc field
+	liar := make([]byte, 0, 16)
+	liar = binary.LittleEndian.AppendUint64(liar, 1)
+	liar = binary.LittleEndian.AppendUint16(liar, 0xFFFF) // name beyond the frame
+	f.Add(liar)
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		callID, name, proc, args, err := parseRequest(frame)
+		if err != nil {
+			return
+		}
+		// Accounting invariant: fixed header + name + proc + args must
+		// tile the frame exactly — no byte read twice, none invented.
+		if 10+len(name)+4+len(args) != len(frame) {
+			t.Fatalf("parsed fields cover %d bytes of a %d-byte frame",
+				10+len(name)+4+len(args), len(frame))
+		}
+		if callID != binary.LittleEndian.Uint64(frame[0:8]) {
+			t.Fatalf("callID %d does not match the frame header", callID)
+		}
+		if proc < 0 {
+			// proc is a u32 on the wire; on 64-bit ints it can never
+			// parse negative.
+			t.Fatalf("negative proc index %d from wire bytes", proc)
+		}
+		// The parsed name and args must alias or equal the frame's bytes.
+		if string(frame[10:10+len(name)]) != name {
+			t.Fatal("name does not match its wire bytes")
+		}
+		if !bytes.Equal(frame[10+len(name)+4:], args) {
+			t.Fatal("args do not match their wire bytes")
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: empty payload, small payload, a length header lying
+	// about a huge body, a body larger than the chunked-read threshold,
+	// and a truncated stream.
+	frame := func(payload []byte) []byte {
+		b := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+		return append(b, payload...)
+	}
+	f.Add(frame(nil))
+	f.Add(frame([]byte("hello")))
+	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<30)) // over maxFrame
+	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<20)) // big claim, no body
+	f.Add(frame(bytes.Repeat([]byte{0x5A}, 70<<10)))    // crosses the 64 KiB chunk
+	f.Add([]byte{1, 2})                                 // truncated header
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		got, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		// Content invariant: a successful read returns exactly the bytes
+		// the length header promised, leaving the rest of the stream
+		// unconsumed.
+		if len(stream) < 4 {
+			t.Fatal("readFrame succeeded on a stream shorter than its header")
+		}
+		n := int(binary.LittleEndian.Uint32(stream[0:4]))
+		if n > maxFrame {
+			t.Fatalf("readFrame accepted a %d-byte frame beyond maxFrame", n)
+		}
+		if len(got) != n {
+			t.Fatalf("frame length %d, header promised %d", len(got), n)
+		}
+		if !bytes.Equal(got, stream[4:4+n]) {
+			t.Fatal("frame content does not match the stream")
+		}
+		if remaining := r.Len(); remaining != len(stream)-4-n {
+			t.Fatalf("readFrame consumed %d bytes, frame ends at %d",
+				len(stream)-remaining, 4+n)
+		}
+	})
+}
+
+// TestReadFrameIncrementalAlloc pins the hardening behavior directly: a
+// length header claiming megabytes with a short body must fail with an
+// ordinary read error (no huge up-front commit, no hang, no panic).
+func TestReadFrameIncrementalAlloc(t *testing.T) {
+	hdr := binary.LittleEndian.AppendUint32(nil, uint32(maxFrame))
+	_, err := readFrame(bytes.NewReader(append(hdr, 1, 2, 3)))
+	if err == nil {
+		t.Fatal("readFrame succeeded with a 3-byte body against a maxFrame header")
+	}
+	if err != io.ErrUnexpectedEOF && err != io.EOF {
+		t.Logf("readFrame failed with %v (any read error is acceptable)", err)
+	}
+}

@@ -222,23 +222,4 @@ func TestParseRequestErrors(t *testing.T) {
 	}
 }
 
-// FuzzParseRequest: the wire-request parser must never panic or read out
-// of bounds on arbitrary frames.
-func FuzzParseRequest(f *testing.F) {
-	good := make([]byte, 8+2+5+4+3)
-	binary.LittleEndian.PutUint16(good[8:10], 5)
-	copy(good[10:], "Arith")
-	f.Add(good)
-	f.Add([]byte{})
-	f.Add([]byte{1, 2, 3})
-	f.Fuzz(func(t *testing.T, frame []byte) {
-		callID, name, proc, args, err := parseRequest(frame)
-		if err != nil {
-			return
-		}
-		if 10+len(name)+4+len(args) != len(frame) {
-			t.Fatalf("parsed sizes inconsistent: id=%d name=%q proc=%d args=%d frame=%d",
-				callID, name, proc, len(args), len(frame))
-		}
-	})
-}
+// FuzzParseRequest and FuzzReadFrame live in net_fuzz_test.go.
