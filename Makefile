@@ -4,14 +4,15 @@
 
 GO ?= go
 
-.PHONY: ci fmtcheck vet build test race stress bench benchjson benchcheck fuzz staticcheck vulncheck
+.PHONY: ci fmtcheck vet build test race stress shmtest bench benchjson benchjson5 benchcheck fuzz staticcheck vulncheck
 
 # Formatting, vet, static analysis, build, tests (plain and -race), then
-# the perf gate: the whole merge bar in one command. The gate checks the
-# committed BENCH_pr4.json against the baseline (deterministic);
-# regenerate the artifact with `make benchjson` (or the full
+# the perf gates: the whole merge bar in one command. The gates check the
+# committed BENCH_pr4.json against the baseline and the committed
+# BENCH_pr5.json against the shm-speedup floor (both deterministic);
+# regenerate the artifacts with `make benchjson benchjson5` (or the full
 # `make bench`) when the call path changes.
-ci: fmtcheck vet staticcheck vulncheck build test race benchcheck
+ci: fmtcheck vet staticcheck vulncheck build test race shmtest benchcheck
 
 # gofmt -l prints nonconforming files; any output is a failure.
 fmtcheck:
@@ -53,6 +54,13 @@ race:
 stress:
 	$(GO) test -race -count=1 -run 'TestStress|TestNetClient' ./internal/faultinject/ .
 
+# The cross-process shared-memory integration suite, race-detector on.
+# The tests carry a linux build tag; on other platforms the packages
+# compile against the stub surface and the run reports no tests — a
+# graceful skip, not a failure.
+shmtest:
+	$(GO) test -race -count=1 -run 'TestShm' ./internal/faultinject/ .
+
 # Native Go fuzzing over the wire parsers (net_fuzz_test.go). Short
 # budgets so it's usable as a pre-commit smoke test; raise FUZZTIME for a
 # real session.
@@ -77,6 +85,13 @@ bench:
 benchjson:
 	$(GO) run ./cmd/lrpcbench -procs 4 -dur 500ms -json throughput > BENCH_pr4.json
 
-# Fail if the Null latency regressed >10% against the recorded baseline.
+# Regenerate the cross-transport artifact: Null/Add/BigIn through
+# in-process, shared-memory (separate OS processes), and TCP loopback.
+benchjson5:
+	$(GO) run ./cmd/lrpcbench -json shm > BENCH_pr5.json
+
+# Fail if the Null latency regressed >10% against the recorded baseline,
+# or if the recorded shm-vs-TCP Null speedup is under its 5x floor.
 benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr4.json
+	$(GO) run ./cmd/benchcheck BENCH_pr5.json

@@ -1,10 +1,19 @@
-// Command benchcheck compares two wall-clock benchmark artifacts (as
-// written by `lrpcbench -json throughput`, see BENCH_*.json) and fails —
-// exit status 1 — when the Null-call latency has regressed more than the
-// allowed percentage against the recorded baseline. A benchcmp for the
-// one number the paper's Table 4 cares most about.
+// Command benchcheck validates wall-clock benchmark artifacts.
+//
+// With two arguments it compares two throughput artifacts (as written
+// by `lrpcbench -json throughput`) and fails — exit status 1 — when the
+// Null-call latency has regressed more than the allowed percentage
+// against the recorded baseline. A benchcmp for the one number the
+// paper's Table 4 cares most about.
+//
+// With one argument it validates a cross-transport artifact (as
+// written by `lrpcbench -json shm`, see BENCH_pr5.json) and fails when
+// the shm-vs-TCP Null speedup is below the floor — the PR-5 acceptance
+// gate: a round trip between two OS processes over shared memory must
+// beat the same round trip over TCP loopback by at least that factor.
 //
 //	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
+//	benchcheck [-min-shm-speedup 5] TRANSPORTS.json
 package main
 
 import (
@@ -18,9 +27,16 @@ import (
 
 func main() {
 	maxRegress := flag.Float64("max-regress", 10, "maximum allowed Null ns/op regression, percent")
+	minShmSpeedup := flag.Float64("min-shm-speedup", 5, "minimum shm-vs-TCP Null speedup for a transports artifact")
 	flag.Parse()
-	if flag.NArg() != 2 {
+	switch flag.NArg() {
+	case 1:
+		checkTransports(flag.Arg(0), *minShmSpeedup)
+		return
+	case 2:
+	default:
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-max-regress N] BASELINE.json CURRENT.json")
+		fmt.Fprintln(os.Stderr, "       benchcheck [-min-shm-speedup N] TRANSPORTS.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -60,6 +76,53 @@ func main() {
 	if delta > *maxRegress {
 		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: Null latency regressed %.1f%% (limit %.0f%%)\n",
 			delta, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// checkTransports validates a cross-transport artifact: every recorded
+// row must carry positive latencies, and when both same-machine
+// transports are present the shm-vs-TCP Null speedup must clear the
+// floor. Artifacts recorded on hosts without the shm plane (no "shm"
+// row, speedup zero) pass with a notice, so the gate does not fail CI
+// on platforms that cannot run the experiment.
+func checkTransports(path string, minSpeedup float64) {
+	var r experiments.TransportResult
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(r.Transports) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no transports recorded\n", path)
+		os.Exit(2)
+	}
+	hasShm := false
+	for _, p := range r.Transports {
+		if p.NullNsPerOp <= 0 || p.AddNsPerOp <= 0 || p.BigInNsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: transport %q has a non-positive latency\n",
+				path, p.Transport)
+			os.Exit(1)
+		}
+		if p.Transport == "shm" {
+			hasShm = true
+		}
+		fmt.Printf("%-8s Null %.0f ns/op, Add %.0f ns/op, BigIn(%dB) %.0f ns/op\n",
+			p.Transport, p.NullNsPerOp, p.AddNsPerOp, r.BigInBytes, p.BigInNsPerOp)
+	}
+	if !hasShm {
+		fmt.Println("benchcheck: ok (no shm row; platform without the shm plane)")
+		return
+	}
+	fmt.Printf("shm speedup vs TCP loopback: %.2fx (floor %.1fx)\n", r.ShmSpeedupVsTCP, minSpeedup)
+	if r.ShmSpeedupVsTCP < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm Null speedup %.2fx below floor %.1fx\n",
+			r.ShmSpeedupVsTCP, minSpeedup)
 		os.Exit(1)
 	}
 	fmt.Println("benchcheck: ok")

@@ -8,20 +8,48 @@
 //	lrpcbench table4 table5   # just Table 4 and Table 5
 //	lrpcbench -cpus 5 -machine microvax figure2
 //	lrpcbench -procs 4 -dur 500ms -json throughput > BENCH_pr2.json
+//	lrpcbench -json shm > BENCH_pr5.json
+//
+// The shm experiment measures the same three calls (Null, Add, BigIn)
+// through three transports — in-process, shared memory between two OS
+// processes, and TCP loopback between the same two processes — by
+// re-execing this binary as the server side. On platforms without the
+// shm plane the shm row is omitted and the speedup reads zero.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"lrpc"
 	"lrpc/internal/experiments"
 	"lrpc/internal/machine"
 )
 
+// Environment markers for the re-exec'd server side of the shm
+// experiment: the child serves the Transport interface over both the
+// shm socket named by lrpcbenchShmSock and a TCP loopback listener,
+// prints "READY <tcpaddr>", and exits when its stdin closes.
+const (
+	lrpcbenchShmChild = "LRPCBENCH_SHM_CHILD"
+	lrpcbenchShmSock  = "LRPCBENCH_SHM_SOCK"
+)
+
 func main() {
+	if os.Getenv(lrpcbenchShmChild) == "1" {
+		runTransportServer()
+		return
+	}
 	cpus := flag.Int("cpus", 4, "processor count for figure2")
 	calls := flag.Int("calls", 1000, "calls per measurement")
 	ops := flag.Int("ops", 1_000_000, "operations for the table1 activity models")
@@ -86,9 +114,150 @@ func main() {
 			} else {
 				fmt.Println(experiments.ThroughputTable(r).Render())
 			}
+		case "shm":
+			r, err := runTransportBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrpcbench: shm: %v\n", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.TransportsTable(r).Render())
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "lrpcbench: unknown experiment %q\n", w)
 			os.Exit(2)
 		}
 	}
+}
+
+// runTransportServer is the child role of the shm experiment: one
+// process exporting the Transport interface over both same-machine
+// planes, so the parent can time an identical round trip through each.
+func runTransportServer() {
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(experiments.TransportInterface()); err != nil {
+		fmt.Fprintf(os.Stderr, "lrpcbench child: %v\n", err)
+		os.Exit(1)
+	}
+	tcpL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrpcbench child: %v\n", err)
+		os.Exit(1)
+	}
+	go sys.ServeNetwork(tcpL)
+	if sock := os.Getenv(lrpcbenchShmSock); sock != "" {
+		shmL, err := lrpc.ListenShm(sock)
+		if err != nil {
+			// Non-Linux hosts have no shm plane; the parent copes with
+			// the missing row.
+			fmt.Fprintf(os.Stderr, "lrpcbench child: shm disabled: %v\n", err)
+		} else {
+			// A deep spin budget keeps the bench's round trips in the
+			// yield-handoff regime (sched_yield alternation between the
+			// two domains) instead of paying a futex sleep/wake context
+			// switch per direction — the shm plane's best case, which is
+			// what the artifact is meant to record.
+			// One worker: a second would only add yield-alternation
+			// noise to the single-caller measurement on a small host.
+			go lrpc.NewShmServer(sys, lrpc.ShmServeOptions{Workers: 1, Spin: 8192}).Serve(shmL)
+		}
+	}
+	fmt.Printf("READY %s\n", tcpL.Addr().String())
+	os.Stdout.Sync()
+	// Parent exit (or parent Close of our stdin pipe) ends the child.
+	io.Copy(io.Discard, os.Stdin)
+}
+
+// runTransportBench is the parent role: measure in-process, then spawn
+// the server process and measure shm and TCP against it.
+func runTransportBench() (experiments.TransportResult, error) {
+	var points []experiments.TransportPoint
+
+	// In-process reference: same export shape, no protection boundary.
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(experiments.TransportInterface()); err != nil {
+		return experiments.TransportResult{}, err
+	}
+	b, err := sys.Import("Transport")
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	p, err := experiments.MeasureTransport("inproc", b.Call)
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	points = append(points, p)
+
+	// Server process: a real protection domain on the other side.
+	exe, err := os.Executable()
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	dir, err := os.MkdirTemp("", "lrpcbench-shm-")
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "bench.sock")
+
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), lrpcbenchShmChild+"=1", lrpcbenchShmSock+"="+sock)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return experiments.TransportResult{}, err
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		return experiments.TransportResult{}, fmt.Errorf("server handshake: %w", err)
+	}
+	tcpAddr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "READY"))
+	if tcpAddr == "" {
+		return experiments.TransportResult{}, fmt.Errorf("server handshake: %q", line)
+	}
+
+	if c, err := lrpc.DialShmOpts(sock, "Transport", lrpc.ShmDialOptions{Spin: 8192}); err != nil {
+		if !errors.Is(err, lrpc.ErrShmUnsupported) {
+			return experiments.TransportResult{}, fmt.Errorf("dial shm: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "lrpcbench: shm transport unsupported on this platform; omitting row")
+	} else {
+		p, err := experiments.MeasureTransport("shm", c.Call)
+		c.Close()
+		if err != nil {
+			return experiments.TransportResult{}, err
+		}
+		points = append(points, p)
+	}
+
+	nc, err := lrpc.DialInterface("tcp", tcpAddr, "Transport")
+	if err != nil {
+		return experiments.TransportResult{}, fmt.Errorf("dial tcp: %w", err)
+	}
+	p, err = experiments.MeasureTransport("tcp", nc.Call)
+	nc.Close()
+	if err != nil {
+		return experiments.TransportResult{}, err
+	}
+	points = append(points, p)
+
+	return experiments.FinishTransportResult(points), nil
 }

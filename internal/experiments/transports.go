@@ -1,0 +1,209 @@
+package experiments
+
+// Cross-transport latency: the same three calls — Null, Add, BigIn —
+// timed through whichever transports reach the same export. The
+// interesting comparison is the PR-5 acceptance row: a round trip
+// between two real OS processes over the shared-memory plane against
+// the identical round trip over TCP loopback. The paper's Table 4
+// argument, restated for protection domains that are genuinely separate
+// address spaces: crossing the boundary does not require crossing the
+// kernel's network stack.
+//
+// The rig is transport-agnostic on purpose: a transport is just a
+// `func(proc, args) (results, error)`. cmd/lrpcbench owns the wiring
+// (spawning the server process, dialing shm and TCP); this file owns
+// the interface shape, the estimator, and the artifact schema.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"lrpc"
+)
+
+// Transport proc numbers, fixed across every rig that serves
+// TransportInterface.
+const (
+	TransportNull  = 0 // no args, no results
+	TransportAdd   = 1 // two uint32 little-endian in, their sum out
+	TransportBigIn = 2 // BigInBytes of args in, no results
+)
+
+// BigInBytes is the argument size of the BigIn call — the paper's
+// 200-byte Table 4 row, the "large enough to notice copies" case.
+const BigInBytes = 200
+
+// TransportPoint is one transport's latency row.
+type TransportPoint struct {
+	Transport string `json:"transport"`
+	// Latencies are best-of-windows minima, ns per round trip.
+	NullNsPerOp  float64 `json:"null_ns_per_op"`
+	AddNsPerOp   float64 `json:"add_ns_per_op"`
+	BigInNsPerOp float64 `json:"bigin_ns_per_op"`
+}
+
+// TransportResult is the full cross-transport artifact (BENCH_pr5.json;
+// see cmd/lrpcbench and cmd/benchcheck's single-artifact mode).
+type TransportResult struct {
+	NumCPU int `json:"num_cpu"`
+	// CalibNsPerOp is the same host-speed anchor ThroughputResult
+	// records: the per-iteration time of a fixed scalar loop, so
+	// cross-artifact comparisons can cancel machine drift.
+	CalibNsPerOp float64 `json:"calib_ns_per_op"`
+	BigInBytes   int     `json:"bigin_bytes"`
+	// ShmSpeedupVsTCP is tcp Null latency over shm Null latency — the
+	// PR-5 acceptance number. Zero when either transport is absent
+	// (shm is Linux-only).
+	ShmSpeedupVsTCP float64          `json:"shm_speedup_vs_tcp"`
+	Transports      []TransportPoint `json:"transports"`
+}
+
+// TransportInterface builds the export every transport rig serves: the
+// three fixed procs above, with A-stacks sized for the BigIn row.
+func TransportInterface() *lrpc.Interface {
+	return &lrpc.Interface{
+		Name: "Transport",
+		Procs: []lrpc.Proc{
+			{Name: "Null", AStackSize: 64, NumAStacks: 16,
+				Handler: func(c *lrpc.Call) { c.ResultsBuf(0) }},
+			{Name: "Add", AStackSize: 64, NumAStacks: 16,
+				Handler: func(c *lrpc.Call) {
+					a := c.Args()
+					var x, y uint32
+					if len(a) >= 8 {
+						x = uint32(a[0]) | uint32(a[1])<<8 | uint32(a[2])<<16 | uint32(a[3])<<24
+						y = uint32(a[4]) | uint32(a[5])<<8 | uint32(a[6])<<16 | uint32(a[7])<<24
+					}
+					s := x + y
+					buf := c.ResultsBuf(4)
+					buf[0], buf[1], buf[2], buf[3] = byte(s), byte(s>>8), byte(s>>16), byte(s>>24)
+				}},
+			{Name: "BigIn", AStackSize: BigInBytes + 64, NumAStacks: 16,
+				Handler: func(c *lrpc.Call) { c.ResultsBuf(0) }},
+		},
+	}
+}
+
+// BigInPayload returns the BigIn argument block (deterministic
+// contents, so a checking handler could verify the copy).
+func BigInPayload() []byte {
+	p := make([]byte, BigInBytes)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return p
+}
+
+// MeasureTransport times Null, Add, and BigIn through call. The
+// estimator is the repo's standard best-of-short-windows minimum
+// (see nullLatencyNs): each window runs ~2 ms of calls with the clock
+// checked every 32 ops, and the best window wins. That works across
+// four orders of magnitude of per-op cost — an in-process call fits
+// tens of thousands of ops in a window, a TCP round trip a handful —
+// without tuning an iteration count per transport.
+func MeasureTransport(name string, call func(proc int, args []byte) ([]byte, error)) (TransportPoint, error) {
+	p := TransportPoint{Transport: name}
+	var add [8]byte
+	add[0], add[4] = 19, 23
+	big := BigInPayload()
+
+	type probe struct {
+		dst  *float64
+		proc int
+		args []byte
+	}
+	for _, pr := range []probe{
+		{&p.NullNsPerOp, TransportNull, nil},
+		{&p.AddNsPerOp, TransportAdd, add[:]},
+		{&p.BigInNsPerOp, TransportBigIn, big},
+	} {
+		ns, err := bestWindowNs(pr.proc, pr.args, call)
+		if err != nil {
+			return p, fmt.Errorf("transport %s proc %d: %w", name, pr.proc, err)
+		}
+		*pr.dst = ns
+	}
+	return p, nil
+}
+
+// bestWindowNs runs ~25 windows of ~2 ms each and returns the minimum
+// observed ns/op.
+func bestWindowNs(proc int, args []byte, call func(proc int, args []byte) ([]byte, error)) (float64, error) {
+	const (
+		window  = 2 * time.Millisecond
+		reps    = 50
+		stride  = 32 // ops between clock checks
+		warmups = 64
+	)
+	for i := 0; i < warmups; i++ {
+		if _, err := call(proc, args); err != nil {
+			return 0, err
+		}
+	}
+	best := math.MaxFloat64
+	for rep := 0; rep < reps; rep++ {
+		var ops int
+		start := time.Now()
+		var elapsed time.Duration
+		for elapsed < window {
+			for i := 0; i < stride; i++ {
+				if _, err := call(proc, args); err != nil {
+					return 0, err
+				}
+			}
+			ops += stride
+			elapsed = time.Since(start)
+		}
+		if ns := float64(elapsed.Nanoseconds()) / float64(ops); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// FinishTransportResult stamps the host fields and the shm-vs-TCP
+// speedup onto a set of measured points.
+func FinishTransportResult(points []TransportPoint) TransportResult {
+	r := TransportResult{
+		NumCPU:       runtime.NumCPU(),
+		CalibNsPerOp: calibNsPerOp(),
+		BigInBytes:   BigInBytes,
+		Transports:   points,
+	}
+	var shm, tcp float64
+	for _, p := range points {
+		switch p.Transport {
+		case "shm":
+			shm = p.NullNsPerOp
+		case "tcp":
+			tcp = p.NullNsPerOp
+		}
+	}
+	if shm > 0 && tcp > 0 {
+		r.ShmSpeedupVsTCP = tcp / shm
+	}
+	return r
+}
+
+// TransportsTable renders the cross-transport result as a table.
+func TransportsTable(r TransportResult) *Table {
+	t := &Table{
+		Title:  "Cross-transport round-trip latency (ns/op, best-of-windows minimum)",
+		Header: []string{"transport", "Null", "Add", "BigIn (" + us(float64(r.BigInBytes)) + " B)"},
+		Notes: []string{
+			us(float64(r.NumCPU)) + " CPUs available; calibration " + us1(r.CalibNsPerOp) + " ns/op scalar loop",
+		},
+	}
+	if r.ShmSpeedupVsTCP > 0 {
+		t.Notes = append(t.Notes,
+			"shm Null round trip is "+us1(r.ShmSpeedupVsTCP)+"x faster than TCP loopback between the same two processes")
+	}
+	for _, p := range r.Transports {
+		t.Rows = append(t.Rows, []string{
+			p.Transport, us(p.NullNsPerOp), us(p.AddNsPerOp), us(p.BigInNsPerOp),
+		})
+	}
+	return t
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// cut mid-stream.
 	DropAfterMin int64
 	DropAfterMax int64
+
+	// TornDoorbellProb is the probability a shared-memory call rings a
+	// garbage doorbell ahead of its real one (lrpc.ShmFault, consulted
+	// through lrpc.ShmDialOptions.Faults). The real call still runs; the
+	// server must discard the torn entry.
+	TornDoorbellProb float64
 }
 
 // Counts is a snapshot of what a schedule has injected so far.
@@ -72,6 +78,7 @@ type Counts struct {
 	CrashMidCalls uint64 // simultaneous terminate + panic injections
 	Holds         uint64 // dispatches pinned by HoldFirst
 	ConnDrops     uint64 // connections cut by their byte budget
+	TornDoorbells uint64 // garbage doorbells injected on the shm plane
 }
 
 // Schedule is a seeded fault source, safe for concurrent use. With
@@ -142,6 +149,19 @@ func (s *Schedule) HandlerFault(iface, proc string) lrpc.HandlerFault {
 		s.held++
 		s.counts.Holds++
 		f.Hold = s.hold
+	}
+	return f
+}
+
+// ShmFault draws one shared-memory fault decision; wire it into
+// lrpc.ShmDialOptions.Faults.
+func (s *Schedule) ShmFault() lrpc.ShmFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var f lrpc.ShmFault
+	if s.cfg.TornDoorbellProb > 0 && s.rng.Float64() < s.cfg.TornDoorbellProb {
+		f.TornDoorbell = true
+		s.counts.TornDoorbells++
 	}
 	return f
 }

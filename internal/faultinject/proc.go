@@ -1,0 +1,100 @@
+package faultinject
+
+// Process-level fault injection: re-exec the current test binary as a
+// child playing a scripted role, then kill it mid-call. This is the
+// harness for the one fault the in-process schedules cannot express —
+// a whole protection domain dying — which the shared-memory transport
+// must survive by reclaiming the segment and revoking bindings.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// childEnv carries the role marker into the re-exec'd test binary. A
+// test that can play a child checks IsChild(role) first and, when it
+// matches, performs the role instead of its normal body.
+const childEnv = "LRPC_FAULTINJECT_CHILD"
+
+// IsChild reports whether this process was started by StartChild for
+// the given role.
+func IsChild(role string) bool { return os.Getenv(childEnv) == role }
+
+// Child is a re-exec'd copy of the current test binary running one
+// scripted role.
+type Child struct {
+	cmd    *exec.Cmd
+	stdout *bufio.Reader
+}
+
+// StartChild re-execs the current binary, constrained to the single
+// test named testName (which must check IsChild(role) and act the
+// role), with extraEnv ("K=V") appended. The child's stdout is piped
+// so the parent can synchronize on ReadLine; its stderr passes
+// through for debuggability.
+func StartChild(testName, role string, extraEnv ...string) (*Child, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe, "-test.run", "^"+testName+"$", "-test.count=1")
+	cmd.Env = append(os.Environ(), childEnv+"="+role)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &Child{cmd: cmd, stdout: bufio.NewReader(pipe)}, nil
+}
+
+// ReadLine reads the child's next stdout line (synchronization points:
+// the child prints, the parent waits), within the timeout.
+func (c *Child) ReadLine(timeout time.Duration) (string, error) {
+	type res struct {
+		line string
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		line, err := c.stdout.ReadString('\n')
+		ch <- res{strings.TrimSpace(line), err}
+	}()
+	select {
+	case r := <-ch:
+		return r.line, r.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("faultinject: no line from child within %v", timeout)
+	}
+}
+
+// Kill terminates the child abruptly (SIGKILL — no deferred cleanups
+// run, exactly like a crash) and reaps it.
+func (c *Child) Kill() error {
+	if err := c.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	go io.Copy(io.Discard, c.stdout)
+	return c.cmd.Wait()
+}
+
+// Wait reaps a child expected to exit on its own.
+func (c *Child) Wait() error {
+	go io.Copy(io.Discard, c.stdout)
+	return c.cmd.Wait()
+}
+
+// Emit prints a synchronization line from a child role (flushed
+// immediately so the parent's ReadLine sees it).
+func Emit(format string, args ...any) {
+	fmt.Printf(format+"\n", args...)
+	os.Stdout.Sync()
+}

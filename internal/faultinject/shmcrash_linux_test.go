@@ -1,0 +1,183 @@
+//go:build linux
+
+package faultinject
+
+// Segment-lifecycle tests for the shared-memory plane with a real
+// protection boundary: the client is a separate OS process (this test
+// binary re-exec'd into a scripted role) killed with SIGKILL while its
+// call is held inside the server's handler. The server must classify
+// the death as a peer crash, wait out the running activation, reclaim
+// the segment, and leave every gauge balanced — the §5.3 domain-
+// termination protocol with nothing simulated.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lrpc"
+)
+
+const shmCrashSockEnv = "LRPC_SHM_CRASH_SOCK"
+
+// TestShmCrashChildRole is not a test of its own: it is the scripted
+// child process for TestShmClientKilledMidCall. Outside that role it
+// skips.
+func TestShmCrashChildRole(t *testing.T) {
+	if !IsChild("shm-crash-client") {
+		t.Skip("helper role; driven by TestShmClientKilledMidCall")
+	}
+	c, err := lrpc.DialShm(os.Getenv(shmCrashSockEnv), "Crash")
+	if err != nil {
+		Emit("ERR dial: %v", err)
+		os.Exit(1)
+	}
+	Emit("READY")
+	// This call parks inside the server's held handler; the parent
+	// kills us before it can resolve.
+	c.Call(0, []byte("held"))
+	Emit("ERR call returned before the kill")
+	os.Exit(1)
+}
+
+func TestShmClientKilledMidCall(t *testing.T) {
+	if IsChild("shm-crash-client") {
+		t.Skip("child role runs only its own test")
+	}
+	sys := lrpc.NewSystem()
+	tl := lrpc.NewTraceLog(64)
+	sys.SetTracer(tl)
+	hold := make(chan struct{})
+	exp, err := sys.Export(&lrpc.Interface{
+		Name: "Crash",
+		Procs: []lrpc.Proc{{Name: "Held", Handler: func(c *lrpc.Call) {
+			<-hold
+			c.ResultsBuf(0)
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "crash.sock")
+	l, err := lrpc.ListenShm(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := lrpc.NewShmServer(sys, lrpc.ShmServeOptions{})
+	go sv.Serve(l)
+	defer sv.Close()
+
+	child, err := StartChild("TestShmCrashChildRole", "shm-crash-client",
+		shmCrashSockEnv+"="+sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := child.ReadLine(10 * time.Second)
+	if err != nil || line != "READY" {
+		child.Kill()
+		t.Fatalf("child handshake: %q, %v", line, err)
+	}
+	// The child's call is in flight once the handler is running.
+	waitState(t, 5*time.Second, func() bool { return exp.Active() == 1 },
+		func() string { return fmt.Sprintf("active=%d", exp.Active()) })
+	if st := sv.Stats(); st.ActiveSessions != 1 || st.SegmentBytes == 0 {
+		t.Fatalf("pre-kill server stats %+v", st)
+	}
+
+	// Kill the client domain outright: no bye frame, ring epoch still
+	// armed — the crash signature.
+	if err := child.Kill(); err != nil {
+		t.Logf("kill: %v (expected: killed children report an error)", err)
+	}
+	// The session must NOT be reclaimed while the activation runs: the
+	// server never unmaps under a live handler.
+	time.Sleep(50 * time.Millisecond)
+	if st := sv.Stats(); st.SegmentsReclaimed != 0 {
+		t.Fatalf("segment reclaimed under a running handler: %+v", st)
+	}
+	close(hold)
+
+	// Now the books must balance: session gone, segment unmapped, the
+	// crash counted and traced, no activation left, A-stacks home.
+	waitState(t, 5*time.Second, func() bool {
+		st := sv.Stats()
+		return st.ActiveSessions == 0 && st.SegmentsReclaimed == 1 &&
+			st.PeerCrashes == 1 && st.SegmentBytes == 0 && st.CleanDetaches == 0
+	}, func() string { return fmt.Sprintf("%+v", sv.Stats()) })
+	waitState(t, 5*time.Second, func() bool { return exp.Active() == 0 },
+		func() string { return fmt.Sprintf("active=%d", exp.Active()) })
+	if got := tl.Count(lrpc.TraceShmPeerCrash); got != 1 {
+		t.Fatalf("TraceShmPeerCrash count = %d, want 1", got)
+	}
+	if n := sys.Orphans(); n != 0 {
+		t.Fatalf("orphan registry holds %d entries after crash recovery", n)
+	}
+	if st := sv.Stats(); st.Calls != 1 {
+		// The held dispatch completed (into a dead segment, harmlessly)
+		// after the kill; it is still an accounted call.
+		t.Fatalf("server calls = %d, want 1: %+v", st.Calls, st)
+	}
+}
+
+// TestShmTornDoorbellSchedule wires the seeded schedule into the shm
+// fault hook and checks the plane absorbs the injected garbage.
+func TestShmTornDoorbellSchedule(t *testing.T) {
+	if IsChild("shm-crash-client") {
+		t.Skip("child role runs only its own test")
+	}
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(&lrpc.Interface{
+		Name: "Torn",
+		Procs: []lrpc.Proc{{Name: "Echo", Handler: func(c *lrpc.Call) {
+			buf := c.ResultsBuf(len(c.Args()))
+			copy(buf, c.Args())
+		}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "torn.sock")
+	l, err := lrpc.ListenShm(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := lrpc.NewShmServer(sys, lrpc.ShmServeOptions{})
+	go sv.Serve(l)
+	defer sv.Close()
+
+	sched := New(42, Config{TornDoorbellProb: 0.5})
+	c, err := lrpc.DialShmOpts(sock, "Torn", lrpc.ShmDialOptions{Faults: sched.ShmFault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 200; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		out, err := c.Call(0, []byte(msg))
+		if err != nil || string(out) != msg {
+			t.Fatalf("call %d = %q, %v", i, out, err)
+		}
+	}
+	injected := sched.Counts().TornDoorbells
+	if injected == 0 {
+		t.Fatal("schedule injected no torn doorbells at p=0.5 over 200 calls")
+	}
+	waitState(t, 5*time.Second, func() bool { return sv.Stats().TornDoorbells == injected },
+		func() string {
+			return fmt.Sprintf("server saw %d torn, schedule injected %d",
+				sv.Stats().TornDoorbells, injected)
+		})
+}
+
+// waitState polls cond until it holds or the deadline passes.
+func waitState(t *testing.T, d time.Duration, cond func() bool, state func() string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held: %s", state())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,240 @@
+// Package shmring is a bounded lock-free MPMC ring laid out over a raw
+// byte region, so that two OS processes mapping the same memory segment
+// can exchange small values — doorbell slot indices — without sockets,
+// locks, or kernel data copies. The protocol is the Vyukov per-slot
+// sequence design used by the in-process A-stack pool (astack.go), with
+// two differences forced by the cross-process setting: every cursor and
+// slot lives at a fixed offset inside the shared region rather than in
+// a Go struct, and the park/wake fallback after a bounded spin is a
+// shared futex (FUTEX_WAIT/FUTEX_WAKE without the private flag) so a
+// waiter in one process can be woken by a producer in another.
+//
+// Layout of a ring over a region (offsets in bytes, all fields
+// little-endian, region must be 64-byte aligned):
+//
+//	  0  mask   u64  (capacity-1; written by Init, checked by Attach)
+//	 64  enq    u64  (producer cursor, own cache line)
+//	128  deq    u64  (consumer cursor, own cache line)
+//	192  waiters u32 (count of parked consumers)
+//	196  seq    u32  (futex word: bumped by producers after a push)
+//	256  slots  [cap]{seq u64, val u64}
+package shmring
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+const (
+	offMask    = 0
+	offEnq     = 64
+	offDeq     = 128
+	offWaiters = 192
+	offSeq     = 196
+	slotsOff   = 256
+	slotBytes  = 16
+)
+
+// CapFor rounds n up to the power of two the ring will actually hold.
+func CapFor(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Size returns the number of region bytes a ring of capacity CapFor(n)
+// occupies.
+func Size(n int) int { return slotsOff + CapFor(n)*slotBytes }
+
+// slot is the shared-memory image of one ring entry. The two fields are
+// accessed only through atomics: val carries no pointers (a pointer
+// would be meaningless in the peer's address space).
+type slot struct {
+	seq atomic.Uint64
+	val atomic.Uint64
+}
+
+// Ring is one process's view of a shared ring. The struct itself lives
+// in private memory; every field it points at lives in the region.
+type Ring struct {
+	mask    uint64
+	enq     *atomic.Uint64
+	deq     *atomic.Uint64
+	waiters *atomic.Uint32
+	seq     *atomic.Uint32
+	slots   []slot
+}
+
+var (
+	errMisaligned = errors.New("shmring: region is not 64-byte aligned")
+	errShort      = errors.New("shmring: region too small for capacity")
+	errMask       = errors.New("shmring: region mask does not match capacity")
+)
+
+func view(region []byte, n int) (*Ring, error) {
+	c := CapFor(n)
+	if len(region) < Size(c) {
+		return nil, errShort
+	}
+	if uintptr(unsafe.Pointer(&region[0]))&63 != 0 {
+		return nil, errMisaligned
+	}
+	r := &Ring{
+		mask:    uint64(c - 1),
+		enq:     (*atomic.Uint64)(unsafe.Pointer(&region[offEnq])),
+		deq:     (*atomic.Uint64)(unsafe.Pointer(&region[offDeq])),
+		waiters: (*atomic.Uint32)(unsafe.Pointer(&region[offWaiters])),
+		seq:     (*atomic.Uint32)(unsafe.Pointer(&region[offSeq])),
+		slots:   unsafe.Slice((*slot)(unsafe.Pointer(&region[slotsOff])), c),
+	}
+	return r, nil
+}
+
+// Init formats the region as an empty ring of capacity CapFor(n) and
+// returns the initializing side's view. Only one side Inits; the peer
+// Attaches.
+func Init(region []byte, n int) (*Ring, error) {
+	r, err := view(region, n)
+	if err != nil {
+		return nil, err
+	}
+	(*atomic.Uint64)(unsafe.Pointer(&region[offMask])).Store(r.mask)
+	r.enq.Store(0)
+	r.deq.Store(0)
+	r.waiters.Store(0)
+	r.seq.Store(0)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+		r.slots[i].val.Store(0)
+	}
+	return r, nil
+}
+
+// Attach builds a view over a ring the peer already initialized,
+// verifying the recorded capacity matches the expected one.
+func Attach(region []byte, n int) (*Ring, error) {
+	r, err := view(region, n)
+	if err != nil {
+		return nil, err
+	}
+	if got := (*atomic.Uint64)(unsafe.Pointer(&region[offMask])).Load(); got != r.mask {
+		return nil, errMask
+	}
+	return r, nil
+}
+
+// Push enqueues v; it reports false when the ring is full.
+func (r *Ring) Push(v uint64) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val.Store(v)
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			return false // full
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// Pop dequeues a value, or reports false when the ring is empty.
+func (r *Ring) Pop() (uint64, bool) {
+	pos := r.deq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := s.val.Load()
+				s.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.deq.Load()
+		case seq < pos+1:
+			return 0, false // empty
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Bump publishes "there may be work" after one or more pushes: it
+// advances the futex word and wakes one parked consumer, if any. The
+// waiter check keeps the doorbell to a single atomic add when nobody is
+// parked (the spin-hit fast path).
+func (r *Ring) Bump() {
+	r.seq.Add(1)
+	if r.waiters.Load() != 0 {
+		futexWake(r.seq, 1)
+	}
+}
+
+// WakeAll unconditionally wakes every parked consumer — the shutdown
+// broadcast.
+func (r *Ring) WakeAll() {
+	r.seq.Add(1)
+	futexWake(r.seq, 1<<30)
+}
+
+// procYield surrenders the processor between spin probes — first to
+// other goroutines in this process (the producer may be a sibling
+// goroutine), then to other OS processes (the producer may be the peer
+// domain on the far side of the segment). On a single-CPU host the
+// second yield is what turns the spin phase into a fast handoff: the
+// kernel's round-robin runs the peer immediately instead of this side
+// burning its quantum and falling back to a futex park, which costs a
+// full sleep/wake context switch per direction.
+func procYield() {
+	runtime.Gosched()
+	OSYield()
+}
+
+// PopWait pops, spinning `spin` iterations and then parking on the
+// futex in quanta of `wait`, until a value arrives or stop() reports
+// the consumer should give up. The pop→load-seq→re-pop→wait ordering
+// closes the lost-wakeup window: a producer that pushed after our last
+// failed Pop necessarily bumped seq, so the futex wait returns
+// immediately instead of sleeping through the doorbell.
+func (r *Ring) PopWait(spin int, wait time.Duration, stop func() bool) (uint64, bool) {
+	for {
+		if v, ok := r.Pop(); ok {
+			return v, true
+		}
+		if stop != nil && stop() {
+			return 0, false
+		}
+		for i := 0; i < spin; i++ {
+			if v, ok := r.Pop(); ok {
+				return v, true
+			}
+			procYield()
+		}
+		g := r.seq.Load()
+		if v, ok := r.Pop(); ok {
+			return v, true
+		}
+		if stop != nil && stop() {
+			return 0, false
+		}
+		r.waiters.Add(1)
+		futexWait(r.seq, g, wait)
+		r.waiters.Add(^uint32(0))
+	}
+}

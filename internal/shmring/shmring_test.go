@@ -1,0 +1,172 @@
+package shmring
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// aligned returns a 64-byte-aligned region of length n, standing in for
+// the mmap'd (page-aligned) segment the real transport uses.
+func aligned(n int) []byte {
+	b := make([]byte, n+63)
+	off := (64 - int(uintptr(unsafe.Pointer(&b[0])))&63) & 63
+	return b[off : off+n : off+n]
+}
+
+func TestCapForAndSize(t *testing.T) {
+	cases := []struct{ n, c int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {1000, 1024}}
+	for _, tc := range cases {
+		if got := CapFor(tc.n); got != tc.c {
+			t.Errorf("CapFor(%d) = %d, want %d", tc.n, got, tc.c)
+		}
+	}
+	if Size(3) != slotsOff+4*slotBytes {
+		t.Errorf("Size(3) = %d", Size(3))
+	}
+}
+
+func TestInitAttachRoundTrip(t *testing.T) {
+	region := aligned(Size(8))
+	prod, err := Init(region, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer's view: same bytes, separately constructed (the two-mapping
+	// case collapses to one mapping inside a single test process).
+	cons, err := Attach(region, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !prod.Push(i * 3) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if prod.Push(99) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := cons.Pop()
+		if !ok || v != i*3 {
+			t.Fatalf("pop %d = %d,%v; want %d,true", i, v, ok, i*3)
+		}
+	}
+	if _, ok := cons.Pop(); ok {
+		t.Fatal("pop succeeded on an empty ring")
+	}
+}
+
+func TestAttachRejectsMismatch(t *testing.T) {
+	region := aligned(Size(8))
+	if _, err := Init(region, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(region, 16); err == nil {
+		t.Fatal("Attach accepted a capacity that does not match the region")
+	}
+	if _, err := Attach(region[:16], 8); err == nil {
+		t.Fatal("Attach accepted a truncated region")
+	}
+	if _, err := Init(region[4:], 4); err == nil {
+		t.Fatal("Init accepted a misaligned region")
+	}
+}
+
+// TestConcurrentTransfer drives producers against PopWait consumers and
+// checks every value arrives exactly once — under -race this also
+// certifies the atomics provide the ordering the protocol claims.
+func TestConcurrentTransfer(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 3
+		perProd   = 2000
+	)
+	region := aligned(Size(64))
+	r, err := Init(region, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen [producers * perProd]atomic.Uint32
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := r.PopWait(32, time.Millisecond, done.Load)
+				if !ok {
+					return
+				}
+				seen[v].Add(1)
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProd; i++ {
+				v := uint64(p*perProd + i)
+				for !r.Push(v) {
+					procYield()
+				}
+				r.Bump()
+			}
+		}(p)
+	}
+	pwg.Wait()
+	// Drain: wait until every value landed, then stop the consumers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for i := range seen {
+			total += int(seen[i].Load())
+		}
+		if total == len(seen) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d values arrived", total, len(seen))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done.Store(true)
+	r.WakeAll()
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("value %d delivered %d times", i, n)
+		}
+	}
+}
+
+// TestPopWaitWake pins the park/wake path: a consumer parked past its
+// spin budget must be woken promptly by a producer's Bump.
+func TestPopWaitWake(t *testing.T) {
+	region := aligned(Size(4))
+	r, err := Init(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan uint64, 1)
+	go func() {
+		v, _ := r.PopWait(1, 100*time.Millisecond, nil)
+		got <- v
+	}()
+	time.Sleep(20 * time.Millisecond) // let the consumer park
+	r.Push(42)
+	r.Bump()
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("woke with %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer never woke after Bump")
+	}
+}

@@ -84,6 +84,17 @@ const (
 	// connection is torn down so the peer redials instead of waiting on
 	// a half-dead pipe.
 	TraceWriteFail
+	// TraceShmBind: a peer process bound over the shared-memory plane —
+	// the segment was created, mapped, and its fd passed (shm.go).
+	TraceShmBind
+	// TraceShmPeerCrash: the peer process on a shared-memory session
+	// died without a clean detach; the segment was reclaimed and the
+	// session's bindings revoked.
+	TraceShmPeerCrash
+	// TraceShmTornDoorbell: a doorbell rang for a slot that carried no
+	// staged request (torn or duplicated write); the ring entry was
+	// discarded.
+	TraceShmTornDoorbell
 
 	numTraceKinds
 )
@@ -91,6 +102,7 @@ const (
 var traceKindNames = [numTraceKinds]string{
 	"bind", "validate-fail", "stack-wait", "abandon", "panic", "terminate", "reconnect",
 	"shed", "breaker-open", "breaker-close", "rebind", "reap", "write-fail",
+	"shm-bind", "shm-peer-crash", "shm-torn-doorbell",
 }
 
 func (k TraceKind) String() string {

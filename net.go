@@ -759,15 +759,22 @@ func (c *NetClient) Close() error {
 }
 
 // TransparentBinding serves the paper's transparency requirement: one
-// callable handle that is either local or remote, decided once at bind
-// time and tested at the first instruction of Call.
+// callable handle whose transport — in-process direct transfer,
+// same-machine shared memory, or cross-machine TCP — is decided once at
+// bind time and tested at the first instructions of Call. The ladder is
+// the paper's Table 1 read as a decision procedure: prefer the cheapest
+// plane that actually crosses the boundary the peers sit on.
 type TransparentBinding struct {
 	local  *Binding
+	shm    *ShmClient
 	remote *NetClient
 }
 
 // BindLocal wraps a local binding.
 func BindLocal(b *Binding) *TransparentBinding { return &TransparentBinding{local: b} }
+
+// BindShm wraps a same-machine, separate-process shared-memory session.
+func BindShm(c *ShmClient) *TransparentBinding { return &TransparentBinding{shm: c} }
 
 // BindRemote wraps a network client.
 func BindRemote(c *NetClient) *TransparentBinding { return &TransparentBinding{remote: c} }
@@ -775,20 +782,30 @@ func BindRemote(c *NetClient) *TransparentBinding { return &TransparentBinding{r
 // Remote reports whether calls cross the machine boundary.
 func (tb *TransparentBinding) Remote() bool { return tb.remote != nil }
 
-// Call invokes the procedure on whichever side the binding points at.
+// SameMachine reports whether calls cross a process boundary but stay
+// on this machine (the shared-memory plane).
+func (tb *TransparentBinding) SameMachine() bool { return tb.shm != nil }
+
+// Call invokes the procedure on whichever plane the binding points at.
 func (tb *TransparentBinding) Call(proc int, args []byte) ([]byte, error) {
-	if tb.remote != nil { // the remote bit, first instruction
-		return tb.remote.Call(proc, args)
+	if tb.local != nil { // in-process, first instruction
+		return tb.local.Call(proc, args)
 	}
-	return tb.local.Call(proc, args)
+	if tb.shm != nil { // same machine, different protection domain
+		return tb.shm.Call(proc, args)
+	}
+	return tb.remote.Call(proc, args)
 }
 
-// CallContext invokes the procedure under a context on either side.
+// CallContext invokes the procedure under a context on any plane.
 func (tb *TransparentBinding) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
-	if tb.remote != nil {
-		return tb.remote.CallContext(ctx, proc, args)
+	if tb.local != nil {
+		return tb.local.CallContext(ctx, proc, args)
 	}
-	return tb.local.CallContext(ctx, proc, args)
+	if tb.shm != nil {
+		return tb.shm.CallContext(ctx, proc, args)
+	}
+	return tb.remote.CallContext(ctx, proc, args)
 }
 
 // --- framing ---

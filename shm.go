@@ -1,0 +1,1391 @@
+//go:build linux
+
+package lrpc
+
+// Cross-process LRPC over a shared-memory segment: the paper's design
+// carried between two real OS protection domains. The structure maps
+// onto §§3.1–3.3 directly:
+//
+//   - Bind time (§3.1): the client connects to the server's Unix domain
+//     socket and names an interface. The server validates the name (the
+//     clerk's import check), creates an anonymous mmap'd segment holding
+//     pairwise A-stacks and two doorbell rings, and passes the segment's
+//     file descriptor back over SCM_RIGHTS — the analog of the kernel
+//     handing the client a Binding Object plus A-stack list. Only a peer
+//     the server explicitly answered ever holds the mapping.
+//   - Call time (§3.2, technique 2): the client stub writes arguments
+//     once, directly into a shared A-stack slot, and rings a doorbell (a
+//     lock-free ring entry naming the slot). No sockets, no frames, no
+//     kernel copy: the only data movement is the single argument copy in
+//     and the single result copy out.
+//   - Control transfer (§3.2, technique 1's trap analog): the doorbell
+//     write plus a bounded spin on the peer's side; when the peer is not
+//     spinning, a shared-futex wake replaces the trap into the kernel.
+//   - Termination/crash (§5.3): each side watches the handshake socket.
+//     EOF without a clean "bye" (plus a still-armed ring epoch) means
+//     the peer died: in-flight calls resolve ErrCallFailed, subsequent
+//     calls ErrRevoked — the same exceptions the in-process plane raises
+//     — and the segment is unmapped once every activation has drained.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"lrpc/internal/shmring"
+)
+
+// --- segment layout ---
+
+const (
+	shmMagic   = uint64(0x314D4853_43505254) // segment/handshake tag ("TRPCSHM1")
+	shmVersion = uint32(1)
+
+	shmHdrSize  = 128
+	slotHdrSize = 64
+
+	// segment header offsets
+	shmOffMagic       = 0
+	shmOffVersion     = 8
+	shmOffNSlots      = 12
+	shmOffSlotSize    = 16
+	shmOffServerEpoch = 20
+	shmOffClientEpoch = 24
+
+	// per-slot header offsets (relative to the slot base)
+	slotOffState  = 0
+	slotOffProc   = 4
+	slotOffArgLen = 8
+	slotOffResLen = 12
+	slotOffCode   = 16
+	slotOffCallID = 24
+
+	// slot states
+	slotIdle    = uint32(0)
+	slotPosted  = uint32(1)
+	slotActive  = uint32(2)
+	slotDoneOK  = uint32(3)
+	slotDoneErr = uint32(4)
+
+	// handshake
+	shmReplySize = 256
+	shmByeByte   = byte('B')
+
+	// park quanta: parked waiters re-arm this often, bounding both the
+	// idle wakeup rate and the worst-case shutdown latency.
+	shmServerParkQuantum = 50 * time.Millisecond
+	shmClientParkQuantum = 50 * time.Millisecond
+)
+
+// shmLayout is the deterministic geometry of a segment, computed
+// identically on both sides from the handshake's (nslots, slotSize).
+type shmLayout struct {
+	nslots   int
+	slotSize int
+	ringCap  int
+	c2sOff   int
+	s2cOff   int
+	slotsOff int
+	stride   int
+	segSize  int
+}
+
+func shmLayoutFor(nslots, slotSize int) shmLayout {
+	align := func(n, a int) int { return (n + a - 1) &^ (a - 1) }
+	l := shmLayout{nslots: nslots, slotSize: slotSize}
+	// The rings hold slot indices plus slack, so a torn or duplicated
+	// doorbell can never wedge a full ring.
+	l.ringCap = shmring.CapFor(2 * nslots)
+	// Each ring region starts 64-byte aligned regardless of capacity.
+	ringSize := align(shmring.Size(l.ringCap), 64)
+	l.c2sOff = shmHdrSize
+	l.s2cOff = l.c2sOff + ringSize
+	l.slotsOff = l.s2cOff + ringSize
+	l.stride = slotHdrSize + align(slotSize, 64)
+	l.segSize = align(l.slotsOff+nslots*l.stride, 4096)
+	return l
+}
+
+func (l shmLayout) slotBase(i uint32) int { return l.slotsOff + int(i)*l.stride }
+
+func shmU32(seg []byte, off int) *atomic.Uint32 {
+	return (*atomic.Uint32)(unsafe.Pointer(&seg[off]))
+}
+
+func shmU64(seg []byte, off int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&seg[off]))
+}
+
+// --- error codes on the shared reply path ---
+
+func shmErrCode(err error) uint32 {
+	switch {
+	case errors.Is(err, ErrRevoked):
+		return 1
+	case errors.Is(err, ErrBadProcedure):
+		return 3
+	case errors.Is(err, ErrOverload):
+		return 4
+	case errors.Is(err, ErrTooLarge):
+		return 5
+	case errors.Is(err, ErrNoAStacks):
+		return 6
+	case errors.Is(err, ErrCallFailed):
+		return 2
+	}
+	return 0
+}
+
+func shmErrFromCode(code uint32, text string) error {
+	sentinel := func(sent error) error {
+		if text == "" || text == sent.Error() {
+			return sent
+		}
+		return fmt.Errorf("%w: %s", sent, text)
+	}
+	switch code {
+	case 1:
+		return ErrRevoked
+	case 2:
+		return sentinel(ErrCallFailed)
+	case 3:
+		return ErrBadProcedure
+	case 4:
+		return ErrOverload
+	case 5:
+		return sentinel(ErrTooLarge)
+	case 6:
+		return ErrNoAStacks
+	}
+	return &RemoteError{Msg: text}
+}
+
+// --- segment creation ---
+
+// newShmSegment creates an anonymous shared segment of the given size
+// and maps it. The backing file is created in /dev/shm (tmpfs) when
+// available and unlinked immediately: the fd — soon to be passed over
+// SCM_RIGHTS — is the only capability that reaches the mapping, which
+// is what preserves a measure of the paper's binding-object
+// unforgeability (see DESIGN §5.11).
+func newShmSegment(size int) (*os.File, []byte, error) {
+	dir := "/dev/shm"
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "lrpc-seg-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("lrpc: shm segment: %w", err)
+	}
+	os.Remove(f.Name())
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("lrpc: shm segment: %w", err)
+	}
+	seg, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("lrpc: shm mmap: %w", err)
+	}
+	return f, seg, nil
+}
+
+// --- server ---
+
+// ShmServer accepts shared-memory sessions for a System over a Unix
+// domain socket: the same-machine, separate-process transport plane.
+// It mirrors ServeNetwork's shape — accept, bind, serve, teardown —
+// but after the bind handshake no call ever touches the socket.
+type ShmServer struct {
+	sys  *System
+	opts ShmServeOptions
+
+	mu        sync.Mutex
+	listeners map[*net.UnixListener]struct{}
+	sessions  map[*shmSession]struct{}
+	closed    bool
+
+	sessionsTotal  atomic.Uint64
+	activeSessions atomic.Int64
+	reclaimed      atomic.Uint64
+	segBytes       atomic.Int64
+	calls          atomic.Uint64
+	torn           atomic.Uint64
+	peerCrashes    atomic.Uint64
+	cleanDetaches  atomic.Uint64
+}
+
+// NewShmServer builds a server for sys. Serve it on one or more
+// listeners; Close tears down listeners and all live sessions.
+func NewShmServer(sys *System, opts ShmServeOptions) *ShmServer {
+	opts.fill()
+	return &ShmServer{
+		sys:       sys,
+		opts:      opts,
+		listeners: make(map[*net.UnixListener]struct{}),
+		sessions:  make(map[*shmSession]struct{}),
+	}
+}
+
+// ListenShm listens on a Unix domain socket path for shared-memory
+// bind handshakes, replacing any stale socket file at that path.
+func ListenShm(path string) (*net.UnixListener, error) {
+	os.Remove(path)
+	return net.ListenUnix("unix", &net.UnixAddr{Name: path, Net: "unix"})
+}
+
+// ServeShm serves shared-memory sessions on l with default options,
+// blocking until the listener fails or the server is closed.
+func (s *System) ServeShm(l *net.UnixListener) error {
+	return NewShmServer(s, ShmServeOptions{}).Serve(l)
+}
+
+// Serve accepts bind handshakes until the listener fails (or Close).
+func (sv *ShmServer) Serve(l *net.UnixListener) error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		l.Close()
+		return net.ErrClosed
+	}
+	sv.listeners[l] = struct{}{}
+	sv.mu.Unlock()
+	for {
+		conn, err := l.AcceptUnix()
+		if err != nil {
+			sv.mu.Lock()
+			delete(sv.listeners, l)
+			closed := sv.closed
+			sv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go sv.handshake(conn)
+	}
+}
+
+// Stats snapshots the server side of the plane.
+func (sv *ShmServer) Stats() ShmServerStats {
+	return ShmServerStats{
+		Sessions:          sv.sessionsTotal.Load(),
+		ActiveSessions:    sv.activeSessions.Load(),
+		SegmentsReclaimed: sv.reclaimed.Load(),
+		SegmentBytes:      sv.segBytes.Load(),
+		Calls:             sv.calls.Load(),
+		TornDoorbells:     sv.torn.Load(),
+		PeerCrashes:       sv.peerCrashes.Load(),
+		CleanDetaches:     sv.cleanDetaches.Load(),
+	}
+}
+
+// Close stops the listeners and signals every live session to shut
+// down. Session teardown is asynchronous: each session unmaps its
+// segment once its in-flight handlers have drained (watch Stats).
+func (sv *ShmServer) Close() error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil
+	}
+	sv.closed = true
+	ls := make([]*net.UnixListener, 0, len(sv.listeners))
+	for l := range sv.listeners {
+		ls = append(ls, l)
+	}
+	ss := make([]*shmSession, 0, len(sv.sessions))
+	for s := range sv.sessions {
+		ss = append(ss, s)
+	}
+	sv.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, s := range ss {
+		s.serverClose()
+	}
+	return nil
+}
+
+// handshake answers one bind request: validate the import, build and
+// map the segment, pass its fd, then serve the session on this
+// goroutine (which becomes the crash watchdog).
+func (sv *ShmServer) handshake(conn *net.UnixConn) {
+	fail := func(msg string) {
+		reply := make([]byte, shmReplySize)
+		reply[0] = 1
+		if len(msg) > shmReplySize-26 {
+			msg = msg[:shmReplySize-26]
+		}
+		binary.LittleEndian.PutUint16(reply[24:26], uint16(len(msg)))
+		copy(reply[26:], msg)
+		conn.Write(reply)
+		conn.Close()
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	frame, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if len(frame) < 22 || binary.LittleEndian.Uint64(frame[0:8]) != shmMagic {
+		fail("lrpc: bad shm bind request")
+		return
+	}
+	if v := binary.LittleEndian.Uint32(frame[8:12]); v != shmVersion {
+		fail(fmt.Sprintf("lrpc: shm version %d unsupported", v))
+		return
+	}
+	slots := int(binary.LittleEndian.Uint32(frame[12:16]))
+	slotSize := int(binary.LittleEndian.Uint32(frame[16:20]))
+	nameLen := int(binary.LittleEndian.Uint16(frame[20:22]))
+	if len(frame) < 22+nameLen {
+		fail("lrpc: truncated shm bind request")
+		return
+	}
+	name := string(frame[22 : 22+nameLen])
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > sv.opts.MaxSlots {
+		slots = sv.opts.MaxSlots
+	}
+	if slotSize < 64 {
+		slotSize = 64
+	}
+	if slotSize > sv.opts.MaxSlotSize {
+		slotSize = sv.opts.MaxSlotSize
+	}
+
+	// Bind-time validation: the import either succeeds now or the
+	// caller never gets a segment — there is no per-call name check.
+	b, err := sv.sys.Import(name)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	lay := shmLayoutFor(slots, slotSize)
+	f, seg, err := newShmSegment(lay.segSize)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	shmU64(seg, shmOffMagic).Store(shmMagic)
+	shmU32(seg, shmOffVersion).Store(shmVersion)
+	shmU32(seg, shmOffNSlots).Store(uint32(slots))
+	shmU32(seg, shmOffSlotSize).Store(uint32(slotSize))
+	shmU32(seg, shmOffServerEpoch).Store(1)
+	c2s, err := shmring.Init(seg[lay.c2sOff:lay.s2cOff], lay.ringCap)
+	if err == nil {
+		var s2c *shmring.Ring
+		s2c, err = shmring.Init(seg[lay.s2cOff:lay.slotsOff], lay.ringCap)
+		if err == nil {
+			ss := &shmSession{
+				sv:   sv,
+				conn: conn,
+				seg:  seg,
+				lay:  lay,
+				c2s:  c2s,
+				s2c:  s2c,
+				b:    b,
+			}
+			reply := make([]byte, shmReplySize)
+			reply[0] = 0
+			binary.LittleEndian.PutUint32(reply[4:8], uint32(slots))
+			binary.LittleEndian.PutUint32(reply[8:12], uint32(slotSize))
+			binary.LittleEndian.PutUint64(reply[16:24], uint64(lay.segSize))
+			rights := syscall.UnixRights(int(f.Fd()))
+			if _, _, werr := conn.WriteMsgUnix(reply, rights, nil); werr != nil {
+				err = werr
+			} else {
+				f.Close()
+				conn.SetDeadline(time.Time{})
+				sv.mu.Lock()
+				if sv.closed {
+					sv.mu.Unlock()
+					syscall.Munmap(seg)
+					conn.Close()
+					return
+				}
+				sv.sessions[ss] = struct{}{}
+				sv.mu.Unlock()
+				sv.sessionsTotal.Add(1)
+				sv.activeSessions.Add(1)
+				sv.segBytes.Add(int64(lay.segSize))
+				sv.sys.emitTrace(TraceShmBind, name, "", nil)
+				ss.run()
+				return
+			}
+		}
+	}
+	f.Close()
+	syscall.Munmap(seg)
+	fail(fmt.Sprintf("lrpc: shm session setup: %v", err))
+}
+
+// shmSession is the server side of one client process's segment.
+type shmSession struct {
+	sv   *ShmServer
+	conn *net.UnixConn
+	seg  []byte
+	lay  shmLayout
+	c2s  *shmring.Ring
+	s2c  *shmring.Ring
+	b    *Binding
+
+	stop        atomic.Bool
+	byServer    atomic.Bool
+	wg          sync.WaitGroup
+	replyMu     sync.Mutex // serializes s2c Push+Bump pairs (workers only)
+	closeOnce   sync.Once
+	sendByeOnce sync.Once
+}
+
+// run starts the dispatch workers and then watches the handshake socket
+// for the peer's fate; it returns after the segment is reclaimed.
+func (ss *shmSession) run() {
+	for i := 0; i < ss.sv.opts.Workers; i++ {
+		ss.wg.Add(1)
+		go ss.worker()
+	}
+	// The socket carries no calls; a read resolves only when the peer
+	// detaches ("bye") or dies (EOF/error) — §5.3's termination signal.
+	clean := false
+	if _, err := ss.conn.Read(make([]byte, 16)); err == nil {
+		clean = true // any bytes at all are the client's bye frame
+	}
+	// Second signal: a crashing client never cleared its ring epoch.
+	if !clean && shmU32(ss.seg, shmOffClientEpoch).Load() == 0 {
+		clean = true
+	}
+	if ss.byServer.Load() {
+		clean = true
+	}
+	ss.teardown(clean)
+}
+
+// serverClose initiates a server-side session shutdown: tell the client
+// ("bye" + close), which also unblocks the watchdog read in run().
+func (ss *shmSession) serverClose() {
+	ss.byServer.Store(true)
+	ss.sendByeOnce.Do(func() {
+		ss.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		writeFrame(ss.conn, []byte{shmByeByte})
+	})
+	ss.conn.Close()
+}
+
+// teardown drains the workers and reclaims the segment — the server
+// never unmaps under a running handler.
+func (ss *shmSession) teardown(clean bool) {
+	ss.closeOnce.Do(func() {
+		ss.stop.Store(true)
+		ss.c2s.WakeAll()
+		ss.conn.Close()
+		ss.wg.Wait()
+		sv := ss.sv
+		sv.mu.Lock()
+		delete(sv.sessions, ss)
+		sv.mu.Unlock()
+		syscall.Munmap(ss.seg)
+		sv.activeSessions.Add(-1)
+		sv.segBytes.Add(-int64(ss.lay.segSize))
+		sv.reclaimed.Add(1)
+		if clean {
+			sv.cleanDetaches.Add(1)
+		} else {
+			sv.peerCrashes.Add(1)
+			sv.sys.emitTrace(TraceShmPeerCrash, ss.b.exp.iface.Name, "", nil)
+		}
+	})
+}
+
+// worker pops doorbells and dispatches. The pop spins briefly (the
+// server "spinning on a shared variable" while the call is in flight),
+// then parks on the shared futex.
+func (ss *shmSession) worker() {
+	defer ss.wg.Done()
+	for {
+		v, ok := ss.c2s.PopWait(ss.sv.opts.Spin, shmServerParkQuantum, ss.stop.Load)
+		if !ok {
+			return
+		}
+		ss.dispatch(v)
+	}
+}
+
+// dispatch runs one doorbell: validate the slot, run the handler on
+// the shared A-stack, publish the reply, ring back.
+func (ss *shmSession) dispatch(v uint64) {
+	sv := ss.sv
+	if v >= uint64(ss.lay.nslots) {
+		sv.torn.Add(1)
+		sv.sys.emitTrace(TraceShmTornDoorbell, ss.b.exp.iface.Name, "", nil)
+		return
+	}
+	base := ss.lay.slotBase(uint32(v))
+	state := shmU32(ss.seg, base+slotOffState)
+	if !state.CompareAndSwap(slotPosted, slotActive) {
+		// A doorbell for a slot with no staged request: torn write,
+		// duplicate, or injected garbage. Discard the ring entry; the
+		// slot (if any) is untouched.
+		sv.torn.Add(1)
+		sv.sys.emitTrace(TraceShmTornDoorbell, ss.b.exp.iface.Name, "", nil)
+		return
+	}
+	proc := int(shmU32(ss.seg, base+slotOffProc).Load())
+	argLen := int(shmU32(ss.seg, base+slotOffArgLen).Load())
+	payload := ss.seg[base+slotHdrSize : base+slotHdrSize+ss.lay.slotSize]
+	var (
+		resLen int
+		oob    []byte
+		err    error
+	)
+	if argLen > ss.lay.slotSize {
+		err = fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot",
+			ErrTooLarge, argLen, ss.lay.slotSize)
+	} else {
+		resLen, oob, err = ss.b.callShared(proc, payload, argLen)
+	}
+	if err == nil && oob != nil {
+		// Out-of-band results do not fit the pairwise A-stack; the shm
+		// plane has no side channel for them, so they surface as the
+		// size exception rather than silent truncation.
+		err = fmt.Errorf("%w: %d result bytes exceed the %d-byte slot",
+			ErrTooLarge, resLen, ss.lay.slotSize)
+	}
+	if err != nil {
+		text := err.Error()
+		if len(text) > ss.lay.slotSize {
+			text = text[:ss.lay.slotSize]
+		}
+		copy(payload, text)
+		shmU32(ss.seg, base+slotOffResLen).Store(uint32(len(text)))
+		shmU32(ss.seg, base+slotOffCode).Store(shmErrCode(err))
+		state.Store(slotDoneErr)
+	} else {
+		shmU32(ss.seg, base+slotOffResLen).Store(uint32(resLen))
+		shmU32(ss.seg, base+slotOffCode).Store(0)
+		state.Store(slotDoneOK)
+	}
+	sv.calls.Add(1)
+	for !ss.s2c.Push(v) {
+		// Cannot persist: the ring holds 2× the slots. The OS yield
+		// matters when the drainer is the peer process.
+		runtime.Gosched()
+		shmring.OSYield()
+	}
+	ss.s2c.Bump()
+}
+
+// callShared is the dispatch half of a shared-memory call: the same
+// sequence as callAppend with the A-stack pool replaced by the
+// segment's pairwise slot — the arguments are already on the A-stack
+// when the doorbell rings, so there is no copy A and no pool checkout.
+func (b *Binding) callShared(proc int, shared []byte, argLen int) (resLen int, oob []byte, err error) {
+	m := b.exp.metrics.Load()
+	var started time.Time
+	if m != nil {
+		started = time.Now()
+	}
+	p, _, err := b.validate(proc, shared[:argLen])
+	if err != nil {
+		b.traceValidateFail(proc, err)
+		return 0, nil, err
+	}
+	adm := b.exp.admission.Load()
+	if adm != nil {
+		if aerr := adm.enter(PriorityNormal, time.Time{}, nil); aerr != nil {
+			if aerr == ErrOverload {
+				b.recordShed(p, b.pools[proc], aerr)
+			}
+			return 0, nil, aerr
+		}
+	}
+	c := callPool.Get().(*Call)
+	c.astack = shared
+	c.args = shared[:argLen]
+	c.oob = nil
+	c.resLen = 0
+	if p.ProtectArgs && argLen > 0 {
+		cp := make([]byte, argLen)
+		copy(cp, shared[:argLen]) // copy E: immutability-sensitive procedures
+		c.args = cp
+	}
+	if herr := b.exp.runHandler(p, c); herr != nil {
+		if adm != nil {
+			adm.exit()
+		}
+		// The Call is not released (the panicked handler may hold
+		// references); the slot itself is reused freely — the client
+		// overwrites it on its next call.
+		return 0, nil, herr
+	}
+	resLen = c.resLen
+	oob = c.oob
+	if adm != nil {
+		adm.exit()
+	}
+	b.exp.calls.add(c.stripe, 1)
+	if m != nil {
+		m.dispatch.record(c.stripe, time.Since(started))
+	}
+	c.release()
+	if b.exp.terminated.Load() {
+		return resLen, oob, ErrCallFailed
+	}
+	return resLen, oob, nil
+}
+
+// --- client ---
+
+// ShmClient is one process's client side of a shared-memory session:
+// the holder of the passed segment fd, a free-list of pairwise A-stack
+// slots, and the doorbell rings.
+type ShmClient struct {
+	name string
+	opts ShmDialOptions
+	conn *net.UnixConn
+	seg  []byte
+	lay  shmLayout
+	c2s  *shmring.Ring
+	s2c  *shmring.Ring
+
+	free   chan uint32
+	sigs   []chan struct{}
+	callID atomic.Uint64
+
+	// parked counts callers (and orphan watchers) blocked on a sigs
+	// channel; kick rouses the demultiplexer out of its process-local
+	// sleep when the count goes positive. While parked is zero the
+	// demultiplexer holds no futex wait, so the server's reply doorbell
+	// costs no wake syscall — the spin-regime fast path.
+	parked atomic.Int32
+	kick   chan struct{}
+
+	dead       chan struct{}
+	deadOnce   sync.Once
+	userClosed atomic.Bool
+	crashed    atomic.Bool
+	demuxDone  chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	closed   bool
+	unmapped bool
+
+	calls       atomic.Uint64
+	failures    atomic.Uint64
+	timeouts    atomic.Uint64
+	spinReplies atomic.Uint64
+	parkReplies atomic.Uint64
+}
+
+// DialShm binds to an interface served by another process's ShmServer
+// at the given Unix socket path, with default options.
+func DialShm(path, name string) (*ShmClient, error) {
+	return DialShmOpts(path, name, ShmDialOptions{})
+}
+
+// DialShmOpts performs the bind-time handshake: send the request, and
+// receive the reply carrying the segment fd over SCM_RIGHTS. On
+// success the returned client calls entirely through shared memory.
+func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
+	opts.fill()
+	conn, err := net.DialUnix("unix", nil, &net.UnixAddr{Name: path, Net: "unix"})
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req := make([]byte, 0, 22+len(name))
+	req = binary.LittleEndian.AppendUint64(req, shmMagic)
+	req = binary.LittleEndian.AppendUint32(req, shmVersion)
+	req = binary.LittleEndian.AppendUint32(req, uint32(opts.Slots))
+	req = binary.LittleEndian.AppendUint32(req, uint32(opts.SlotSize))
+	req = binary.LittleEndian.AppendUint16(req, uint16(len(name)))
+	req = append(req, name...)
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply := make([]byte, shmReplySize)
+	oob := make([]byte, 128)
+	got, oobGot := 0, 0
+	for got < shmReplySize {
+		n, oobn, _, _, rerr := conn.ReadMsgUnix(reply[got:], oob[oobGot:])
+		if rerr != nil {
+			conn.Close()
+			return nil, fmt.Errorf("lrpc: shm handshake: %w", rerr)
+		}
+		got += n
+		oobGot += oobn
+	}
+	if reply[0] != 0 {
+		n := int(binary.LittleEndian.Uint16(reply[24:26]))
+		if n > shmReplySize-26 {
+			n = shmReplySize - 26
+		}
+		conn.Close()
+		return nil, remoteBindError(string(reply[26 : 26+n]))
+	}
+	nslots := int(binary.LittleEndian.Uint32(reply[4:8]))
+	slotSize := int(binary.LittleEndian.Uint32(reply[8:12]))
+	segSize := int(binary.LittleEndian.Uint64(reply[16:24]))
+	fd, err := parseSegmentFd(oob[:oobGot])
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	lay := shmLayoutFor(nslots, slotSize)
+	if lay.segSize != segSize || nslots < 1 {
+		syscall.Close(fd)
+		conn.Close()
+		return nil, errors.New("lrpc: shm handshake geometry mismatch")
+	}
+	seg, err := syscall.Mmap(fd, 0, segSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	syscall.Close(fd)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("lrpc: shm mmap: %w", err)
+	}
+	if shmU64(seg, shmOffMagic).Load() != shmMagic ||
+		shmU32(seg, shmOffNSlots).Load() != uint32(nslots) ||
+		shmU32(seg, shmOffSlotSize).Load() != uint32(slotSize) {
+		syscall.Munmap(seg)
+		conn.Close()
+		return nil, errors.New("lrpc: shm segment header mismatch")
+	}
+	c2s, err := shmring.Attach(seg[lay.c2sOff:lay.s2cOff], lay.ringCap)
+	if err != nil {
+		syscall.Munmap(seg)
+		conn.Close()
+		return nil, err
+	}
+	s2c, err := shmring.Attach(seg[lay.s2cOff:lay.slotsOff], lay.ringCap)
+	if err != nil {
+		syscall.Munmap(seg)
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	c := &ShmClient{
+		name:      name,
+		opts:      opts,
+		conn:      conn,
+		seg:       seg,
+		lay:       lay,
+		c2s:       c2s,
+		s2c:       s2c,
+		free:      make(chan uint32, nslots),
+		sigs:      make([]chan struct{}, nslots),
+		kick:      make(chan struct{}, 1),
+		dead:      make(chan struct{}),
+		demuxDone: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := 0; i < nslots; i++ {
+		c.free <- uint32(i)
+		c.sigs[i] = make(chan struct{}, 1)
+	}
+	// Arm the ring epoch: a crash leaves it set, which is how the
+	// server distinguishes death from a detach whose bye was lost.
+	shmU32(seg, shmOffClientEpoch).Store(1)
+	if t := opts.Tracer; t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceShmBind, Iface: name})
+	}
+	go c.demux()
+	go c.watchdog()
+	return c, nil
+}
+
+// remoteBindError maps a handshake rejection back onto the canonical
+// sentinel when the text matches one, so DialShm("missing name") is
+// errors.Is-comparable with the local Import failure.
+func remoteBindError(text string) error {
+	for _, sent := range []error{ErrNotExported, ErrRevoked} {
+		s := sent.Error()
+		if text == s {
+			return sent
+		}
+		if strings.HasPrefix(text, s+":") {
+			return fmt.Errorf("%w%s", sent, text[len(s):])
+		}
+	}
+	return &RemoteError{Msg: text}
+}
+
+func parseSegmentFd(oob []byte) (int, error) {
+	msgs, err := syscall.ParseSocketControlMessage(oob)
+	if err != nil {
+		return -1, fmt.Errorf("lrpc: shm handshake control message: %w", err)
+	}
+	for _, m := range msgs {
+		fds, err := syscall.ParseUnixRights(&m)
+		if err != nil || len(fds) == 0 {
+			continue
+		}
+		for _, fd := range fds[1:] {
+			syscall.Close(fd)
+		}
+		return fds[0], nil
+	}
+	return -1, errors.New("lrpc: shm handshake carried no segment fd")
+}
+
+// Name returns the bound interface name.
+func (c *ShmClient) Name() string { return c.name }
+
+// Slots returns the session's concurrent-call capacity.
+func (c *ShmClient) Slots() int { return c.lay.nslots }
+
+// SlotSize returns the per-call shared A-stack capacity in bytes.
+func (c *ShmClient) SlotSize() int { return c.lay.slotSize }
+
+// Stats snapshots the client side of the session.
+func (c *ShmClient) Stats() ShmClientStats {
+	return ShmClientStats{
+		Calls:       c.calls.Load(),
+		Failures:    c.failures.Load(),
+		Timeouts:    c.timeouts.Load(),
+		SpinReplies: c.spinReplies.Load(),
+		ParkReplies: c.parkReplies.Load(),
+		PeerCrashed: c.crashed.Load(),
+	}
+}
+
+// Call invokes proc with args through the shared segment.
+func (c *ShmClient) Call(proc int, args []byte) ([]byte, error) {
+	return c.callContext(context.Background(), proc, args, nil)
+}
+
+// CallAppend is Call appending the results to dst.
+func (c *ShmClient) CallAppend(proc int, args, dst []byte) ([]byte, error) {
+	return c.callContext(context.Background(), proc, args, dst)
+}
+
+// CallContext invokes proc under ctx. At the deadline the caller
+// abandons the call (ErrCallTimeout) and its slot is reclaimed once
+// the server's reply eventually lands — §5.3's abandonment protocol.
+func (c *ShmClient) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	return c.callContext(ctx, proc, args, nil)
+}
+
+func (c *ShmClient) callContext(ctx context.Context, proc int, args, dst []byte) ([]byte, error) {
+	c.calls.Add(1)
+	if len(args) > c.lay.slotSize {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot",
+			ErrTooLarge, len(args), c.lay.slotSize)
+	}
+	if err := c.begin(); err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	// Slot acquire: the client owns slot lifecycle, so a free slot is a
+	// local channel receive — the A-stack queue of §3.1, guarded on the
+	// client's side of the wall.
+	var id uint32
+	select {
+	case id = <-c.free:
+	default:
+		select {
+		case id = <-c.free:
+		case <-c.dead:
+			c.failures.Add(1)
+			c.end()
+			return nil, c.deadErr(false)
+		case <-ctx.Done():
+			c.timeouts.Add(1)
+			c.end()
+			return nil, timeoutError(ctx.Err())
+		}
+	}
+	base := c.lay.slotBase(id)
+	state := shmU32(c.seg, base+slotOffState)
+	select {
+	case <-c.sigs[id]: // drain a stale wakeup from a prior occupant
+	default:
+	}
+	payload := c.seg[base+slotHdrSize : base+slotHdrSize+c.lay.slotSize]
+	copy(payload, args) // the single argument copy, straight into the shared A-stack
+	shmU32(c.seg, base+slotOffProc).Store(uint32(proc))
+	shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(args)))
+	shmU32(c.seg, base+slotOffResLen).Store(0)
+	shmU32(c.seg, base+slotOffCode).Store(0)
+	shmU64(c.seg, base+slotOffCallID).Store(c.callID.Add(1))
+	state.Store(slotPosted)
+	if f := c.opts.Faults; f != nil {
+		if f().TornDoorbell {
+			c.ringDoorbell(uint64(c.lay.nslots) + 7) // garbage index ahead of the real bell
+		}
+	}
+	if err := c.ringDoorbell(uint64(id)); err != nil {
+		c.failures.Add(1)
+		c.end()
+		return nil, err
+	}
+
+	// Reply: bounded spin on the slot's state (both domains run
+	// concurrently on distinct processors in the best case; on a single
+	// processor the yields inside the spin hand the CPU straight to the
+	// server domain), then park on the per-slot signal fed by the
+	// doorbell demultiplexer.
+	spun := false
+	for i := 0; i < c.opts.Spin; i++ {
+		if st := state.Load(); st >= slotDoneOK {
+			c.spinReplies.Add(1)
+			spun = true
+			break
+		}
+		// Spinners drain the reply ring themselves: with the
+		// demultiplexer asleep, hints must not accumulate, and a hint
+		// for a parked sibling is forwarded to its signal channel.
+		c.drainReplies()
+		runtime.Gosched()
+		shmring.OSYield()
+	}
+	if !spun {
+		// Crossing into the parked regime: register so the reply
+		// doorbell takes the futex path, and rouse the demultiplexer.
+		c.parked.Add(1)
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	park:
+		for {
+			select {
+			case <-c.sigs[id]:
+				if st := state.Load(); st >= slotDoneOK {
+					c.parked.Add(-1)
+					c.parkReplies.Add(1)
+					break park
+				}
+			case <-c.dead:
+				c.parked.Add(-1)
+				c.failures.Add(1)
+				c.end()
+				return nil, c.deadErr(true)
+			case <-ctx.Done():
+				c.timeouts.Add(1)
+				// The orphan watcher inherits this caller's parked
+				// registration along with its inflight reference.
+				c.abandon(id, state)
+				return nil, timeoutError(ctx.Err())
+			}
+		}
+	}
+	code := shmU32(c.seg, base+slotOffCode).Load()
+	resLen := int(shmU32(c.seg, base+slotOffResLen).Load())
+	if resLen > c.lay.slotSize {
+		resLen = c.lay.slotSize
+	}
+	st := state.Load()
+	var out []byte
+	var err error
+	if st == slotDoneOK {
+		if resLen > 0 {
+			out = append(dst, payload[:resLen]...) // the single result copy out
+		} else {
+			out = dst
+		}
+	} else {
+		err = shmErrFromCode(code, string(payload[:resLen]))
+		c.failures.Add(1)
+	}
+	c.recycle(id, state)
+	c.end()
+	return out, err
+}
+
+// ringDoorbell pushes a slot index to the server and bumps the futex
+// word. The ring holds twice the slot count, so with at most one
+// doorbell per posted slot it cannot stay full; the retry loop only
+// spins when fault injection floods it with torn entries.
+func (c *ShmClient) ringDoorbell(v uint64) error {
+	for !c.c2s.Push(v) {
+		select {
+		case <-c.dead:
+			return c.deadErr(false)
+		default:
+			runtime.Gosched()
+			shmring.OSYield()
+		}
+	}
+	c.c2s.Bump()
+	return nil
+}
+
+// abandon detaches the caller from a posted slot at its deadline. The
+// slot stays checked out — the server may still be writing it — and an
+// orphan watcher inherits both the slot and the caller's inflight
+// reference, recycling them when the reply lands (or the session dies).
+func (c *ShmClient) abandon(id uint32, state *atomic.Uint32) {
+	go func() {
+		for {
+			select {
+			case <-c.sigs[id]:
+				if st := state.Load(); st >= slotDoneOK {
+					c.parked.Add(-1)
+					c.recycle(id, state)
+					c.end()
+					return
+				}
+			case <-c.dead:
+				c.parked.Add(-1)
+				c.end()
+				return
+			}
+		}
+	}()
+}
+
+// recycle returns a slot to the free list.
+func (c *ShmClient) recycle(id uint32, state *atomic.Uint32) {
+	state.Store(slotIdle)
+	select {
+	case c.free <- id:
+	default:
+	}
+}
+
+// drainReplies empties whatever the reply ring holds right now,
+// forwarding each hint to its slot's signal channel. Safe from any
+// goroutine: the ring entry is a hint, the slot state is the truth, so
+// stale or double signals are absorbed by the waiters' re-checks.
+func (c *ShmClient) drainReplies() {
+	for {
+		v, ok := c.s2c.Pop()
+		if !ok {
+			return
+		}
+		if v >= uint64(c.lay.nslots) {
+			continue
+		}
+		select {
+		case c.sigs[v] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// demux pops reply doorbells and signals the slot's waiter. It runs in
+// two regimes. While no caller is parked it sleeps on a process-local
+// channel, leaving the futex word with zero waiters: spinning callers
+// drain the ring themselves and the server's doorbell costs no wake
+// syscall. The moment a caller parks, it is kicked awake and parks on
+// the futex instead, so cross-process wakes reach parked callers.
+// Replies consumed by a caller's spin are popped before demux sees
+// them — stale signals are possible and every waiter re-checks its
+// slot.
+func (c *ShmClient) demux() {
+	defer close(c.demuxDone)
+	stop := func() bool {
+		select {
+		case <-c.dead:
+			return true
+		default:
+			return false
+		}
+	}
+	for {
+		c.drainReplies()
+		if c.parked.Load() == 0 {
+			select {
+			case <-c.kick:
+			case <-c.dead:
+				return
+			}
+			continue
+		}
+		v, ok := c.s2c.PopWait(16, shmClientParkQuantum, stop)
+		if !ok {
+			return
+		}
+		if v >= uint64(c.lay.nslots) {
+			continue
+		}
+		select {
+		case c.sigs[v] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// watchdog watches the handshake socket for the server's fate: a bye
+// frame is a clean server shutdown, EOF or any error is a crash.
+func (c *ShmClient) watchdog() {
+	buf := make([]byte, 16)
+	_, err := c.conn.Read(buf)
+	crash := err != nil && !c.userClosed.Load()
+	c.markDead(crash)
+}
+
+// markDead transitions the session to dead exactly once: in-flight
+// calls resolve, the demultiplexer exits, and a reaper unmaps the
+// segment after the last reference drains.
+func (c *ShmClient) markDead(crash bool) {
+	c.deadOnce.Do(func() {
+		if crash {
+			c.crashed.Store(true)
+			if t := c.opts.Tracer; t != nil {
+				t.TraceEvent(TraceEvent{Kind: TraceShmPeerCrash, Iface: c.name, Err: ErrRevoked})
+			}
+		}
+		close(c.dead)
+		c.s2c.WakeAll() // unpark the demultiplexer
+		go c.reap()
+	})
+}
+
+// reap unmaps the segment once the demultiplexer has exited and every
+// in-flight call (including orphaned abandoners) has released its
+// reference — never under a goroutine still touching shared bytes.
+func (c *ShmClient) reap() {
+	<-c.demuxDone
+	c.mu.Lock()
+	for c.inflight > 0 {
+		c.cond.Wait()
+	}
+	if !c.unmapped {
+		c.unmapped = true
+		syscall.Munmap(c.seg)
+	}
+	c.mu.Unlock()
+}
+
+func (c *ShmClient) begin() error {
+	c.mu.Lock()
+	if c.closed || c.unmapped {
+		c.mu.Unlock()
+		return c.deadErr(false)
+	}
+	select {
+	case <-c.dead:
+		c.mu.Unlock()
+		return c.deadErr(false)
+	default:
+	}
+	c.inflight++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *ShmClient) end() {
+	c.mu.Lock()
+	c.inflight--
+	if c.inflight == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// deadErr maps a dead session onto the plane's exceptions: a call that
+// was posted when the peer died may have executed (ErrCallFailed); a
+// call that never reached the segment sees the binding as revoked
+// (ErrRevoked) unless this side closed the session itself.
+func (c *ShmClient) deadErr(posted bool) error {
+	if c.userClosed.Load() {
+		return ErrConnClosed
+	}
+	if posted {
+		return fmt.Errorf("%w: shm peer died mid-call", ErrCallFailed)
+	}
+	return ErrRevoked
+}
+
+// Close detaches cleanly: disarm the ring epoch, tell the server bye,
+// and unmap once in-flight calls drain. Calls after Close fail with
+// ErrConnClosed.
+func (c *ShmClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.userClosed.Store(true)
+	// Disarm before bye: if the process dies between these two writes
+	// the server still classifies the detach correctly. The store
+	// happens under the lock the reaper unmaps under, so a session the
+	// server already tore down cannot fault here.
+	if !c.unmapped {
+		shmU32(c.seg, shmOffClientEpoch).Store(0)
+	}
+	c.mu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	writeFrame(c.conn, []byte{shmByeByte})
+	c.markDead(false)
+	c.conn.Close()
+	return nil
+}
+
+// --- supervised recovery across peer restarts ---
+
+// ShmSupervisor is Supervise for the shared-memory plane: it holds the
+// current session, retries revoked calls through a single-flight
+// redial with capped backoff, and probes in the background so recovery
+// usually completes before the next call arrives.
+type ShmSupervisor struct {
+	dial func() (*ShmClient, error)
+	opts SupervisorOpts
+
+	cur     atomic.Pointer[ShmClient]
+	rebinds atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+
+	closeCh chan struct{}
+}
+
+// SuperviseShm dials the first session and supervises it. The dial
+// function is retried with the supervisor's backoff whenever the
+// session's binding is revoked (server restart, export termination, or
+// peer crash).
+func SuperviseShm(dial func() (*ShmClient, error), opts SupervisorOpts) (*ShmSupervisor, error) {
+	opts.fill()
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	s := &ShmSupervisor{dial: dial, opts: opts, closeCh: make(chan struct{})}
+	s.cur.Store(c)
+	if opts.ProbeInterval > 0 {
+		go s.probe()
+	}
+	return s, nil
+}
+
+// Client returns the current session (nil after Close).
+func (s *ShmSupervisor) Client() *ShmClient { return s.cur.Load() }
+
+// Rebinds returns how many times the supervisor re-dialed.
+func (s *ShmSupervisor) Rebinds() uint64 { return s.rebinds.Load() }
+
+// Close stops the supervisor and closes its current session.
+func (s *ShmSupervisor) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closeCh)
+	s.mu.Unlock()
+	if c := s.cur.Load(); c != nil {
+		c.Close()
+	}
+	return nil
+}
+
+// Call invokes proc, recovering revoked sessions transparently.
+func (s *ShmSupervisor) Call(proc int, args []byte) ([]byte, error) {
+	return s.CallContext(context.Background(), proc, args)
+}
+
+// CallContext invokes proc under ctx with supervised recovery.
+func (s *ShmSupervisor) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	for try := 0; ; try++ {
+		c := s.cur.Load()
+		if c == nil {
+			return nil, ErrSupervisorClosed
+		}
+		out, err := c.CallContext(ctx, proc, args)
+		if err == nil {
+			return out, nil
+		}
+		retry := errors.Is(err, ErrRevoked)
+		if errors.Is(err, ErrCallFailed) && !errors.Is(err, ErrRevoked) {
+			// The handler may have executed: retry only when the
+			// interface is declared idempotent.
+			if !s.opts.RetryFailedCalls {
+				go s.rebindFrom(c)
+				return nil, err
+			}
+			retry = true
+		}
+		if !retry || try >= s.opts.RebindAttempts {
+			return nil, err
+		}
+		if rerr := s.rebindFrom(c); rerr != nil {
+			return nil, err
+		}
+	}
+}
+
+// rebindFrom replaces the session old with a fresh dial, single-flight:
+// concurrent callers that lost the race return immediately and retry on
+// the session the winner installed.
+func (s *ShmSupervisor) rebindFrom(old *ShmClient) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSupervisorClosed
+	}
+	if s.cur.Load() != old {
+		return nil // someone already rebound
+	}
+	backoff := s.opts.RebindBackoffInitial
+	var lastErr error
+	for i := 0; i < s.opts.RebindAttempts; i++ {
+		c, err := s.dial()
+		if err == nil {
+			old.Close()
+			s.cur.Store(c)
+			s.rebinds.Add(1)
+			return nil
+		}
+		lastErr = err
+		select {
+		case <-s.closeCh:
+			return ErrSupervisorClosed
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > s.opts.RebindBackoffMax {
+			backoff = s.opts.RebindBackoffMax
+		}
+	}
+	return fmt.Errorf("%w: shm rebind failed after %d attempts: %v",
+		ErrRevoked, s.opts.RebindAttempts, lastErr)
+}
+
+// probe rebinds proactively when the current session dies.
+func (s *ShmSupervisor) probe() {
+	t := time.NewTicker(s.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-t.C:
+		}
+		c := s.cur.Load()
+		if c == nil {
+			return
+		}
+		select {
+		case <-c.dead:
+			if !c.userClosed.Load() {
+				s.rebindFrom(c)
+			}
+		default:
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package lrpc
+
+import "errors"
+
+// This file holds the platform-independent surface of the shared-memory
+// transport plane: option and statistics types, the fault hook, and the
+// sentinel for platforms without the plane. The working implementation
+// is shm.go (linux); everywhere else shm_stub.go supplies stubs that
+// fail with ErrShmUnsupported so callers — and TransparentBinding's
+// three-way dispatch — compile unchanged.
+
+// ErrShmUnsupported reports that the shared-memory transport is not
+// available on this platform (it requires mmap'd segments, SCM_RIGHTS
+// fd passing, and shared futexes — linux only).
+var ErrShmUnsupported = errors.New("lrpc: shared-memory transport unsupported on this platform")
+
+// ShmDialOptions tunes a client's side of a shared-memory session.
+type ShmDialOptions struct {
+	// Slots is the number of shared A-stack slots requested — the
+	// session's maximum concurrent calls (further callers wait for a
+	// free slot). 0 selects 8; the server clamps to its MaxSlots.
+	Slots int
+	// SlotSize is the requested per-slot payload capacity in bytes: the
+	// size of each shared A-stack. Arguments and in-band results must
+	// fit. 0 selects DefaultAStackSize; the server clamps to its
+	// MaxSlotSize.
+	SlotSize int
+	// Spin bounds the reply-polling iterations before a caller parks on
+	// its slot's signal channel. 0 selects 64.
+	Spin int
+	// Tracer receives the client side's uncommon-case events
+	// (TraceShmBind, TraceShmPeerCrash). Optional.
+	Tracer Tracer
+	// Faults, when non-nil, is consulted once per call for injected
+	// shared-memory faults (internal/faultinject wires its schedule in
+	// here). Test hook; nil in production.
+	Faults func() ShmFault
+}
+
+func (o *ShmDialOptions) fill() {
+	if o.Slots <= 0 {
+		o.Slots = 8
+	}
+	if o.SlotSize <= 0 {
+		o.SlotSize = DefaultAStackSize
+	}
+	if o.Spin <= 0 {
+		o.Spin = 64
+	}
+}
+
+// ShmServeOptions tunes the server side of the shared-memory plane.
+type ShmServeOptions struct {
+	// MaxSlots caps the per-session slot count a client may request.
+	// 0 selects 256.
+	MaxSlots int
+	// MaxSlotSize caps the per-slot payload bytes a client may request.
+	// 0 selects 1 MiB.
+	MaxSlotSize int
+	// Workers is the number of dispatcher goroutines per session — the
+	// shm analog of the paper's "as many threads as A-stacks" sizing,
+	// bounded because handlers run on the worker. 0 selects 2.
+	Workers int
+	// Spin bounds a worker's doorbell-polling iterations before it
+	// parks on the shared futex. 0 selects 64.
+	Spin int
+}
+
+func (o *ShmServeOptions) fill() {
+	if o.MaxSlots <= 0 {
+		o.MaxSlots = 256
+	}
+	if o.MaxSlotSize <= 0 {
+		o.MaxSlotSize = 1 << 20
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Spin <= 0 {
+		o.Spin = 64
+	}
+}
+
+// ShmServerStats is a point-in-time snapshot of the server side of the
+// shared-memory plane, aggregated across sessions.
+type ShmServerStats struct {
+	Sessions          uint64 // sessions ever established
+	ActiveSessions    int64  // sessions currently mapped
+	SegmentsReclaimed uint64 // segments unmapped after session end
+	SegmentBytes      int64  // bytes currently mapped across sessions
+	Calls             uint64 // dispatches completed (ok or error reply)
+	TornDoorbells     uint64 // doorbells discarded as torn/duplicated
+	PeerCrashes       uint64 // sessions ended by peer death
+	CleanDetaches     uint64 // sessions ended by client Close
+}
+
+// ShmClientStats is a point-in-time snapshot of one client session.
+type ShmClientStats struct {
+	Calls       uint64 // calls attempted
+	Failures    uint64 // calls resolved with an error
+	Timeouts    uint64 // calls abandoned at their deadline
+	SpinReplies uint64 // replies consumed within the spin window
+	ParkReplies uint64 // replies that required parking
+	PeerCrashed bool   // the server process died under the session
+}
+
+// ShmFault carries injected shared-memory faults for one call, consulted
+// through ShmDialOptions.Faults. The zero value injects nothing.
+type ShmFault struct {
+	// TornDoorbell rings one extra doorbell carrying a garbage slot
+	// index before the real one, exercising the server's torn-write
+	// rejection. The real call still completes.
+	TornDoorbell bool
+}

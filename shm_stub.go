@@ -1,0 +1,109 @@
+//go:build !linux
+
+package lrpc
+
+// Stubs for the shared-memory transport on platforms without it. Every
+// entry point fails with ErrShmUnsupported; the types exist so that
+// TransparentBinding's three-way dispatch and cross-platform callers
+// compile everywhere, and CI skips (rather than breaks) off linux.
+
+import (
+	"context"
+	"net"
+)
+
+// ShmServer is unavailable on this platform; see shm.go (linux).
+type ShmServer struct{}
+
+// NewShmServer returns a server whose Serve always fails with
+// ErrShmUnsupported.
+func NewShmServer(sys *System, opts ShmServeOptions) *ShmServer { return &ShmServer{} }
+
+// Serve fails with ErrShmUnsupported.
+func (sv *ShmServer) Serve(l *net.UnixListener) error {
+	if l != nil {
+		l.Close()
+	}
+	return ErrShmUnsupported
+}
+
+// Close is a no-op on this platform.
+func (sv *ShmServer) Close() error { return nil }
+
+// Stats returns zeroes on this platform.
+func (sv *ShmServer) Stats() ShmServerStats { return ShmServerStats{} }
+
+// ListenShm fails with ErrShmUnsupported.
+func ListenShm(path string) (*net.UnixListener, error) { return nil, ErrShmUnsupported }
+
+// ServeShm fails with ErrShmUnsupported.
+func (s *System) ServeShm(l *net.UnixListener) error {
+	if l != nil {
+		l.Close()
+	}
+	return ErrShmUnsupported
+}
+
+// ShmClient is unavailable on this platform; see shm.go (linux).
+type ShmClient struct{}
+
+// DialShm fails with ErrShmUnsupported.
+func DialShm(path, name string) (*ShmClient, error) { return nil, ErrShmUnsupported }
+
+// DialShmOpts fails with ErrShmUnsupported.
+func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
+	return nil, ErrShmUnsupported
+}
+
+// Name returns "" on this platform.
+func (c *ShmClient) Name() string { return "" }
+
+// Slots returns 0 on this platform.
+func (c *ShmClient) Slots() int { return 0 }
+
+// SlotSize returns 0 on this platform.
+func (c *ShmClient) SlotSize() int { return 0 }
+
+// Call fails with ErrShmUnsupported.
+func (c *ShmClient) Call(proc int, args []byte) ([]byte, error) { return nil, ErrShmUnsupported }
+
+// CallAppend fails with ErrShmUnsupported.
+func (c *ShmClient) CallAppend(proc int, args, dst []byte) ([]byte, error) {
+	return nil, ErrShmUnsupported
+}
+
+// CallContext fails with ErrShmUnsupported.
+func (c *ShmClient) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	return nil, ErrShmUnsupported
+}
+
+// Close is a no-op on this platform.
+func (c *ShmClient) Close() error { return nil }
+
+// Stats returns zeroes on this platform.
+func (c *ShmClient) Stats() ShmClientStats { return ShmClientStats{} }
+
+// ShmSupervisor is unavailable on this platform; see shm.go (linux).
+type ShmSupervisor struct{}
+
+// SuperviseShm fails with ErrShmUnsupported.
+func SuperviseShm(dial func() (*ShmClient, error), opts SupervisorOpts) (*ShmSupervisor, error) {
+	return nil, ErrShmUnsupported
+}
+
+// Client returns nil on this platform.
+func (s *ShmSupervisor) Client() *ShmClient { return nil }
+
+// Rebinds returns 0 on this platform.
+func (s *ShmSupervisor) Rebinds() uint64 { return 0 }
+
+// Close is a no-op on this platform.
+func (s *ShmSupervisor) Close() error { return nil }
+
+// Call fails with ErrShmUnsupported.
+func (s *ShmSupervisor) Call(proc int, args []byte) ([]byte, error) { return nil, ErrShmUnsupported }
+
+// CallContext fails with ErrShmUnsupported.
+func (s *ShmSupervisor) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	return nil, ErrShmUnsupported
+}
