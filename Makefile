@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmtcheck vet build test race stress shmtest bench benchjson benchjson5 benchcheck fuzz staticcheck vulncheck
+.PHONY: ci fmtcheck vet build test race stress shmtest haftest bench benchjson benchjson5 benchjson6 benchcheck fuzz staticcheck vulncheck
 
 # Formatting, vet, static analysis, build, tests (plain and -race), then
 # the perf gates: the whole merge bar in one command. The gates check the
@@ -12,7 +12,7 @@ GO ?= go
 # BENCH_pr5.json against the shm-speedup floor (both deterministic);
 # regenerate the artifacts with `make benchjson benchjson5` (or the full
 # `make bench`) when the call path changes.
-ci: fmtcheck vet staticcheck vulncheck build test race shmtest benchcheck
+ci: fmtcheck vet staticcheck vulncheck build test race shmtest haftest benchcheck
 
 # gofmt -l prints nonconforming files; any output is a failure.
 fmtcheck:
@@ -61,6 +61,13 @@ stress:
 shmtest:
 	$(GO) test -race -count=1 -run 'TestShm' ./internal/faultinject/ .
 
+# The high-availability suite: replicated-registry fault schedules
+# (kill-leader, partition, rolling restart, lease expiry, the mesh
+# invariant) plus the at-most-once classification tests. Seeded, race
+# clean; timings are sized for a single-CPU host under -race.
+haftest:
+	$(GO) test -race -count=1 -run 'TestHA|TestWrittenFrameNotRetried|TestRetryFailedCallsNeverRetriesWrittenFrame|TestNotSentClassification|TestNotExecutedVouch' .
+
 # Native Go fuzzing over the wire parsers (net_fuzz_test.go). Short
 # budgets so it's usable as a pre-commit smoke test; raise FUZZTIME for a
 # real session.
@@ -90,8 +97,17 @@ benchjson:
 benchjson5:
 	$(GO) run ./cmd/lrpcbench -json shm > BENCH_pr5.json
 
+# Regenerate the failover-convergence artifact: a live three-replica
+# registry with two servers, timing server-crash failover and
+# leader-kill write convergence, with the at-most-once ledger recorded.
+benchjson6:
+	$(GO) run ./cmd/lrpcbench -json failover > BENCH_pr6.json
+
 # Fail if the Null latency regressed >10% against the recorded baseline,
-# or if the recorded shm-vs-TCP Null speedup is under its 5x floor.
+# if the recorded shm-vs-TCP Null speedup is under its 5x floor, or if
+# the failover artifact records a double execution or an off-scale
+# convergence time.
 benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr4.json
 	$(GO) run ./cmd/benchcheck BENCH_pr5.json
+	$(GO) run ./cmd/benchcheck BENCH_pr6.json

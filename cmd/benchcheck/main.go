@@ -12,8 +12,16 @@
 // gate: a round trip between two OS processes over shared memory must
 // beat the same round trip over TCP loopback by at least that factor.
 //
+// A one-argument artifact whose "bench" field reads "failover" (as
+// written by `lrpcbench -json failover`, see BENCH_pr6.json) is checked
+// as a failover-convergence record instead: any double execution is an
+// at-most-once violation and fails outright, the client must have made
+// progress, and both convergence latencies must be present and under a
+// generous ceiling.
+//
 //	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
 //	benchcheck [-min-shm-speedup 5] TRANSPORTS.json
+//	benchcheck [-max-converge-ms 30000] FAILOVER.json
 package main
 
 import (
@@ -28,10 +36,15 @@ import (
 func main() {
 	maxRegress := flag.Float64("max-regress", 10, "maximum allowed Null ns/op regression, percent")
 	minShmSpeedup := flag.Float64("min-shm-speedup", 5, "minimum shm-vs-TCP Null speedup for a transports artifact")
+	maxConvergeMs := flag.Float64("max-converge-ms", 30000, "maximum failover/leader-kill convergence for a failover artifact, ms")
 	flag.Parse()
 	switch flag.NArg() {
 	case 1:
-		checkTransports(flag.Arg(0), *minShmSpeedup)
+		if isFailoverArtifact(flag.Arg(0)) {
+			checkFailover(flag.Arg(0), *maxConvergeMs)
+		} else {
+			checkTransports(flag.Arg(0), *minShmSpeedup)
+		}
 		return
 	case 2:
 	default:
@@ -124,6 +137,59 @@ func checkTransports(path string, minSpeedup float64) {
 		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm Null speedup %.2fx below floor %.1fx\n",
 			r.ShmSpeedupVsTCP, minSpeedup)
 		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// isFailoverArtifact sniffs the "bench" discriminator so one-argument
+// invocations route to the right validator.
+func isFailoverArtifact(path string) bool {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return false // the real validator will report the read error
+	}
+	var probe struct {
+		Bench string `json:"bench"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return false
+	}
+	return probe.Bench == "failover"
+}
+
+// checkFailover validates a failover-convergence artifact: zero double
+// executions (the at-most-once gate), client progress, and both
+// convergence latencies recorded under the ceiling.
+func checkFailover(path string, maxConvergeMs float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r experiments.FailoverResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	fmt.Printf("failover: %d replicas, %d servers, %d calls (%d failed), %d failovers\n",
+		r.Replicas, r.Servers, r.CallsTotal, r.CallsFailed, r.Failovers)
+	fmt.Printf("server-crash failover %.1f ms, leader-kill convergence %.1f ms (ceiling %.0f ms)\n",
+		r.ServerCrashFailoverMs, r.LeaderKillConvergenceMs, maxConvergeMs)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if r.DoubleExecutions != 0 {
+		fail("%d call ids executed more than once (at-most-once violation)", r.DoubleExecutions)
+	}
+	if r.CallsTotal <= 0 || r.CallsFailed >= r.CallsTotal {
+		fail("no client progress: %d calls, %d failed", r.CallsTotal, r.CallsFailed)
+	}
+	if r.ServerCrashFailoverMs <= 0 || r.ServerCrashFailoverMs > maxConvergeMs {
+		fail("server-crash failover %.1f ms outside (0, %.0f]", r.ServerCrashFailoverMs, maxConvergeMs)
+	}
+	if r.LeaderKillConvergenceMs <= 0 || r.LeaderKillConvergenceMs > maxConvergeMs {
+		fail("leader-kill convergence %.1f ms outside (0, %.0f]", r.LeaderKillConvergenceMs, maxConvergeMs)
 	}
 	fmt.Println("benchcheck: ok")
 }

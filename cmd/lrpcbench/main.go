@@ -2,13 +2,15 @@
 // evaluation on the simulated Firefly, plus the wall-clock throughput
 // rig on the real Go runtime. With no arguments it runs every simulated
 // experiment; otherwise pass any of: table1 figure1 table2 table3 table4
-// table5 figure2 ablations mix workday structure faults throughput.
+// table5 figure2 ablations mix workday structure faults throughput
+// failover.
 //
 //	lrpcbench                 # all simulated experiments
 //	lrpcbench table4 table5   # just Table 4 and Table 5
 //	lrpcbench -cpus 5 -machine microvax figure2
 //	lrpcbench -procs 4 -dur 500ms -json throughput > BENCH_pr2.json
 //	lrpcbench -json shm > BENCH_pr5.json
+//	lrpcbench -json failover > BENCH_pr6.json
 //
 // The shm experiment measures the same three calls (Null, Add, BigIn)
 // through three transports — in-process, shared memory between two OS
@@ -129,6 +131,22 @@ func main() {
 				}
 			} else {
 				fmt.Println(experiments.TransportsTable(r).Render())
+			}
+		case "failover":
+			r, err := experiments.Failover(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrpcbench: failover: %v\n", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.FailoverTable(r).Render())
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "lrpcbench: unknown experiment %q\n", w)

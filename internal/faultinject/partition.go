@@ -1,0 +1,154 @@
+package faultinject
+
+// Partitioner is the network-partition joint for the replicated registry
+// fault schedules: a link-level blocklist over named endpoints. Every
+// dial in the mesh routes through Dial(from, to); a blocked link refuses
+// new connections AND severs the live ones, so a partition takes effect
+// immediately rather than when the next dial happens. Heal restores the
+// link (existing clients redial through their backoff machinery).
+//
+// Endpoints are arbitrary strings — the harness uses "replica-0",
+// "client", "server-a" — so one Partitioner can cut any edge of the
+// mesh: replica↔replica (a registry partition), client↔replica (a
+// stranded client), client↔server (a dead data path).
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrPartitioned reports a dial refused by a blocked link.
+type ErrPartitioned struct{ From, To string }
+
+func (e *ErrPartitioned) Error() string {
+	return fmt.Sprintf("faultinject: link %s->%s partitioned", e.From, e.To)
+}
+
+// Partitioner tracks blocked links and the live connections riding them.
+// Safe for concurrent use.
+type Partitioner struct {
+	mu      sync.Mutex
+	blocked map[[2]string]bool
+	conns   map[[2]string]map[*partConn]struct{}
+	cuts    uint64
+}
+
+// NewPartitioner returns a partitioner with every link healthy.
+func NewPartitioner() *Partitioner {
+	return &Partitioner{
+		blocked: make(map[[2]string]bool),
+		conns:   make(map[[2]string]map[*partConn]struct{}),
+	}
+}
+
+// Dial connects from→addr over TCP, registering the connection under the
+// (from, to) link so a later Block severs it. Blocked links refuse
+// immediately with *ErrPartitioned.
+func (p *Partitioner) Dial(from, to, addr string) (net.Conn, error) {
+	p.mu.Lock()
+	cut := p.blocked[[2]string{from, to}] || p.blocked[[2]string{to, from}]
+	p.mu.Unlock()
+	if cut {
+		return nil, &ErrPartitioned{From: from, To: to}
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return p.track(from, to, conn), nil
+}
+
+// Dialer curries Dial for lrpc dial hooks.
+func (p *Partitioner) Dialer(from, to, addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return p.Dial(from, to, addr) }
+}
+
+// track registers conn under the link, wrapping it so Close deregisters.
+func (p *Partitioner) track(from, to string, conn net.Conn) net.Conn {
+	key := [2]string{from, to}
+	pc := &partConn{Conn: conn, p: p, key: key}
+	p.mu.Lock()
+	if p.blocked[key] || p.blocked[[2]string{to, from}] {
+		// Block raced the dial; honor it.
+		p.mu.Unlock()
+		conn.Close()
+		return pc // reads/writes fail on the closed conn
+	}
+	set := p.conns[key]
+	if set == nil {
+		set = make(map[*partConn]struct{})
+		p.conns[key] = set
+	}
+	set[pc] = struct{}{}
+	p.mu.Unlock()
+	return pc
+}
+
+// Block cuts the link between a and b (both directions): live
+// connections are severed now, new dials refuse until Heal.
+func (p *Partitioner) Block(a, b string) {
+	p.mu.Lock()
+	p.blocked[[2]string{a, b}] = true
+	p.blocked[[2]string{b, a}] = true
+	victims := make([]*partConn, 0)
+	for _, key := range [][2]string{{a, b}, {b, a}} {
+		for pc := range p.conns[key] {
+			victims = append(victims, pc)
+		}
+		delete(p.conns, key)
+	}
+	p.cuts += uint64(len(victims))
+	p.mu.Unlock()
+	for _, pc := range victims {
+		pc.Conn.Close()
+	}
+}
+
+// Isolate cuts every link touching node (its side of a full partition).
+func (p *Partitioner) Isolate(node string, peers ...string) {
+	for _, peer := range peers {
+		p.Block(node, peer)
+	}
+}
+
+// Heal restores the link between a and b; clients redial on their own.
+func (p *Partitioner) Heal(a, b string) {
+	p.mu.Lock()
+	delete(p.blocked, [2]string{a, b})
+	delete(p.blocked, [2]string{b, a})
+	p.mu.Unlock()
+}
+
+// HealAll restores every link.
+func (p *Partitioner) HealAll() {
+	p.mu.Lock()
+	p.blocked = make(map[[2]string]bool)
+	p.mu.Unlock()
+}
+
+// Cuts returns how many live connections Block has severed.
+func (p *Partitioner) Cuts() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts
+}
+
+// partConn deregisters itself from the link table on Close.
+type partConn struct {
+	net.Conn
+	p    *Partitioner
+	key  [2]string
+	once sync.Once
+}
+
+func (c *partConn) Close() error {
+	c.once.Do(func() {
+		c.p.mu.Lock()
+		if set := c.p.conns[c.key]; set != nil {
+			delete(set, c)
+		}
+		c.p.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

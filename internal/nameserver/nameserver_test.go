@@ -2,6 +2,8 @@ package nameserver
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -24,6 +26,30 @@ func TestRegisterLookupUnregister(t *testing.T) {
 	ns.Unregister("fs") // idempotent
 }
 
+// TestErrorSentinels pins both failure modes to errors.Is-able sentinels:
+// callers distinguish "name taken" from "name unknown" without matching
+// error text.
+func TestErrorSentinels(t *testing.T) {
+	ns := New()
+	if err := ns.Register("fs", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := ns.Register("fs", 2)
+	if !errors.Is(err, ErrAlreadyRegistered) {
+		t.Errorf("duplicate Register = %v, want ErrAlreadyRegistered", err)
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Errorf("duplicate Register matches ErrNotFound: %v", err)
+	}
+	_, err = ns.Lookup("nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing Lookup = %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, ErrAlreadyRegistered) {
+		t.Errorf("missing Lookup matches ErrAlreadyRegistered: %v", err)
+	}
+}
+
 func TestNamesSorted(t *testing.T) {
 	ns := New()
 	for _, n := range []string{"zeta", "alpha", "mid"} {
@@ -37,5 +63,44 @@ func TestNamesSorted(t *testing.T) {
 		if names[i] != want[i] {
 			t.Fatalf("Names = %v, want %v", names, want)
 		}
+	}
+}
+
+// TestConcurrentHammer drives Register/Lookup/Unregister/Names from many
+// goroutines at once; under -race this pins the store's synchronization
+// (the pre-mutex map was a data race between clerk goroutines).
+func TestConcurrentHammer(t *testing.T) {
+	ns := New()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("iface-%d", w)
+			for i := 0; i < iters; i++ {
+				if err := ns.Register(name, i); err != nil {
+					t.Errorf("Register(%s): %v", name, err)
+					return
+				}
+				if _, err := ns.Lookup(name); err != nil {
+					t.Errorf("Lookup(%s): %v", name, err)
+					return
+				}
+				// Cross-reads of the neighbors race the writers.
+				other := fmt.Sprintf("iface-%d", (w+1)%workers)
+				if _, err := ns.Lookup(other); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Lookup(%s): %v", other, err)
+					return
+				}
+				_ = ns.Names()
+				ns.Unregister(name)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(ns.Names()); got != 0 {
+		t.Fatalf("store not empty after hammer: %v", ns.Names())
 	}
 }

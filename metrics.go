@@ -95,6 +95,17 @@ const (
 	// staged request (torn or duplicated write); the ring entry was
 	// discarded.
 	TraceShmTornDoorbell
+	// TraceElection: a registry replica won a leader election
+	// (registry.go); Proc carries the replica id and term.
+	TraceElection
+	// TraceLeaseExpire: the registry leader expired a lease whose holder
+	// stopped renewing; the binding was removed from every replica
+	// through the replicated log.
+	TraceLeaseExpire
+	// TraceFailover: a replicated supervisor abandoned one endpoint and
+	// re-imported through another (failover.go); Err carries the failure
+	// that triggered it.
+	TraceFailover
 
 	numTraceKinds
 )
@@ -103,6 +114,7 @@ var traceKindNames = [numTraceKinds]string{
 	"bind", "validate-fail", "stack-wait", "abandon", "panic", "terminate", "reconnect",
 	"shed", "breaker-open", "breaker-close", "rebind", "reap", "write-fail",
 	"shm-bind", "shm-peer-crash", "shm-torn-doorbell",
+	"election", "lease-expire", "failover",
 }
 
 func (k TraceKind) String() string {

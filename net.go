@@ -33,7 +33,10 @@ import (
 //	frame   = u32 length, payload
 //	request = u64 callID, u16 nameLen, name, u32 proc, args
 //	reply   = u64 callID, u8 status, body   (status 0: body = results;
-//	                                         status 1: body = error text)
+//	                                         status 1: body = error text;
+//	                                         status 2: body = error text,
+//	                                         and the server vouches the
+//	                                         handler never ran)
 
 // ErrConnClosed reports a call on a closed network binding, or a call
 // whose connection died after the request may have reached the server
@@ -41,15 +44,51 @@ import (
 // budget.
 var ErrConnClosed = errors.New("lrpc: network connection closed")
 
+// ErrNotSent marks the subset of failures where the request provably
+// never reached the wire: no byte of the frame entered the connection.
+// These are the only transport failures a failover layer may retry
+// against another endpoint without risking double execution (§5.3's
+// at-most-once contract); errors.Is(err, ErrNotSent) is the test.
+// Matching errors still also match their underlying cause (typically
+// ErrConnClosed).
+var ErrNotSent = errors.New("lrpc: request never sent")
+
+// ErrNotExecuted matches remote rejections the server vouches happened
+// before the handler ran — revoked or unknown interfaces, admission
+// overload, A-stack exhaustion (wire status 2). Like ErrNotSent
+// failures, these are safe for a failover layer to retry elsewhere:
+// errors.Is(err, ErrNotExecuted) is the test, and errors.As still
+// yields the *RemoteError carrying the server's text.
+var ErrNotExecuted = errors.New("lrpc: call rejected before execution")
+
+// notSentError brands a transport failure as provably pre-wire. It
+// matches ErrNotSent directly and its cause via Unwrap, so existing
+// errors.Is(err, ErrConnClosed) checks keep working.
+type notSentError struct{ cause error }
+
+func (e *notSentError) Error() string        { return e.cause.Error() }
+func (e *notSentError) Unwrap() error        { return e.cause }
+func (e *notSentError) Is(target error) bool { return target == ErrNotSent }
+
+func notSent(cause error) error { return &notSentError{cause: cause} }
+
 // RemoteError is an error the remote side reported in its reply: the
-// request crossed the wire, a handler (or the server's dispatch) failed,
-// and the failure text came back. Because a reply was received, the peer
-// is provably alive — the circuit breaker counts RemoteError as success.
+// request crossed the wire, the server rejected or failed it, and the
+// failure text came back. Because a reply was received, the peer is
+// provably alive — the circuit breaker counts RemoteError as success.
 type RemoteError struct {
 	Msg string // the remote error text, verbatim
+	// NotExecuted records the server's vouch (wire status 2) that the
+	// rejection happened before the handler ran.
+	NotExecuted bool
 }
 
 func (e *RemoteError) Error() string { return "lrpc: remote: " + e.Msg }
+
+// Is lets errors.Is(err, ErrNotExecuted) see through the wrapper.
+func (e *RemoteError) Is(target error) bool {
+	return target == ErrNotExecuted && e.NotExecuted
+}
 
 // maxFrame bounds a single network frame.
 const maxFrame = MaxOOBSize + 1024
@@ -94,6 +133,72 @@ func (s *System) ServeNetworkOpts(l net.Listener, opts ServeOptions) error {
 	}
 }
 
+// trackedListener wraps a listener and remembers every accepted
+// connection so an in-process shutdown can sever them. Closing a bare
+// listener only stops NEW connections: the serve goroutines on accepted
+// conns keep answering, so to a peer the "stopped" server looks alive —
+// its client never redials and never reaches the restarted instance.
+// CloseAll makes an embedded stop indistinguishable from process death.
+type trackedListener struct {
+	net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	sealed bool
+}
+
+func newTrackedListener(l net.Listener) *trackedListener {
+	return &trackedListener{Listener: l, conns: make(map[net.Conn]struct{})}
+}
+
+func (t *trackedListener) Accept() (net.Conn, error) {
+	conn, err := t.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.sealed {
+		t.mu.Unlock()
+		conn.Close() // raced CloseAll; the serve loop sees EOF at once
+		return &trackedConn{Conn: conn, l: t}, nil
+	}
+	t.conns[conn] = struct{}{}
+	t.mu.Unlock()
+	return &trackedConn{Conn: conn, l: t}, nil
+}
+
+// CloseAll severs every accepted connection and refuses to track new
+// ones. It does not close the listener itself.
+func (t *trackedListener) CloseAll() {
+	t.mu.Lock()
+	t.sealed = true
+	victims := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		victims = append(victims, c)
+	}
+	t.conns = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// trackedConn deregisters from its listener when the serve loop closes
+// it, so the tracking table does not grow with connection churn.
+type trackedConn struct {
+	net.Conn
+	l    *trackedListener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() {
+		c.l.mu.Lock()
+		delete(c.l.conns, c.Conn)
+		c.l.mu.Unlock()
+	})
+	return c.Conn.Close()
+}
+
 func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 	// closing is the close signal to in-flight handlers: once the read
 	// side has failed the connection is dead, and a handler finishing
@@ -127,7 +232,9 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		if !ok {
 			nb, err := s.Import(name)
 			if err != nil {
-				reply(name, callID, 1, []byte(err.Error()))
+				// The call never dispatched: vouch for non-execution so a
+				// failover layer may retry it elsewhere.
+				reply(name, callID, 2, []byte(err.Error()))
 				continue
 			}
 			bindings[name] = nb
@@ -148,7 +255,7 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 			default:
 			}
 			if err != nil {
-				reply(name, callID, 1, []byte(err.Error()))
+				reply(name, callID, rejectStatus(err), []byte(err.Error()))
 				return
 			}
 			reply(name, callID, 0, res)
@@ -157,6 +264,20 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 	close(closing)
 	closeOnce.Do(func() { conn.Close() }) // unblock any handler mid-write
 	wg.Wait()
+}
+
+// rejectStatus classifies a dispatch failure for the wire: rejections
+// the run-time raises before a handler runs — revoked binding, admission
+// overload, A-stack exhaustion — earn status 2 (the server's vouch of
+// non-execution); anything else, notably ErrCallFailed from a handler
+// that crashed mid-run, stays status 1 because the handler may have had
+// side effects.
+func rejectStatus(err error) byte {
+	if errors.Is(err, ErrRevoked) || errors.Is(err, ErrNotExported) ||
+		errors.Is(err, ErrOverload) || errors.Is(err, ErrNoAStacks) {
+		return 2
+	}
+	return 1
 }
 
 // DialOptions tunes a NetClient. The zero value selects defaults.
@@ -633,7 +754,7 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 	select {
 	case c.sem <- struct{}{}:
 	case <-c.closedCh:
-		return nil, ErrConnClosed
+		return nil, notSent(ErrConnClosed)
 	case <-ctx.Done():
 		c.timeouts.Add(1)
 		return nil, timeoutError(ctx.Err())
@@ -645,15 +766,18 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 		if err != nil {
 			if errors.Is(err, ErrCallTimeout) {
 				c.timeouts.Add(1)
+				return nil, err
 			}
-			return nil, err
+			// getConn failures happen strictly before any write: this
+			// call's frame never touched a connection.
+			return nil, notSent(err)
 		}
 
 		p := &pendingCall{ch: make(chan netReply, 1), gen: gen}
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			return nil, ErrConnClosed
+			return nil, notSent(ErrConnClosed)
 		}
 		c.nextID++
 		id := c.nextID
@@ -686,7 +810,7 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 			}
 			if reply.status != 0 {
 				c.failures.Add(1)
-				return nil, &RemoteError{Msg: string(reply.body)}
+				return nil, &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2}
 			}
 			return reply.body, nil
 		case <-ctx.Done():
@@ -702,8 +826,8 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 			return nil, ErrConnClosed
 		}
 	}
-	return nil, fmt.Errorf("%w: request could not be sent after %d attempts",
-		ErrConnClosed, c.opts.RedialAttempts)
+	return nil, notSent(fmt.Errorf("%w: request could not be sent after %d attempts",
+		ErrConnClosed, c.opts.RedialAttempts))
 }
 
 // writeRequest frames and writes one request as a single Write call, so
@@ -806,6 +930,19 @@ func (tb *TransparentBinding) CallContext(ctx context.Context, proc int, args []
 		return tb.shm.CallContext(ctx, proc, args)
 	}
 	return tb.remote.CallContext(ctx, proc, args)
+}
+
+// Close releases the transport behind the binding: the shm session or
+// TCP connection is closed; a purely local binding holds no transport
+// resources and is left to the export's lifecycle.
+func (tb *TransparentBinding) Close() error {
+	if tb.shm != nil {
+		return tb.shm.Close()
+	}
+	if tb.remote != nil {
+		return tb.remote.Close()
+	}
+	return nil
 }
 
 // --- framing ---

@@ -1,0 +1,530 @@
+package lrpc
+
+// Client side of the replicated registry plane: a leader-following
+// RegistryClient for registry operations, a lease-renewing Announcement
+// that servers keep alive for as long as they serve, and the NetServer
+// wrapper that wires announcement into the TCP export path (ShmServer
+// gains the matching Announce in shm.go). The clerk of §3.1 talked to
+// one name server; these talk to whichever replica is alive.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RegistryClientOpts tunes a RegistryClient. The zero value works.
+type RegistryClientOpts struct {
+	// CallTimeout bounds each per-replica RPC. 0 selects 500ms.
+	CallTimeout time.Duration
+	// OpTimeout bounds a whole operation across redirects, replica
+	// sweeps, and election waits. 0 selects 5s.
+	OpTimeout time.Duration
+	// SweepPause separates full sweeps of the replica set while an
+	// election settles. 0 selects 25ms.
+	SweepPause time.Duration
+	// Dial overrides how replica connections are made — the
+	// fault-injection joint.
+	Dial func(addr string) (net.Conn, error)
+	// Seed seeds redial jitter; 0 selects a random seed.
+	Seed int64
+}
+
+func (o *RegistryClientOpts) fill() {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 500 * time.Millisecond
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 5 * time.Second
+	}
+	if o.SweepPause <= 0 {
+		o.SweepPause = 25 * time.Millisecond
+	}
+}
+
+// RegistryClient performs registry operations against a replica set:
+// writes chase the leader (following not-leader hints), reads accept any
+// replica's applied state. All methods are safe for concurrent use.
+type RegistryClient struct {
+	addrs []string
+	opts  RegistryClientOpts
+
+	mu      sync.Mutex
+	clients map[string]*NetClient
+	pref    int // replica that last answered as leader
+	closed  bool
+}
+
+// NewRegistryClient builds a client for the replica set at addrs.
+func NewRegistryClient(addrs []string, opts RegistryClientOpts) *RegistryClient {
+	opts.fill()
+	return &RegistryClient{
+		addrs:   append([]string(nil), addrs...),
+		opts:    opts,
+		clients: make(map[string]*NetClient),
+	}
+}
+
+// Addrs returns the configured replica addresses.
+func (rc *RegistryClient) Addrs() []string { return append([]string(nil), rc.addrs...) }
+
+// Close drops every replica connection. In-flight operations fail over
+// to ErrRegistryUnavailable.
+func (rc *RegistryClient) Close() error {
+	rc.mu.Lock()
+	rc.closed = true
+	cs := make([]*NetClient, 0, len(rc.clients))
+	for _, c := range rc.clients {
+		cs = append(cs, c)
+	}
+	rc.clients = make(map[string]*NetClient)
+	rc.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+	return nil
+}
+
+func (rc *RegistryClient) client(addr string) (*NetClient, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil, ErrConnClosed
+	}
+	if c, ok := rc.clients[addr]; ok {
+		return c, nil
+	}
+	dial := rc.opts.Dial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	c, err := NewReconnectingClient(RegistryInterfaceName, DialOptions{
+		Dial:           func() (net.Conn, error) { return dial(addr) },
+		MaxInFlight:    8,
+		CallTimeout:    rc.opts.CallTimeout,
+		WriteTimeout:   rc.opts.CallTimeout,
+		RedialAttempts: 1,
+		BackoffInitial: 2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Seed:           rc.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rc.clients[addr] = c
+	return c, nil
+}
+
+// sweepOrder returns replica indices, preferred (last known leader)
+// first.
+func (rc *RegistryClient) sweepOrder() []int {
+	rc.mu.Lock()
+	pref := rc.pref
+	rc.mu.Unlock()
+	order := make([]int, 0, len(rc.addrs))
+	for i := range rc.addrs {
+		order = append(order, (pref+i)%len(rc.addrs))
+	}
+	return order
+}
+
+func (rc *RegistryClient) setPref(i int) {
+	rc.mu.Lock()
+	rc.pref = i
+	rc.mu.Unlock()
+}
+
+func (rc *RegistryClient) addrIndex(addr string) int {
+	for i, a := range rc.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// op drives one registry operation to completion: call the preferred
+// replica, follow not-leader hints, sweep the rest, pause for elections,
+// repeat until the budget runs out. anyReplica marks read operations
+// whose regErrReply answers are only authoritative once every reachable
+// replica agrees (a lagging follower may not have applied a name yet).
+func (rc *RegistryClient) op(proc int, req []byte, anyReplica bool) ([]byte, error) {
+	deadline := time.Now().Add(rc.opts.OpTimeout)
+	var lastErr error
+	for {
+		var softReply []byte // notFound answer pending cluster agreement
+		order := rc.sweepOrder()
+		for k := 0; k < len(order); k++ {
+			i := order[k]
+			body, err := rc.callReplica(i, proc, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if len(body) < 1 {
+				lastErr = fmt.Errorf("lrpc: registry %s: empty reply", rc.addrs[i])
+				continue
+			}
+			switch body[0] {
+			case regOK:
+				rc.setPref(i)
+				return body[1:], nil
+			case regNotLeader:
+				rd := newRegReader(body[1:])
+				hint := rd.str()
+				lastErr = fmt.Errorf("%w (replica %s)", ErrNotLeader, rc.addrs[i])
+				if j := rc.addrIndex(hint); j >= 0 && k+1 < len(order) && order[k+1] != j {
+					// Chase the hint next instead of sweeping in order.
+					for m := k + 1; m < len(order); m++ {
+						if order[m] == j {
+							order[k+1], order[m] = order[m], order[k+1]
+							break
+						}
+					}
+				}
+			case regErrReply:
+				rd := newRegReader(body[1:])
+				code := rd.u8()
+				msg := rd.str()
+				err := regErrFromCode(code, msg)
+				if anyReplica && code == regErrNotFound {
+					softReply = body
+					lastErr = err
+					continue // another replica may be further ahead
+				}
+				return nil, err
+			default:
+				lastErr = fmt.Errorf("lrpc: registry %s: unknown reply status %d", rc.addrs[i], body[0])
+			}
+		}
+		if softReply != nil {
+			// Every reachable replica answered, none had the name.
+			return nil, lastErr
+		}
+		if !time.Now().Add(rc.opts.SweepPause).Before(deadline) {
+			if lastErr == nil {
+				lastErr = errors.New("lrpc: registry operation timed out")
+			}
+			return nil, fmt.Errorf("%w: %w", ErrRegistryUnavailable, lastErr)
+		}
+		time.Sleep(rc.opts.SweepPause)
+	}
+}
+
+func (rc *RegistryClient) callReplica(i, proc int, req []byte) ([]byte, error) {
+	c, err := rc.client(rc.addrs[i])
+	if err != nil {
+		return nil, err
+	}
+	return c.Call(proc, req)
+}
+
+func regErrFromCode(code byte, msg string) error {
+	switch code {
+	case regErrLeaseExpired:
+		return fmt.Errorf("%w: %s", ErrLeaseExpired, msg)
+	case regErrNotFound:
+		return fmt.Errorf("%w: %s", ErrNoSuchName, msg)
+	default:
+		return fmt.Errorf("lrpc: registry error: %s", msg)
+	}
+}
+
+// Register binds name to eps cluster-wide under a fresh lease with the
+// given TTL (0 disables expiry) and returns the lease id.
+func (rc *RegistryClient) Register(name string, ttl time.Duration, eps ...Endpoint) (uint64, error) {
+	var w regWriter
+	w.str(name)
+	w.u64(uint64(ttl))
+	w.eps(eps)
+	body, err := rc.op(regProcRegister, w.b, false)
+	if err != nil {
+		return 0, err
+	}
+	rd := newRegReader(body)
+	lease := rd.u64()
+	if rd.bad {
+		return 0, errors.New("lrpc: malformed register reply")
+	}
+	return lease, nil
+}
+
+// Unregister withdraws the lease's binding cluster-wide.
+func (rc *RegistryClient) Unregister(name string, lease uint64) error {
+	var w regWriter
+	w.str(name)
+	w.u64(lease)
+	_, err := rc.op(regProcUnregister, w.b, false)
+	return err
+}
+
+// Renew extends the lease's TTL from now. ErrLeaseExpired means the
+// cluster already expired it; the holder must re-register.
+func (rc *RegistryClient) Renew(name string, lease uint64) error {
+	var w regWriter
+	w.str(name)
+	w.u64(lease)
+	_, err := rc.op(regProcRenew, w.b, false)
+	return err
+}
+
+// Resolve returns every live endpoint registered under name, in
+// registration order. Any replica's applied state may answer;
+// ErrNoSuchName is returned only after every reachable replica agreed.
+func (rc *RegistryClient) Resolve(name string) ([]Endpoint, error) {
+	var w regWriter
+	w.str(name)
+	body, err := rc.op(regProcResolve, w.b, true)
+	if err != nil {
+		return nil, err
+	}
+	rd := newRegReader(body)
+	eps := rd.eps()
+	if rd.bad {
+		return nil, errors.New("lrpc: malformed resolve reply")
+	}
+	return eps, nil
+}
+
+// ReplicaStatus queries one replica directly (no leader chase) — the
+// convergence probe used by fault harnesses and the failover bench.
+func (rc *RegistryClient) ReplicaStatus(addr string) (*RegistryStatus, error) {
+	i := rc.addrIndex(addr)
+	if i < 0 {
+		return nil, fmt.Errorf("lrpc: %q is not a configured registry replica", addr)
+	}
+	body, err := rc.callReplica(i, regProcStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 || body[0] != regOK {
+		return nil, fmt.Errorf("lrpc: registry %s: bad status reply", addr)
+	}
+	rd := newRegReader(body[1:])
+	blob := rd.blob()
+	if rd.bad {
+		return nil, errors.New("lrpc: malformed status reply")
+	}
+	var st RegistryStatus
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// --- lease-renewing announcements ---
+
+// Announcement keeps one service registration alive: it renews the
+// lease on a heartbeat (TTL/3), and if the cluster expired the lease
+// while we were partitioned from every leader, it re-registers under a
+// fresh one. Servers hold an Announcement for as long as they serve and
+// Close it on shutdown (explicit withdrawal beats waiting out the TTL).
+type Announcement struct {
+	rc   *RegistryClient
+	name string
+	ttl  time.Duration
+	eps  []Endpoint
+
+	mu     sync.Mutex
+	lease  uint64
+	closed bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	renews      atomic.Uint64
+	reregisters atomic.Uint64
+}
+
+// AnnounceEndpoint registers name→eps with a TTL and starts the renewal
+// heartbeat. The initial registration is synchronous: an error means
+// nothing was announced.
+func AnnounceEndpoint(rc *RegistryClient, name string, ttl time.Duration, eps ...Endpoint) (*Announcement, error) {
+	if ttl <= 0 {
+		return nil, errors.New("lrpc: announcement TTL must be positive")
+	}
+	lease, err := rc.Register(name, ttl, eps...)
+	if err != nil {
+		return nil, err
+	}
+	a := &Announcement{
+		rc:     rc,
+		name:   name,
+		ttl:    ttl,
+		eps:    append([]Endpoint(nil), eps...),
+		lease:  lease,
+		stopCh: make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.renewLoop()
+	return a, nil
+}
+
+// Lease returns the current lease id (it changes if an expired lease
+// forced a re-registration).
+func (a *Announcement) Lease() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lease
+}
+
+// Renews returns how many successful heartbeat renewals have run.
+func (a *Announcement) Renews() uint64 { return a.renews.Load() }
+
+// Reregisters returns how many times an expired lease forced a fresh
+// registration.
+func (a *Announcement) Reregisters() uint64 { return a.reregisters.Load() }
+
+// Close stops the heartbeat and withdraws the registration.
+func (a *Announcement) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	lease := a.lease
+	a.mu.Unlock()
+	close(a.stopCh)
+	a.wg.Wait()
+	return a.rc.Unregister(a.name, lease)
+}
+
+func (a *Announcement) renewLoop() {
+	defer a.wg.Done()
+	period := a.ttl / 3
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stopCh:
+			return
+		case <-t.C:
+		}
+		a.mu.Lock()
+		lease := a.lease
+		closed := a.closed
+		a.mu.Unlock()
+		if closed {
+			return
+		}
+		err := a.rc.Renew(a.name, lease)
+		switch {
+		case err == nil:
+			a.renews.Add(1)
+		case errors.Is(err, ErrLeaseExpired):
+			// The cluster gave us up for dead; claim a fresh lease.
+			nl, rerr := a.rc.Register(a.name, a.ttl, a.eps...)
+			if rerr != nil {
+				continue // registry unreachable; next tick retries
+			}
+			a.reregisters.Add(1)
+			a.mu.Lock()
+			if a.closed {
+				// Lost the race with Close: withdraw the fresh lease too.
+				a.mu.Unlock()
+				_ = a.rc.Unregister(a.name, nl)
+				return
+			}
+			a.lease = nl
+			a.mu.Unlock()
+		default:
+			// Transient (election, partition): the TTL grace absorbs it.
+		}
+	}
+}
+
+// --- NetServer: the TCP export path with announcement wired in ---
+
+// NetServer bundles a System with its TCP listener — the network-plane
+// analogue of ShmServer — so servers can export, serve, and announce in
+// one place. Announce registers the server's address in the replicated
+// registry and keeps the lease renewed; Close withdraws it.
+type NetServer struct {
+	sys *System
+	ln  net.Listener
+
+	mu   sync.Mutex
+	anns []*Announcement
+
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// StartNetServer listens on addr (e.g. "127.0.0.1:0") and serves sys's
+// exported interfaces over TCP in the background.
+func StartNetServer(sys *System, addr string, opts ServeOptions) (*NetServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ServeNetServer(sys, ln, opts), nil
+}
+
+// ServeNetServer serves sys on an existing listener in the background.
+func ServeNetServer(sys *System, ln net.Listener, opts ServeOptions) *NetServer {
+	// Track accepted conns so Close can sever them — an embedded server
+	// shutdown must kill in-flight connections like a process exit would,
+	// or remote clients keep waiting on a zombie instead of failing over.
+	tl := newTrackedListener(ln)
+	ns := &NetServer{sys: sys, ln: tl, done: make(chan struct{})}
+	go func() {
+		defer close(ns.done)
+		_ = sys.ServeNetworkOpts(tl, opts)
+	}()
+	return ns
+}
+
+// Addr returns the listener's address.
+func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
+
+// System returns the served System.
+func (ns *NetServer) System() *System { return ns.sys }
+
+// Announce registers name→this server's TCP address in the replicated
+// registry under a lease with the given TTL and keeps it renewed until
+// the server closes. Extra endpoints (e.g. the same server's shm socket)
+// ride along in the same registration.
+func (ns *NetServer) Announce(rc *RegistryClient, name string, ttl time.Duration, extra ...Endpoint) (*Announcement, error) {
+	if ns.closed.Load() {
+		return nil, ErrConnClosed
+	}
+	eps := append([]Endpoint{{Plane: PlaneTCP, Addr: ns.Addr()}}, extra...)
+	a, err := AnnounceEndpoint(rc, name, ttl, eps...)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	ns.anns = append(ns.anns, a)
+	ns.mu.Unlock()
+	return a, nil
+}
+
+// Close withdraws every announcement, then stops the listener. The
+// withdraw-first order means clients resolving during shutdown stop
+// seeing this server before its port goes dark.
+func (ns *NetServer) Close() error {
+	if !ns.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ns.mu.Lock()
+	anns := ns.anns
+	ns.anns = nil
+	ns.mu.Unlock()
+	for _, a := range anns {
+		_ = a.Close()
+	}
+	err := ns.ln.Close()
+	if tl, ok := ns.ln.(*trackedListener); ok {
+		tl.CloseAll()
+	}
+	<-ns.done
+	return err
+}
