@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmtcheck vet build test race stress shmtest haftest bench benchjson benchjson5 benchjson6 benchcheck fuzz staticcheck vulncheck
+.PHONY: ci fmtcheck vet build test race stress shmtest haftest bench benchjson benchjson5 benchjson6 benchjson7 benchcheck fuzz staticcheck vulncheck
 
 # Formatting, vet, static analysis, build, tests (plain and -race), then
 # the perf gates: the whole merge bar in one command. The gates check the
@@ -103,11 +103,19 @@ benchjson5:
 benchjson6:
 	$(GO) run ./cmd/lrpcbench -json failover > BENCH_pr6.json
 
+# Regenerate the batched-submission artifact: amortized Null latency at
+# batch sizes 1/8/64 plus the pipelined dependent chain, across
+# in-process, shared-memory, and TCP loopback.
+benchjson7:
+	$(GO) run ./cmd/lrpcbench -json batch > BENCH_pr7.json
+
 # Fail if the Null latency regressed >10% against the recorded baseline,
-# if the recorded shm-vs-TCP Null speedup is under its 5x floor, or if
-# the failover artifact records a double execution or an off-scale
-# convergence time.
+# if the recorded shm-vs-TCP Null speedup is under its 5x floor, if the
+# failover artifact records a double execution or an off-scale
+# convergence time, or if batch-64 shm submission amortizes to less than
+# 3x the per-call latency.
 benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr4.json
 	$(GO) run ./cmd/benchcheck BENCH_pr5.json
 	$(GO) run ./cmd/benchcheck BENCH_pr6.json
+	$(GO) run ./cmd/benchcheck BENCH_pr7.json

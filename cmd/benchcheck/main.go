@@ -19,9 +19,17 @@
 // progress, and both convergence latencies must be present and under a
 // generous ceiling.
 //
+// A one-argument artifact whose "bench" field reads "batch" (as written
+// by `lrpcbench -json batch`, see BENCH_pr7.json) is checked as a
+// batched-submission record: every swept point must carry a positive
+// latency, and when the shm transport is present its batch-64 amortized
+// Null must beat the per-call shm Null by the -min-batch-speedup floor
+// — the PR-7 acceptance gate for doorbell batching.
+//
 //	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
 //	benchcheck [-min-shm-speedup 5] TRANSPORTS.json
 //	benchcheck [-max-converge-ms 30000] FAILOVER.json
+//	benchcheck [-min-batch-speedup 3] BATCH.json
 package main
 
 import (
@@ -37,12 +45,16 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 10, "maximum allowed Null ns/op regression, percent")
 	minShmSpeedup := flag.Float64("min-shm-speedup", 5, "minimum shm-vs-TCP Null speedup for a transports artifact")
 	maxConvergeMs := flag.Float64("max-converge-ms", 30000, "maximum failover/leader-kill convergence for a failover artifact, ms")
+	minBatchSpeedup := flag.Float64("min-batch-speedup", 3, "minimum per-call-vs-batched shm Null speedup for a batch artifact")
 	flag.Parse()
 	switch flag.NArg() {
 	case 1:
-		if isFailoverArtifact(flag.Arg(0)) {
+		switch benchKind(flag.Arg(0)) {
+		case "failover":
 			checkFailover(flag.Arg(0), *maxConvergeMs)
-		} else {
+		case "batch":
+			checkBatch(flag.Arg(0), *minBatchSpeedup)
+		default:
 			checkTransports(flag.Arg(0), *minShmSpeedup)
 		}
 		return
@@ -141,20 +153,76 @@ func checkTransports(path string, minSpeedup float64) {
 	fmt.Println("benchcheck: ok")
 }
 
-// isFailoverArtifact sniffs the "bench" discriminator so one-argument
-// invocations route to the right validator.
-func isFailoverArtifact(path string) bool {
+// benchKind sniffs the "bench" discriminator so one-argument
+// invocations route to the right validator. Errors return "" — the
+// fallback validator reports them.
+func benchKind(path string) string {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return false // the real validator will report the read error
+		return ""
 	}
 	var probe struct {
 		Bench string `json:"bench"`
 	}
 	if err := json.Unmarshal(blob, &probe); err != nil {
-		return false
+		return ""
 	}
-	return probe.Bench == "failover"
+	return probe.Bench
+}
+
+// checkBatch validates a batched-submission artifact: every swept point
+// and pipeline row must carry positive latencies, and when the shm
+// transport is present the per-call-over-batched Null speedup must
+// clear the floor. Artifacts recorded on hosts without the shm plane
+// (no shm rows, speedup zero) pass with a notice, matching the
+// transports gate's platform policy.
+func checkBatch(path string, minSpeedup float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r experiments.BatchResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(r.Points) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no batch points recorded\n", path)
+		os.Exit(2)
+	}
+	hasShm := false
+	for _, p := range r.Points {
+		if p.NullNsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %s batch %d has a non-positive latency\n",
+				path, p.Transport, p.BatchSize)
+			os.Exit(1)
+		}
+		if p.Transport == "shm" {
+			hasShm = true
+		}
+		fmt.Printf("%-8s batch %-3d Null %.0f ns/op\n", p.Transport, p.BatchSize, p.NullNsPerOp)
+	}
+	for _, p := range r.Pipeline {
+		if p.SequentialNsPerChain <= 0 || p.BatchedNsPerChain <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %s pipeline has a non-positive latency\n",
+				path, p.Transport)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s pipeline depth %d: sequential %.0f ns, batched %.0f ns (%.2fx)\n",
+			p.Transport, p.Depth, p.SequentialNsPerChain, p.BatchedNsPerChain, p.Speedup)
+	}
+	if !hasShm {
+		fmt.Println("benchcheck: ok (no shm rows; platform without the shm plane)")
+		return
+	}
+	fmt.Printf("shm batch amortization: %.2fx (floor %.1fx)\n", r.ShmBatchSpeedup, minSpeedup)
+	if r.ShmBatchSpeedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm batch speedup %.2fx below floor %.1fx\n",
+			r.ShmBatchSpeedup, minSpeedup)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
 }
 
 // checkFailover validates a failover-convergence artifact: zero double

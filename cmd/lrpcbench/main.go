@@ -3,7 +3,7 @@
 // rig on the real Go runtime. With no arguments it runs every simulated
 // experiment; otherwise pass any of: table1 figure1 table2 table3 table4
 // table5 figure2 ablations mix workday structure faults throughput
-// failover.
+// failover batch.
 //
 //	lrpcbench                 # all simulated experiments
 //	lrpcbench table4 table5   # just Table 4 and Table 5
@@ -11,6 +11,11 @@
 //	lrpcbench -procs 4 -dur 500ms -json throughput > BENCH_pr2.json
 //	lrpcbench -json shm > BENCH_pr5.json
 //	lrpcbench -json failover > BENCH_pr6.json
+//	lrpcbench -json batch > BENCH_pr7.json
+//
+// The batch experiment sweeps batched submission (amortized Null ns/op
+// at batch sizes 1/8/64) and the pipelined dependent chain across the
+// same three transports, reusing the shm experiment's server child.
 //
 // The shm experiment measures the same three calls (Null, Add, BigIn)
 // through three transports — in-process, shared memory between two OS
@@ -132,6 +137,23 @@ func main() {
 			} else {
 				fmt.Println(experiments.TransportsTable(r).Render())
 			}
+		case "batch":
+			r, err := runBatchBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrpcbench: batch: %v\n", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.BatchTable(r).Render())
+				fmt.Println(experiments.PipelineTable(r).Render())
+			}
 		case "failover":
 			r, err := experiments.Failover(*seed)
 			if err != nil {
@@ -153,6 +175,110 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// runBatchBench is the parent role of the batch experiment: the same
+// three transports as runTransportBench (re-execing this binary as the
+// serving process for shm and TCP), swept over batch sizes and the
+// pipelined dependent chain. The shm session dials with a slot count
+// covering the deepest batch so staging never blocks on the pairwise
+// allocation inside the measurement loop.
+func runBatchBench() (experiments.BatchResult, error) {
+	var points []experiments.BatchPoint
+	var pipeline []experiments.PipelinePoint
+	measure := func(name string, c experiments.AsyncClient) error {
+		ps, err := experiments.MeasureBatch(name, c)
+		if err != nil {
+			return err
+		}
+		points = append(points, ps...)
+		pp, err := experiments.MeasurePipeline(name, c, experiments.PipelineDepth)
+		if err != nil {
+			return err
+		}
+		pipeline = append(pipeline, pp)
+		return nil
+	}
+
+	// In-process reference: one dispatch pass per flush, no boundary.
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(experiments.TransportInterface()); err != nil {
+		return experiments.BatchResult{}, err
+	}
+	b, err := sys.Import("Transport")
+	if err != nil {
+		return experiments.BatchResult{}, err
+	}
+	if err := measure("inproc", b); err != nil {
+		return experiments.BatchResult{}, err
+	}
+
+	// Server process: a real protection domain on the other side.
+	exe, err := os.Executable()
+	if err != nil {
+		return experiments.BatchResult{}, err
+	}
+	dir, err := os.MkdirTemp("", "lrpcbench-batch-")
+	if err != nil {
+		return experiments.BatchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "bench.sock")
+
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), lrpcbenchShmChild+"=1", lrpcbenchShmSock+"="+sock)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return experiments.BatchResult{}, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return experiments.BatchResult{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return experiments.BatchResult{}, err
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		return experiments.BatchResult{}, fmt.Errorf("server handshake: %w", err)
+	}
+	tcpAddr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "READY"))
+	if tcpAddr == "" {
+		return experiments.BatchResult{}, fmt.Errorf("server handshake: %q", line)
+	}
+
+	maxBatch := experiments.BatchSizes[len(experiments.BatchSizes)-1]
+	if c, err := lrpc.DialShmOpts(sock, "Transport", lrpc.ShmDialOptions{
+		Slots: maxBatch, Spin: 8192,
+	}); err != nil {
+		if !errors.Is(err, lrpc.ErrShmUnsupported) {
+			return experiments.BatchResult{}, fmt.Errorf("dial shm: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "lrpcbench: shm transport unsupported on this platform; omitting row")
+	} else {
+		err := measure("shm", c)
+		c.Close()
+		if err != nil {
+			return experiments.BatchResult{}, err
+		}
+	}
+
+	nc, err := lrpc.DialInterface("tcp", tcpAddr, "Transport")
+	if err != nil {
+		return experiments.BatchResult{}, fmt.Errorf("dial tcp: %w", err)
+	}
+	err = measure("tcp", nc)
+	nc.Close()
+	if err != nil {
+		return experiments.BatchResult{}, err
+	}
+
+	return experiments.FinishBatchResult(points, pipeline), nil
 }
 
 // runTransportServer is the child role of the shm experiment: one

@@ -351,3 +351,152 @@ func waitCond(t *testing.T, cond func() bool) {
 		time.Sleep(200 * time.Microsecond)
 	}
 }
+
+// TestAsyncOverloadShedding pins admission control on the asynchronous
+// plane: submissions count against MaxConcurrent at submit time and
+// shed with ErrOverload — through the future — before consuming a Call
+// record or A-stack, and priority eviction applies among queued async
+// calls exactly as it does among parked synchronous callers.
+func TestAsyncOverloadShedding(t *testing.T) {
+	sys := lrpc.NewSystem()
+	sys.EnableMetrics()
+	sched := New(1, Config{HoldFirst: 2})
+	sys.SetFaultInjector(sched)
+
+	e, err := sys.Export(&lrpc.Interface{Name: "Work", Procs: []lrpc.Proc{{
+		Name: "Do", AStackSize: 16, NumAStacks: 8,
+		Handler: func(c *lrpc.Call) { c.ResultsBuf(0) },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetAdmission(lrpc.AdmissionConfig{MaxConcurrent: 2, MaxQueue: 1})
+	b, err := sys.Import("Work")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the cap with two async submissions; their dispatches hold.
+	var held [2]*lrpc.Future
+	for i := range held {
+		f, err := b.CallAsync(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = f
+	}
+	waitActive(t, e, 2)
+
+	// (a) An over-deadline async submission sheds before queueing: the
+	// returned future resolves ErrOverload without touching a Call
+	// record or A-stack.
+	f, err := b.CallAsyncOpts(0, nil, lrpc.CallOpts{
+		Deadline: time.Now().Add(-time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); !errors.Is(err, lrpc.ErrOverload) {
+		t.Fatalf("over-deadline async = %v, want ErrOverload", err)
+	}
+
+	// (b) Priority eviction among queued async calls: a low-priority
+	// submission parks in the single queue slot; a high-priority one
+	// evicts it. The evicted future resolves ErrOverload, the high one
+	// completes once the held dispatches release.
+	low, err := b.CallAsyncOpts(0, nil, lrpc.CallOpts{Priority: lrpc.PriorityLow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitQueued(t, e, 1)
+	high, err := b.CallAsyncOpts(0, nil, lrpc.CallOpts{Priority: lrpc.PriorityHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := low.Wait(); !errors.Is(err, lrpc.ErrOverload) {
+		t.Fatalf("evicted low-priority async = %v, want ErrOverload", err)
+	}
+	sched.Release()
+	for i, f := range held {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("held async %d: %v", i, err)
+		}
+	}
+	if _, err := high.Wait(); err != nil {
+		t.Fatalf("high-priority async after release: %v", err)
+	}
+
+	// (c) Both sheds are accounted like synchronous ones.
+	const wantSheds = 2
+	if got := e.Sheds(); got != wantSheds {
+		t.Errorf("export Sheds = %d, want %d", got, wantSheds)
+	}
+	waitActive(t, e, 0)
+	if n := b.Outstanding(); n != 0 {
+		t.Errorf("%d A-stacks leaked", n)
+	}
+}
+
+// TestBatchOverloadShedding drives a staged batch into a full export
+// with no queue: every entry sheds with ErrOverload — surfaced both by
+// Batch.Wait and per entry — and the batch stays reusable afterwards.
+func TestBatchOverloadShedding(t *testing.T) {
+	sys := lrpc.NewSystem()
+	sched := New(1, Config{HoldFirst: 2})
+	sys.SetFaultInjector(sched)
+
+	e, err := sys.Export(&lrpc.Interface{Name: "Work", Procs: []lrpc.Proc{{
+		Name: "Do", AStackSize: 16, NumAStacks: 8,
+		Handler: func(c *lrpc.Call) { c.ResultsBuf(0) },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetAdmission(lrpc.AdmissionConfig{MaxConcurrent: 2, MaxQueue: 0})
+	b, err := sys.Import("Work")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var heldWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		heldWG.Add(1)
+		go func() {
+			defer heldWG.Done()
+			if _, err := b.Call(0, nil); err != nil {
+				t.Errorf("held call resolved %v", err)
+			}
+		}()
+	}
+	waitActive(t, e, 2)
+
+	bt := b.NewBatch()
+	const staged = 3
+	for i := 0; i < staged; i++ {
+		if _, err := bt.Call(0, nil); err != nil {
+			t.Fatalf("stage %d: %v", i, err)
+		}
+	}
+	if err := bt.Wait(); !errors.Is(err, lrpc.ErrOverload) {
+		t.Fatalf("batch against full export = %v, want ErrOverload", err)
+	}
+	for i := 0; i < staged; i++ {
+		if _, err := bt.Result(i); !errors.Is(err, lrpc.ErrOverload) {
+			t.Fatalf("entry %d = %v, want ErrOverload", i, err)
+		}
+	}
+	if got := e.Sheds(); got != staged {
+		t.Errorf("export Sheds = %d, want %d", got, staged)
+	}
+
+	// Release and reuse: the same batch drains cleanly.
+	sched.Release()
+	heldWG.Wait()
+	bt.Reset()
+	if _, err := bt.Call(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Wait(); err != nil {
+		t.Fatalf("batch after release: %v", err)
+	}
+}

@@ -175,6 +175,23 @@ func (r *Ring) Pop() (uint64, bool) {
 	}
 }
 
+// PopBatch dequeues up to len(dst) values into dst and returns the
+// count — the bulk completion reap. Each element is claimed with the
+// same CAS protocol as Pop, so concurrent consumers stay safe; the
+// batch is best-effort and returns short when the ring runs dry.
+func (r *Ring) PopBatch(dst []uint64) int {
+	n := 0
+	for n < len(dst) {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n
+}
+
 // Bump publishes "there may be work" after one or more pushes: it
 // advances the futex word and wakes one parked consumer, if any. The
 // waiter check keeps the doorbell to a single atomic add when nobody is

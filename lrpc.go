@@ -266,6 +266,10 @@ type Export struct {
 	admission atomic.Pointer[admission]
 	sheds     atomic.Uint64 // calls shed with ErrOverload
 
+	// oneWayDrops counts one-way executions whose error was discarded —
+	// the at-most-once contract's "nobody is listening" half (async.go).
+	oneWayDrops atomic.Uint64
+
 	// metrics is the observability recorder (see metrics.go): nil until
 	// EnableMetrics, consulted with one atomic load per dispatch — when
 	// nil the call path does not even read the clock.

@@ -106,6 +106,10 @@ const (
 	// re-imported through another (failover.go); Err carries the failure
 	// that triggered it.
 	TraceFailover
+	// TraceOneWayDrop: a one-way (fire-and-forget) call failed in
+	// execution and the error was discarded — nobody is waiting for a
+	// reply (async.go; DESIGN §5.13). Err carries the dropped error.
+	TraceOneWayDrop
 
 	numTraceKinds
 )
@@ -114,7 +118,7 @@ var traceKindNames = [numTraceKinds]string{
 	"bind", "validate-fail", "stack-wait", "abandon", "panic", "terminate", "reconnect",
 	"shed", "breaker-open", "breaker-close", "rebind", "reap", "write-fail",
 	"shm-bind", "shm-peer-crash", "shm-torn-doorbell",
-	"election", "lease-expire", "failover",
+	"election", "lease-expire", "failover", "one-way-drop",
 }
 
 func (k TraceKind) String() string {
@@ -422,12 +426,13 @@ type ExportSnapshot struct {
 	Name       string `json:"name"`
 	Terminated bool   `json:"terminated"`
 
-	Calls     uint64 `json:"calls"`     // completed, non-panicked invocations
-	Active    int64  `json:"active"`    // handler activations running now
-	Abandoned uint64 `json:"abandoned"` // calls abandoned at their deadline
-	Panics    uint64 `json:"panics"`    // handler invocations that panicked
-	Sheds     uint64 `json:"sheds"`     // calls shed with ErrOverload
-	Orphans   int    `json:"orphans"`   // live orphaned activations
+	Calls       uint64 `json:"calls"`         // completed, non-panicked invocations
+	Active      int64  `json:"active"`        // handler activations running now
+	Abandoned   uint64 `json:"abandoned"`     // calls abandoned at their deadline
+	Panics      uint64 `json:"panics"`        // handler invocations that panicked
+	Sheds       uint64 `json:"sheds"`         // calls shed with ErrOverload
+	Orphans     int    `json:"orphans"`       // live orphaned activations
+	OneWayDrops uint64 `json:"one_way_drops"` // one-way errors discarded (async.go)
 
 	// Admission reports the overload controller's configuration and
 	// occupancy; nil when admission control is off.
@@ -476,6 +481,7 @@ func (e *Export) MetricsSnapshot() ExportSnapshot {
 		Sheds:      e.Sheds(),
 		Orphans:    e.Orphans(),
 	}
+	sn.OneWayDrops = e.OneWayDrops()
 	if a := e.admission.Load(); a != nil {
 		sn.Admission = &AdmissionSnapshot{
 			MaxConcurrent: a.cfg.MaxConcurrent,
@@ -550,9 +556,9 @@ func (s *System) WriteMetricsText(w io.Writer) error {
 	for _, e := range sn.Interfaces {
 		lbl := fmt.Sprintf("{iface=%q}", e.Name)
 		if _, err := fmt.Fprintf(w,
-			"lrpc_calls_total%s %d\nlrpc_active%s %d\nlrpc_abandoned_total%s %d\nlrpc_handler_panics_total%s %d\nlrpc_sheds_total%s %d\nlrpc_orphans%s %d\n",
+			"lrpc_calls_total%s %d\nlrpc_active%s %d\nlrpc_abandoned_total%s %d\nlrpc_handler_panics_total%s %d\nlrpc_sheds_total%s %d\nlrpc_orphans%s %d\nlrpc_one_way_drops_total%s %d\n",
 			lbl, e.Calls, lbl, e.Active, lbl, e.Abandoned, lbl, e.Panics,
-			lbl, e.Sheds, lbl, e.Orphans); err != nil {
+			lbl, e.Sheds, lbl, e.Orphans, lbl, e.OneWayDrops); err != nil {
 			return err
 		}
 		if a := e.Admission; a != nil {

@@ -37,6 +37,13 @@ import (
 //	                                         status 2: body = error text,
 //	                                         and the server vouches the
 //	                                         handler never ran)
+//
+// The top bit of the proc word is the one-way flag (wireFlagOneWay): a
+// request carrying it receives NO reply frame — the handler still runs
+// (at most once), execution errors are dropped and counted on the
+// server, and the callID is ignored. The flag is masked off before the
+// procedure index is used, so a hostile flag bit can neither address a
+// different procedure nor make the server consume a reply path.
 
 // ErrConnClosed reports a call on a closed network binding, or a call
 // whose connection died after the request may have reached the server
@@ -92,6 +99,10 @@ func (e *RemoteError) Is(target error) bool {
 
 // maxFrame bounds a single network frame.
 const maxFrame = MaxOOBSize + 1024
+
+// wireFlagOneWay marks a request as fire-and-forget in the top bit of
+// its proc word; see the wire protocol comment above.
+const wireFlagOneWay = uint32(1) << 31
 
 // ServeOptions tunes ServeNetworkOpts. The zero value selects defaults.
 type ServeOptions struct {
@@ -224,7 +235,7 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		if err != nil {
 			break
 		}
-		callID, name, proc, args, err := parseRequest(frame)
+		callID, name, proc, oneWay, args, err := parseRequest(frame)
 		if err != nil {
 			break
 		}
@@ -232,6 +243,12 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		if !ok {
 			nb, err := s.Import(name)
 			if err != nil {
+				if oneWay {
+					// No reply path exists for a one-way request: drop
+					// and count, never write.
+					s.emitTrace(TraceOneWayDrop, name, "", err)
+					continue
+				}
 				// The call never dispatched: vouch for non-execution so a
 				// failover layer may retry it elsewhere.
 				reply(name, callID, 2, []byte(err.Error()))
@@ -242,13 +259,21 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		}
 		// Serve concurrently, but bounded: each in-flight request gets a
 		// server-side thread of control, and once MaxInFlight of them are
-		// running the read loop parks here instead of minting more.
+		// running the read loop parks here instead of minting more. A
+		// one-way request is bounded by the same window — the flag frees
+		// the reply slot, not the execution slot.
 		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			res, err := b.Call(proc, args)
+			if oneWay {
+				if err != nil {
+					b.dropOneWayError(proc, err)
+				}
+				return // at-most-once, no reply frame (DESIGN §5.13)
+			}
 			select {
 			case <-closing:
 				return // the connection died while we ran; drop the reply
@@ -360,6 +385,12 @@ type NetClientStats struct {
 	Retries        uint64 // requests re-sent because they never reached the wire
 	BreakerOpens   uint64 // times the circuit breaker opened
 	BreakerRejects uint64 // calls failed fast with ErrBreakerOpen
+
+	// Async plane (CallAsync / CallOneWay / NewBatch).
+	AsyncCalls   uint64 // asynchronous submissions (incl. continuations)
+	OneWays      uint64 // one-way submissions
+	Batches      uint64 // Batch flushes (coalesced single-write submissions)
+	BatchedCalls uint64 // entries submitted through batches
 }
 
 // NetClient is a client connection to a remote System, safe for
@@ -396,6 +427,11 @@ type NetClient struct {
 	reconnects atomic.Uint64
 	retries    atomic.Uint64
 
+	asyncCalls   atomic.Uint64
+	oneWays      atomic.Uint64
+	batches      atomic.Uint64
+	batchedCalls atomic.Uint64
+
 	// br is the circuit breaker (resilience.go); nil unless
 	// DialOptions.BreakerThreshold armed it.
 	br *breaker
@@ -406,6 +442,11 @@ type NetClient struct {
 type pendingCall struct {
 	ch  chan netReply
 	gen uint64
+	// fut, when non-nil, marks an asynchronous submission: the reply (or
+	// the connection's death) completes it directly from the read loop
+	// instead of being handed over ch, and releases the in-flight slot
+	// the submission acquired.
+	fut *Future
 }
 
 type netReply struct {
@@ -547,6 +588,10 @@ func (c *NetClient) Stats() NetClientStats {
 		Reconnects: c.reconnects.Load(),
 		Retries:    c.retries.Load(),
 	}
+	st.AsyncCalls = c.asyncCalls.Load()
+	st.OneWays = c.oneWays.Load()
+	st.Batches = c.batches.Load()
+	st.BatchedCalls = c.batchedCalls.Load()
 	if c.br != nil {
 		st.BreakerOpens = c.br.opens.Load()
 		st.BreakerRejects = c.br.rejects.Load()
@@ -572,9 +617,23 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 			delete(c.wait, id)
 		}
 		c.mu.Unlock()
-		if ok {
-			p.ch <- reply
+		if !ok {
+			continue
 		}
+		if p.fut != nil {
+			// Asynchronous completion, resolved right here: free the
+			// in-flight slot first so a continuation fired by complete
+			// can take it without spawning a waiter goroutine.
+			<-c.sem
+			if reply.status != 0 {
+				c.failures.Add(1)
+				p.fut.complete(nil, &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2})
+			} else {
+				p.fut.complete(reply.body, nil)
+			}
+			continue
+		}
+		p.ch <- reply
 	}
 }
 
@@ -583,6 +642,7 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 // other generations are untouched.
 func (c *NetClient) connBroken(conn net.Conn, gen uint64, _ error) {
 	conn.Close()
+	var futs []*Future
 	c.mu.Lock()
 	if c.gen == gen && c.conn == conn {
 		c.conn = nil
@@ -590,10 +650,20 @@ func (c *NetClient) connBroken(conn net.Conn, gen uint64, _ error) {
 	for id, p := range c.wait {
 		if p.gen == gen {
 			delete(c.wait, id)
-			close(p.ch)
+			if p.fut != nil {
+				futs = append(futs, p.fut)
+			} else {
+				close(p.ch)
+			}
 		}
 	}
 	c.mu.Unlock()
+	// Fail orphaned futures outside the lock: complete may fire
+	// continuations, which resubmit (and take c.mu).
+	for _, f := range futs {
+		<-c.sem
+		f.complete(nil, fmt.Errorf("%w: connection lost awaiting reply", ErrConnClosed))
+	}
 }
 
 // getConn returns the live connection, redialing if necessary. Each
@@ -784,7 +854,7 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 		c.wait[id] = p
 		c.mu.Unlock()
 
-		wrote, werr := c.writeRequest(ctx, conn, id, proc, args)
+		wrote, werr := c.writeRequest(ctx, conn, id, uint32(proc), args)
 		if werr != nil {
 			c.mu.Lock()
 			delete(c.wait, id)
@@ -832,8 +902,9 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 
 // writeRequest frames and writes one request as a single Write call, so
 // "reached the wire" is decidable: wrote reports whether any byte of the
-// frame made it into the connection.
-func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, proc int, args []byte) (wrote bool, err error) {
+// frame made it into the connection. procWord carries the procedure
+// index plus, for one-way requests, the wireFlagOneWay bit.
+func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, procWord uint32, args []byte) (wrote bool, err error) {
 	if len(c.name) > 0xFFFF {
 		return false, fmt.Errorf("lrpc: interface name of %d bytes exceeds the wire limit", len(c.name))
 	}
@@ -843,7 +914,7 @@ func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, 
 	binary.LittleEndian.PutUint64(buf[4:12], id)
 	binary.LittleEndian.PutUint16(buf[12:14], uint16(len(c.name)))
 	off := 14 + copy(buf[14:], c.name)
-	binary.LittleEndian.PutUint32(buf[off:], uint32(proc))
+	binary.LittleEndian.PutUint32(buf[off:], procWord)
 	copy(buf[off+4:], args)
 
 	deadline := time.Now().Add(c.opts.WriteTimeout)
@@ -871,11 +942,20 @@ func (c *NetClient) Close() error {
 	close(c.closedCh)
 	conn := c.conn
 	c.conn = nil
+	var futs []*Future
 	for id, p := range c.wait {
 		delete(c.wait, id)
-		close(p.ch)
+		if p.fut != nil {
+			futs = append(futs, p.fut)
+		} else {
+			close(p.ch)
+		}
 	}
 	c.mu.Unlock()
+	for _, f := range futs {
+		<-c.sem
+		f.complete(nil, ErrConnClosed)
+	}
 	if conn != nil {
 		return conn.Close()
 	}
@@ -1045,17 +1125,21 @@ func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID ui
 	return err
 }
 
-func parseRequest(frame []byte) (callID uint64, name string, proc int, args []byte, err error) {
+func parseRequest(frame []byte) (callID uint64, name string, proc int, oneWay bool, args []byte, err error) {
 	if len(frame) < 10 {
-		return 0, "", 0, nil, errors.New("lrpc: short request")
+		return 0, "", 0, false, nil, errors.New("lrpc: short request")
 	}
 	callID = binary.LittleEndian.Uint64(frame[0:8])
 	nameLen := int(binary.LittleEndian.Uint16(frame[8:10]))
 	if len(frame) < 10+nameLen+4 {
-		return 0, "", 0, nil, errors.New("lrpc: truncated request")
+		return 0, "", 0, false, nil, errors.New("lrpc: truncated request")
 	}
 	name = string(frame[10 : 10+nameLen])
-	proc = int(binary.LittleEndian.Uint32(frame[10+nameLen:]))
+	procWord := binary.LittleEndian.Uint32(frame[10+nameLen:])
+	oneWay = procWord&wireFlagOneWay != 0
+	// Mask the flag bit off unconditionally: a hostile flag must not be
+	// able to alias one procedure index onto another.
+	proc = int(procWord &^ wireFlagOneWay)
 	args = frame[10+nameLen+4:]
-	return callID, name, proc, args, nil
+	return callID, name, proc, oneWay, args, nil
 }

@@ -1,0 +1,319 @@
+package lrpc
+
+// The asynchronous call plane over TCP: futures, one-way frames, and
+// batched submission with a single coalesced write per doorbell. The
+// moving parts live close to the synchronous path in net.go — this file
+// holds only the submission surface:
+//
+//   - CallAsync registers a pendingCall carrying a *Future instead of a
+//     reply channel; the read loop completes it in place and releases
+//     the in-flight slot, so a continuation fired by the completion can
+//     resubmit without spawning a waiter goroutine.
+//   - CallOneWay sets wireFlagOneWay on the proc word and consumes no
+//     reply slot at all: no pendingCall, no in-flight window entry, no
+//     reply frame ever (the server drops and counts execution errors).
+//   - A Batch stages frames into one buffer and Flush writes them with
+//     a single conn.Write — N requests, one syscall, one wakeup on the
+//     server's read loop: the TCP spelling of "ring the doorbell once".
+//
+// The asynchronous plane deliberately bypasses the circuit breaker:
+// the breaker exists to fail fast while the peer is known dead, and an
+// async submitter discovers that the same way the breaker does — via
+// completions carrying ErrConnClosed (see DESIGN §5.13).
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// sendAsync submits one asynchronous request: acquire an in-flight
+// slot, register the future, write the frame. A nil return means the
+// connection machinery (read loop, connBroken, or Close) now owns the
+// future and will complete it exactly once; an error return means the
+// future was never handed off and the caller must complete it.
+func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Future) error {
+	if len(args) > MaxOOBSize {
+		return ErrTooLarge
+	}
+	c.asyncCalls.Add(1)
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.closedCh:
+		return notSent(ErrConnClosed)
+	case <-ctx.Done():
+		c.timeouts.Add(1)
+		return timeoutError(ctx.Err())
+	}
+	conn, gen, err := c.getConn(ctx)
+	if err != nil {
+		<-c.sem
+		return notSent(err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sem
+		return notSent(ErrConnClosed)
+	}
+	c.nextID++
+	id := c.nextID
+	c.wait[id] = &pendingCall{fut: f, gen: gen}
+	c.mu.Unlock()
+
+	wrote, werr := c.writeRequest(ctx, conn, id, uint32(proc), args)
+	if werr != nil {
+		c.emitEvent(TraceWriteFail, werr)
+		// Claim the pending entry back. If connBroken swept it first, it
+		// owns the future and the in-flight slot — report success and let
+		// its completion (ErrConnClosed) stand; completing here too would
+		// double-complete the future and double-release the slot.
+		c.mu.Lock()
+		_, mine := c.wait[id]
+		if mine {
+			delete(c.wait, id)
+		}
+		c.mu.Unlock()
+		c.connBroken(conn, gen, werr)
+		if !mine {
+			return nil
+		}
+		<-c.sem
+		if !wrote {
+			return notSent(werr)
+		}
+		return fmt.Errorf("%w: send failed mid-request: %v", ErrConnClosed, werr)
+	}
+	return nil
+}
+
+// CallAsync submits proc over the network without waiting: the returned
+// future resolves when the reply frame arrives (or the connection dies
+// under the request — ErrConnClosed, since the transport cannot know
+// whether the server executed it). Submission failures are returned
+// synchronously and no future escapes. The args slice must not be
+// modified until the future completes.
+func (c *NetClient) CallAsync(proc int, args []byte) (*Future, error) {
+	f := newFuture()
+	f.abandons = &c.timeouts
+	if err := c.sendAsync(context.Background(), proc, args, f); err != nil {
+		f.complete(nil, err)
+		f.Wait()
+		return nil, err
+	}
+	return f, nil
+}
+
+// CallOneWay sends a fire-and-forget request: the frame carries
+// wireFlagOneWay, the server sends no reply frame — not even for an
+// execution error, which it drops and counts — and the submission
+// consumes no reply slot or in-flight window entry. The returned error
+// covers local submission only; at-most-once execution is all the
+// caller may assume (DESIGN §5.13).
+func (c *NetClient) CallOneWay(proc int, args []byte) error {
+	if len(args) > MaxOOBSize {
+		return ErrTooLarge
+	}
+	c.oneWays.Add(1)
+	ctx := context.Background()
+	conn, gen, err := c.getConn(ctx)
+	if err != nil {
+		return notSent(err)
+	}
+	wrote, werr := c.writeRequest(ctx, conn, 0, uint32(proc)|wireFlagOneWay, args)
+	if werr != nil {
+		c.emitEvent(TraceWriteFail, werr)
+		c.connBroken(conn, gen, werr)
+		if !wrote {
+			return notSent(werr)
+		}
+		return fmt.Errorf("%w: send failed mid-request: %v", ErrConnClosed, werr)
+	}
+	return nil
+}
+
+// NewBatch builds a submission batch over the network plane: staged
+// frames coalesce into a single Write when Flush rings the doorbell —
+// one syscall and one server-side read wakeup for N requests.
+func (c *NetClient) NewBatch() *Batch {
+	return &Batch{be: &netBatch{c: c}, stats: &c.batches}
+}
+
+// netBatch is the Batch backend over a NetClient. The first staged
+// entry pins a connection generation; every entry in the batch rides
+// that connection, and a flush failure retires it wholesale.
+type netBatch struct {
+	c    *NetClient
+	conn net.Conn // pinned at first stage; nil between batches
+	gen  uint64   // generation of the pinned connection
+	buf  []byte   // staged frames, written back-to-back by flush
+}
+
+func (nb *netBatch) stage(e *batchEnt) error {
+	c := nb.c
+	if len(e.args) > MaxOOBSize {
+		return ErrTooLarge
+	}
+	if len(c.name) > 0xFFFF {
+		return fmt.Errorf("lrpc: interface name of %d bytes exceeds the wire limit", len(c.name))
+	}
+	if e.fut != nil {
+		e.fut.abandons = &c.timeouts
+	}
+	// Pin a connection at the first staged entry: a batch is one
+	// coalesced write, so every frame in it must ride one generation.
+	if nb.conn == nil {
+		conn, gen, err := c.getConn(context.Background())
+		if err != nil {
+			return notSent(err)
+		}
+		nb.conn, nb.gen = conn, gen
+	}
+	c.batchedCalls.Add(1)
+	if e.oneWay {
+		c.oneWays.Add(1)
+		nb.buf = appendRequestFrame(nb.buf, 0, c.name, uint32(e.proc)|wireFlagOneWay, e.args)
+		return nil
+	}
+	c.asyncCalls.Add(1)
+	// In-flight window, nonblocking first: when the window is full,
+	// flush the staged frames — the server can then drain and reply,
+	// freeing slots — before blocking for one. Blocking with frames
+	// staged but unwritten would deadlock against our own window.
+	select {
+	case c.sem <- struct{}{}:
+	default:
+		if err := nb.flush(); err != nil {
+			return err
+		}
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.closedCh:
+			return notSent(ErrConnClosed)
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sem
+		return notSent(ErrConnClosed)
+	}
+	c.nextID++
+	id := c.nextID
+	c.wait[id] = &pendingCall{fut: e.fut, gen: nb.gen}
+	c.mu.Unlock()
+	nb.buf = appendRequestFrame(nb.buf, id, c.name, uint32(e.proc), e.args)
+	return nil
+}
+
+func (nb *netBatch) flush() error {
+	if len(nb.buf) == 0 {
+		return nil
+	}
+	c := nb.c
+	conn, gen := nb.conn, nb.gen
+	buf := nb.buf
+	nb.buf = nb.buf[:0]
+	if conn == nil {
+		return notSent(ErrConnClosed)
+	}
+	deadline := time.Now().Add(c.opts.WriteTimeout)
+	c.wmu.Lock()
+	conn.SetWriteDeadline(deadline)
+	_, err := conn.Write(buf)
+	conn.SetWriteDeadline(time.Time{})
+	c.wmu.Unlock()
+	if err != nil {
+		c.emitEvent(TraceWriteFail, err)
+		nb.retire(err)
+		return fmt.Errorf("%w: batch flush failed: %v", ErrConnClosed, err)
+	}
+	// Guard against a connection retired between staging and this write:
+	// if the read loop's connBroken swept this generation before our
+	// entries were registered, nobody would ever complete them — re-run
+	// the sweep, which is idempotent and claims map entries exactly once.
+	c.mu.Lock()
+	live := !c.closed && c.gen == gen
+	c.mu.Unlock()
+	if !live {
+		nb.retire(errors.New("connection retired during batch staging"))
+		return fmt.Errorf("%w: connection lost during batch flush", ErrConnClosed)
+	}
+	return nil
+}
+
+// retire fails every pending entry of the pinned generation (via
+// connBroken, which claims wait-map entries exactly once) and unpins,
+// so the next stage re-dials.
+func (nb *netBatch) retire(cause error) {
+	if nb.conn != nil {
+		nb.c.connBroken(nb.conn, nb.gen, cause)
+	}
+	nb.conn, nb.gen = nil, 0
+}
+
+// submitNow dispatches one dependent call from a completion path. The
+// read loop must never block on the in-flight window (it is what frees
+// the window), so the resubmission always runs on its own goroutine.
+func (nb *netBatch) submitNow(proc int, args []byte, f *Future) {
+	c := nb.c
+	go func() {
+		if err := c.sendAsync(context.Background(), proc, args, f); err != nil {
+			f.complete(nil, err)
+		}
+	}()
+}
+
+// appendRequestFrame appends one length-prefixed request frame to dst —
+// the building block of a batch's coalesced write. Layout matches
+// writeRequest: len u32 | id u64 | nameLen u16 | name | procWord u32 |
+// args.
+func appendRequestFrame(dst []byte, id uint64, name string, procWord uint32, args []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(8+2+len(name)+4+len(args)))
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	dst = binary.LittleEndian.AppendUint32(dst, procWord)
+	return append(dst, args...)
+}
+
+// --- TransparentBinding: the async ladder ---
+
+// CallAsync submits an asynchronous call on whichever plane the binding
+// points at, with the same bind-time transport decision as Call.
+func (tb *TransparentBinding) CallAsync(proc int, args []byte) (*Future, error) {
+	if tb.local != nil {
+		return tb.local.CallAsync(proc, args)
+	}
+	if tb.shm != nil {
+		return tb.shm.CallAsync(proc, args)
+	}
+	return tb.remote.CallAsync(proc, args)
+}
+
+// CallOneWay submits a fire-and-forget call on whichever plane the
+// binding points at.
+func (tb *TransparentBinding) CallOneWay(proc int, args []byte) error {
+	if tb.local != nil {
+		return tb.local.CallOneWay(proc, args)
+	}
+	if tb.shm != nil {
+		return tb.shm.CallOneWay(proc, args)
+	}
+	return tb.remote.CallOneWay(proc, args)
+}
+
+// NewBatch builds a submission batch over whichever plane the binding
+// points at.
+func (tb *TransparentBinding) NewBatch() *Batch {
+	if tb.local != nil {
+		return tb.local.NewBatch()
+	}
+	if tb.shm != nil {
+		return tb.shm.NewBatch()
+	}
+	return tb.remote.NewBatch()
+}

@@ -29,9 +29,23 @@ func FuzzParseRequest(f *testing.F) {
 	liar = binary.LittleEndian.AppendUint64(liar, 1)
 	liar = binary.LittleEndian.AppendUint16(liar, 0xFFFF) // name beyond the frame
 	f.Add(liar)
+	// One-way frames: flag alone (proc 0), flag plus a proc index, and a
+	// hostile proc word with every bit set — the parser must mask the
+	// flag out of proc in all of them.
+	oneway := make([]byte, 0, 32)
+	oneway = binary.LittleEndian.AppendUint64(oneway, 0)
+	oneway = binary.LittleEndian.AppendUint16(oneway, 4)
+	oneway = append(oneway, "Echo"...)
+	oneway = binary.LittleEndian.AppendUint32(oneway, 2|wireFlagOneWay)
+	f.Add(oneway)
+	hostile := make([]byte, 0, 16)
+	hostile = binary.LittleEndian.AppendUint64(hostile, ^uint64(0))
+	hostile = binary.LittleEndian.AppendUint16(hostile, 0)
+	hostile = binary.LittleEndian.AppendUint32(hostile, ^uint32(0))
+	f.Add(hostile)
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		callID, name, proc, args, err := parseRequest(frame)
+		callID, name, proc, oneWay, args, err := parseRequest(frame)
 		if err != nil {
 			return
 		}
@@ -48,6 +62,16 @@ func FuzzParseRequest(f *testing.F) {
 			// proc is a u32 on the wire; on 64-bit ints it can never
 			// parse negative.
 			t.Fatalf("negative proc index %d from wire bytes", proc)
+		}
+		// Flag invariants: oneWay mirrors the wire bit, and the bit never
+		// leaks into the proc index (a hostile flagged proc must not
+		// address a different procedure than its unflagged twin).
+		procWord := binary.LittleEndian.Uint32(frame[10+len(name):])
+		if oneWay != (procWord&wireFlagOneWay != 0) {
+			t.Fatalf("oneWay %v does not match wire bit in proc word %#x", oneWay, procWord)
+		}
+		if uint32(proc)&wireFlagOneWay != 0 || uint32(proc) != procWord&^wireFlagOneWay {
+			t.Fatalf("one-way flag leaked into proc index %#x (wire word %#x)", proc, procWord)
 		}
 		// The parsed name and args must alias or equal the frame's bytes.
 		if string(frame[10:10+len(name)]) != name {

@@ -483,7 +483,6 @@ type shmSession struct {
 	stop        atomic.Bool
 	byServer    atomic.Bool
 	wg          sync.WaitGroup
-	replyMu     sync.Mutex // serializes s2c Push+Bump pairs (workers only)
 	closeOnce   sync.Once
 	sendByeOnce sync.Once
 }
@@ -702,6 +701,14 @@ type ShmClient struct {
 	sigs   []chan struct{}
 	callID atomic.Uint64
 
+	// Async plane (shm_async.go): per-slot submission kind and, for
+	// kindAsync slots, the future awaiting the reply. Both are written
+	// before the slot is posted and claimed exactly once on completion
+	// (futs by Swap, kinds by CompareAndSwap), so a duplicated or torn
+	// reply hint cannot double-complete.
+	kinds []atomic.Uint32
+	futs  []atomic.Pointer[Future]
+
 	// parked counts callers (and orphan watchers) blocked on a sigs
 	// channel; kick rouses the demultiplexer out of its process-local
 	// sleep when the count goes positive. While parked is zero the
@@ -727,6 +734,12 @@ type ShmClient struct {
 	timeouts    atomic.Uint64
 	spinReplies atomic.Uint64
 	parkReplies atomic.Uint64
+
+	asyncCalls   atomic.Uint64
+	oneWays      atomic.Uint64
+	oneWayDrops  atomic.Uint64
+	batches      atomic.Uint64
+	batchedCalls atomic.Uint64
 }
 
 // DialShm binds to an interface served by another process's ShmServer
@@ -827,6 +840,8 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 		s2c:       s2c,
 		free:      make(chan uint32, nslots),
 		sigs:      make([]chan struct{}, nslots),
+		kinds:     make([]atomic.Uint32, nslots),
+		futs:      make([]atomic.Pointer[Future], nslots),
 		kick:      make(chan struct{}, 1),
 		dead:      make(chan struct{}),
 		demuxDone: make(chan struct{}),
@@ -893,12 +908,17 @@ func (c *ShmClient) SlotSize() int { return c.lay.slotSize }
 // Stats snapshots the client side of the session.
 func (c *ShmClient) Stats() ShmClientStats {
 	return ShmClientStats{
-		Calls:       c.calls.Load(),
-		Failures:    c.failures.Load(),
-		Timeouts:    c.timeouts.Load(),
-		SpinReplies: c.spinReplies.Load(),
-		ParkReplies: c.parkReplies.Load(),
-		PeerCrashed: c.crashed.Load(),
+		Calls:        c.calls.Load(),
+		Failures:     c.failures.Load(),
+		Timeouts:     c.timeouts.Load(),
+		SpinReplies:  c.spinReplies.Load(),
+		ParkReplies:  c.parkReplies.Load(),
+		PeerCrashed:  c.crashed.Load(),
+		AsyncCalls:   c.asyncCalls.Load(),
+		OneWays:      c.oneWays.Load(),
+		OneWayDrops:  c.oneWayDrops.Load(),
+		Batches:      c.batches.Load(),
+		BatchedCalls: c.batchedCalls.Load(),
 	}
 }
 
@@ -1098,21 +1118,40 @@ func (c *ShmClient) recycle(id uint32, state *atomic.Uint32) {
 	}
 }
 
-// drainReplies empties whatever the reply ring holds right now,
-// forwarding each hint to its slot's signal channel. Safe from any
-// goroutine: the ring entry is a hint, the slot state is the truth, so
-// stale or double signals are absorbed by the waiters' re-checks.
+// drainReplies empties whatever the reply ring holds right now — the
+// bulk completion reap. Hints are popped in batches and routed per the
+// slot's submission kind: synchronous hints go to the slot's signal
+// channel, asynchronous and one-way hints are retired in place
+// (shm_async.go). Safe from any goroutine: the ring entry is a hint,
+// the slot state is the truth, so stale or double signals are absorbed
+// by the waiters' re-checks and the futs/kinds claim gates.
 func (c *ShmClient) drainReplies() {
+	var buf [64]uint64
 	for {
-		v, ok := c.s2c.Pop()
-		if !ok {
+		n := c.s2c.PopBatch(buf[:])
+		if n == 0 {
 			return
 		}
-		if v >= uint64(c.lay.nslots) {
-			continue
+		for i := 0; i < n; i++ {
+			c.handleHint(buf[i])
 		}
+	}
+}
+
+// handleHint routes one reply-ring entry to its consumer.
+func (c *ShmClient) handleHint(v uint64) {
+	if v >= uint64(c.lay.nslots) {
+		return
+	}
+	id := uint32(v)
+	switch c.kinds[id].Load() {
+	case kindAsync:
+		c.finishAsync(id)
+	case kindOneWay:
+		c.finishOneWay(id)
+	default:
 		select {
-		case c.sigs[v] <- struct{}{}:
+		case c.sigs[id] <- struct{}{}:
 		default:
 		}
 	}
@@ -1151,13 +1190,7 @@ func (c *ShmClient) demux() {
 		if !ok {
 			return
 		}
-		if v >= uint64(c.lay.nslots) {
-			continue
-		}
-		select {
-		case c.sigs[v] <- struct{}{}:
-		default:
-		}
+		c.handleHint(v)
 	}
 }
 
@@ -1192,6 +1225,11 @@ func (c *ShmClient) markDead(crash bool) {
 // reference — never under a goroutine still touching shared bytes.
 func (c *ShmClient) reap() {
 	<-c.demuxDone
+	// Resolve async and one-way submissions still holding slots before
+	// waiting out the inflight count: each holds a reference that only
+	// its completion releases, so the sweep must run first or the wait
+	// below never drains (shm_async.go).
+	c.sweepAsync()
 	c.mu.Lock()
 	for c.inflight > 0 {
 		c.cond.Wait()

@@ -96,12 +96,19 @@ type ShmServerStats struct {
 
 // ShmClientStats is a point-in-time snapshot of one client session.
 type ShmClientStats struct {
-	Calls       uint64 // calls attempted
+	Calls       uint64 // synchronous calls attempted
 	Failures    uint64 // calls resolved with an error
 	Timeouts    uint64 // calls abandoned at their deadline
 	SpinReplies uint64 // replies consumed within the spin window
 	ParkReplies uint64 // replies that required parking
 	PeerCrashed bool   // the server process died under the session
+
+	// Async plane (shm_async.go).
+	AsyncCalls   uint64 // CallAsync submissions (incl. continuations)
+	OneWays      uint64 // one-way submissions
+	OneWayDrops  uint64 // one-way executions whose error was discarded
+	Batches      uint64 // Batch flushes (single-doorbell submissions)
+	BatchedCalls uint64 // entries submitted through batches
 }
 
 // ShmFault carries injected shared-memory faults for one call, consulted

@@ -84,6 +84,21 @@ func (c *ShmClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 	return nil, ErrShmUnsupported
 }
 
+// CallAsync fails with ErrShmUnsupported.
+func (c *ShmClient) CallAsync(proc int, args []byte) (*Future, error) {
+	return nil, ErrShmUnsupported
+}
+
+// CallOneWay fails with ErrShmUnsupported.
+func (c *ShmClient) CallOneWay(proc int, args []byte) error { return ErrShmUnsupported }
+
+// NewBatch returns a batch whose every operation fails with
+// ErrShmUnsupported, so cross-platform batch code compiles and fails
+// uniformly at submission time.
+func (c *ShmClient) NewBatch() *Batch {
+	return &Batch{be: errBackend{err: ErrShmUnsupported}}
+}
+
 // Close is a no-op on this platform.
 func (c *ShmClient) Close() error { return nil }
 
