@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmtcheck vet build test race stress shmtest haftest bench benchjson benchjson5 benchjson6 benchjson7 benchcheck fuzz staticcheck vulncheck
+.PHONY: ci fmtcheck vet build test race stress shmtest haftest bench benchjson benchjson5 benchjson6 benchjson7 benchjson8 benchcheck fuzz staticcheck vulncheck
 
 # Formatting, vet, static analysis, build, tests (plain and -race), then
 # the perf gates: the whole merge bar in one command. The gates check the
@@ -109,13 +109,21 @@ benchjson6:
 benchjson7:
 	$(GO) run ./cmd/lrpcbench -json batch > BENCH_pr7.json
 
+# Regenerate the bulk-bandwidth artifact: CallBulk payloads of 4 KiB to
+# 64 MiB through in-process, shared-memory, and TCP loopback, recording
+# bytes/sec per size.
+benchjson8:
+	$(GO) run ./cmd/lrpcbench -json bulk > BENCH_pr8.json
+
 # Fail if the Null latency regressed >10% against the recorded baseline,
 # if the recorded shm-vs-TCP Null speedup is under its 5x floor, if the
 # failover artifact records a double execution or an off-scale
-# convergence time, or if batch-64 shm submission amortizes to less than
-# 3x the per-call latency.
+# convergence time, if batch-64 shm submission amortizes to less than
+# 3x the per-call latency, or if shm bulk bandwidth falls below TCP's
+# at any payload of 1 MiB and above.
 benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr4.json
 	$(GO) run ./cmd/benchcheck BENCH_pr5.json
 	$(GO) run ./cmd/benchcheck BENCH_pr6.json
 	$(GO) run ./cmd/benchcheck BENCH_pr7.json
+	$(GO) run ./cmd/benchcheck -min-bulk-bandwidth 1 BENCH_pr8.json

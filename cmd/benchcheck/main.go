@@ -26,10 +26,18 @@
 // Null must beat the per-call shm Null by the -min-batch-speedup floor
 // — the PR-7 acceptance gate for doorbell batching.
 //
+// A one-argument artifact whose "bench" field reads "bulk" (as written
+// by `lrpcbench -json bulk`, see BENCH_pr8.json) is checked as a
+// bulk-bandwidth record: every point must carry positive bandwidth, and
+// when the shm transport is present its bytes/sec must be at least
+// -min-bulk-bandwidth times TCP's at every payload of 1 MiB and above —
+// the PR-8 acceptance gate for the bulk-data plane.
+//
 //	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
 //	benchcheck [-min-shm-speedup 5] TRANSPORTS.json
 //	benchcheck [-max-converge-ms 30000] FAILOVER.json
 //	benchcheck [-min-batch-speedup 3] BATCH.json
+//	benchcheck [-min-bulk-bandwidth 1] BULK.json
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 	minShmSpeedup := flag.Float64("min-shm-speedup", 5, "minimum shm-vs-TCP Null speedup for a transports artifact")
 	maxConvergeMs := flag.Float64("max-converge-ms", 30000, "maximum failover/leader-kill convergence for a failover artifact, ms")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 3, "minimum per-call-vs-batched shm Null speedup for a batch artifact")
+	minBulkBandwidth := flag.Float64("min-bulk-bandwidth", 1, "minimum shm-over-TCP bytes/sec ratio at large payloads for a bulk artifact")
 	flag.Parse()
 	switch flag.NArg() {
 	case 1:
@@ -54,6 +63,8 @@ func main() {
 			checkFailover(flag.Arg(0), *maxConvergeMs)
 		case "batch":
 			checkBatch(flag.Arg(0), *minBatchSpeedup)
+		case "bulk":
+			checkBulk(flag.Arg(0), *minBulkBandwidth)
 		default:
 			checkTransports(flag.Arg(0), *minShmSpeedup)
 		}
@@ -220,6 +231,60 @@ func checkBatch(path string, minSpeedup float64) {
 	if r.ShmBatchSpeedup < minSpeedup {
 		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm batch speedup %.2fx below floor %.1fx\n",
 			r.ShmBatchSpeedup, minSpeedup)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// checkBulk validates a bulk-bandwidth artifact: every (transport,
+// payload) point must carry positive bandwidth, and when the shm
+// transport is present its bytes/sec must clear minRatio times TCP's at
+// every payload of BulkLargeBytes and above. Artifacts recorded on
+// hosts without the shm plane (no shm row, ratio zero) pass with a
+// notice, matching the transports gate's platform policy.
+func checkBulk(path string, minRatio float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r experiments.BulkResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(r.Transports) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no transports recorded\n", path)
+		os.Exit(2)
+	}
+	hasShm := false
+	for _, t := range r.Transports {
+		if len(t.Points) == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: transport %q has no points\n", path, t.Transport)
+			os.Exit(1)
+		}
+		if t.Transport == "shm" {
+			hasShm = true
+		}
+		for _, p := range t.Points {
+			if p.NsPerOp <= 0 || p.BytesPerSec <= 0 {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %s at %d bytes has a non-positive measurement\n",
+					path, t.Transport, p.PayloadBytes)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8s %9d B  %12.0f ns/op  %8.0f MiB/s\n",
+				t.Transport, p.PayloadBytes, p.NsPerOp, p.BytesPerSec/(1<<20))
+		}
+	}
+	if !hasShm {
+		fmt.Println("benchcheck: ok (no shm row; platform without the shm plane)")
+		return
+	}
+	fmt.Printf("shm over TCP at >= %d B payloads: %.2fx (floor %.1fx)\n",
+		experiments.BulkLargeBytes, r.ShmOverTCPAtLarge, minRatio)
+	if r.ShmOverTCPAtLarge < minRatio {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm bulk bandwidth %.2fx of TCP below floor %.1fx\n",
+			r.ShmOverTCPAtLarge, minRatio)
 		os.Exit(1)
 	}
 	fmt.Println("benchcheck: ok")

@@ -3,7 +3,7 @@
 // rig on the real Go runtime. With no arguments it runs every simulated
 // experiment; otherwise pass any of: table1 figure1 table2 table3 table4
 // table5 figure2 ablations mix workday structure faults throughput
-// failover batch.
+// failover batch bulk.
 //
 //	lrpcbench                 # all simulated experiments
 //	lrpcbench table4 table5   # just Table 4 and Table 5
@@ -12,6 +12,11 @@
 //	lrpcbench -json shm > BENCH_pr5.json
 //	lrpcbench -json failover > BENCH_pr6.json
 //	lrpcbench -json batch > BENCH_pr7.json
+//	lrpcbench -json bulk > BENCH_pr8.json
+//
+// The bulk experiment sweeps CallBulk payloads (4 KiB to 64 MiB)
+// through the same three transports and records bytes/sec per size —
+// the artifact cmd/benchcheck's -min-bulk-bandwidth gate reads.
 //
 // The batch experiment sweeps batched submission (amortized Null ns/op
 // at batch sizes 1/8/64) and the pipelined dependent chain across the
@@ -154,6 +159,22 @@ func main() {
 				fmt.Println(experiments.BatchTable(r).Render())
 				fmt.Println(experiments.PipelineTable(r).Render())
 			}
+		case "bulk":
+			r, err := runBulkBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrpcbench: bulk: %v\n", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.BulkTable(r).Render())
+			}
 		case "failover":
 			r, err := experiments.Failover(*seed)
 			if err != nil {
@@ -281,12 +302,114 @@ func runBatchBench() (experiments.BatchResult, error) {
 	return experiments.FinishBatchResult(points, pipeline), nil
 }
 
+// runBulkBench is the parent role of the bulk experiment: the payload
+// sweep of internal/experiments/bulk.go through the same three
+// transports, re-execing this binary as the serving process for shm and
+// TCP. The shm session dials with a bulk region comfortably above the
+// largest payload so the sweep measures bandwidth, not allocator
+// contention at the region boundary.
+func runBulkBench() (experiments.BulkResult, error) {
+	var transports []experiments.BulkTransport
+	measure := func(name string, c experiments.BulkCaller) error {
+		t, err := experiments.MeasureBulk(name, c)
+		if err != nil {
+			return err
+		}
+		transports = append(transports, t)
+		return nil
+	}
+
+	// In-process reference: the by-reference path, no boundary at all.
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(experiments.BulkInterface()); err != nil {
+		return experiments.BulkResult{}, err
+	}
+	b, err := sys.Import(experiments.BulkInterfaceName)
+	if err != nil {
+		return experiments.BulkResult{}, err
+	}
+	if err := measure("inproc", b); err != nil {
+		return experiments.BulkResult{}, err
+	}
+
+	// Server process: a real protection domain on the other side.
+	exe, err := os.Executable()
+	if err != nil {
+		return experiments.BulkResult{}, err
+	}
+	dir, err := os.MkdirTemp("", "lrpcbench-bulk-")
+	if err != nil {
+		return experiments.BulkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "bench.sock")
+
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), lrpcbenchShmChild+"=1", lrpcbenchShmSock+"="+sock)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return experiments.BulkResult{}, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return experiments.BulkResult{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return experiments.BulkResult{}, err
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		return experiments.BulkResult{}, fmt.Errorf("server handshake: %w", err)
+	}
+	tcpAddr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "READY"))
+	if tcpAddr == "" {
+		return experiments.BulkResult{}, fmt.Errorf("server handshake: %q", line)
+	}
+
+	maxPayload := experiments.BulkSizes[len(experiments.BulkSizes)-1]
+	if c, err := lrpc.DialShmOpts(sock, experiments.BulkInterfaceName, lrpc.ShmDialOptions{
+		Spin: 8192, BulkBytes: int64(maxPayload) + (16 << 20),
+	}); err != nil {
+		if !errors.Is(err, lrpc.ErrShmUnsupported) {
+			return experiments.BulkResult{}, fmt.Errorf("dial shm: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "lrpcbench: shm transport unsupported on this platform; omitting row")
+	} else {
+		err := measure("shm", c)
+		c.Close()
+		if err != nil {
+			return experiments.BulkResult{}, err
+		}
+	}
+
+	nc, err := lrpc.DialInterface("tcp", tcpAddr, experiments.BulkInterfaceName)
+	if err != nil {
+		return experiments.BulkResult{}, fmt.Errorf("dial tcp: %w", err)
+	}
+	err = measure("tcp", nc)
+	nc.Close()
+	if err != nil {
+		return experiments.BulkResult{}, err
+	}
+
+	return experiments.FinishBulkResult(transports), nil
+}
+
 // runTransportServer is the child role of the shm experiment: one
 // process exporting the Transport interface over both same-machine
 // planes, so the parent can time an identical round trip through each.
 func runTransportServer() {
 	sys := lrpc.NewSystem()
 	if _, err := sys.Export(experiments.TransportInterface()); err != nil {
+		fmt.Fprintf(os.Stderr, "lrpcbench child: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := sys.Export(experiments.BulkInterface()); err != nil {
 		fmt.Fprintf(os.Stderr, "lrpcbench child: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,133 @@
+package main
+
+// The bulk side of the fileserver: whole-file transfers through the
+// bulk-data plane. The generated FS interface (fsproto) carries the
+// paper's dominant traffic — small, latency-bound calls — while FSBulk
+// moves MB–GB payloads through BulkHandle scatter/gather, so a 64 MiB
+// store never rides the in-band argument path. The two interfaces share
+// one ramFS and one System; a client binds whichever it needs.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lrpc"
+)
+
+const (
+	fsBulkName      = "FSBulk"
+	fsBulkProcStore = 0
+	fsBulkProcFetch = 1
+)
+
+// registerFSBulk exports the bulk transfer procedures over fs:
+//
+//	0 Store: args = u16 nameLen | name; BulkIn payload becomes the
+//	         file's contents (replacing any previous). Results: u64 size.
+//	1 Fetch: args = u16 nameLen | name; the file's contents stream out
+//	         through the caller's BulkOut handle, truncated to its
+//	         capacity. Results: u64 file size (the untruncated length).
+func registerFSBulk(sys *lrpc.System, fs *ramFS) (*lrpc.Export, error) {
+	iface := &lrpc.Interface{
+		Name: fsBulkName,
+		Procs: []lrpc.Proc{
+			{Name: "Store", Handler: func(c *lrpc.Call) {
+				name, ok := bulkArgName(c)
+				if !ok {
+					return
+				}
+				// The payload may arrive as scatter/gather segments (shm
+				// pages) or one contiguous region (inproc, TCP); reading
+				// through BulkReader handles both without flattening twice.
+				data := make([]byte, c.BulkLen())
+				if _, err := io.ReadFull(c.BulkReader(), data); err != nil {
+					return
+				}
+				fs.files[name] = data
+				res := c.ResultsBuf(8)
+				binary.LittleEndian.PutUint64(res, uint64(len(data)))
+			}},
+			{Name: "Fetch", Handler: func(c *lrpc.Call) {
+				name, ok := bulkArgName(c)
+				if !ok {
+					return
+				}
+				data := fs.files[name]
+				n := min(len(data), c.BulkCap())
+				if _, err := c.BulkWriter().Write(data[:n]); err != nil {
+					return
+				}
+				res := c.ResultsBuf(8)
+				binary.LittleEndian.PutUint64(res, uint64(len(data)))
+			}},
+		},
+	}
+	return sys.Export(iface)
+}
+
+func bulkArgName(c *lrpc.Call) (string, bool) {
+	in := c.Args()
+	if len(in) < 2 {
+		return "", false
+	}
+	n := int(binary.LittleEndian.Uint16(in))
+	if len(in) < 2+n {
+		return "", false
+	}
+	return string(in[2 : 2+n]), true
+}
+
+func bulkNameArgs(name string) []byte {
+	args := binary.LittleEndian.AppendUint16(nil, uint16(len(name)))
+	return append(args, name...)
+}
+
+// patternReader yields a deterministic byte pattern without holding the
+// whole payload in memory — the producer side of a streamed bulk store.
+type patternReader struct {
+	off  int64
+	size int64
+}
+
+func newPatternReader(size int64) *patternReader { return &patternReader{size: size} }
+
+func (p *patternReader) Read(buf []byte) (int, error) {
+	if p.off >= p.size {
+		return 0, io.EOF
+	}
+	n := int(min(int64(len(buf)), p.size-p.off))
+	cur := patternByte(p.off)
+	for i := 0; i < n; i++ {
+		buf[i] = cur
+		cur += 131 // patternByte(off+1) = patternByte(off) + 131 (mod 256)
+	}
+	p.off += int64(n)
+	return n, nil
+}
+
+func patternByte(i int64) byte { return byte(i*131 + 7) }
+
+// storeFileBulk uploads size bytes from r as the contents of name.
+func storeFileBulk(b *lrpc.Binding, name string, r io.Reader, size int64) error {
+	h := lrpc.NewBulkReader(r, size)
+	res, err := b.CallBulk(fsBulkProcStore, bulkNameArgs(name), h)
+	if err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint64(res); got != uint64(size) {
+		return fmt.Errorf("stored %d bytes of %q, want %d", got, name, size)
+	}
+	return nil
+}
+
+// fetchFileBulk streams the contents of name into w, up to max bytes,
+// returning the bytes transferred and the file's full size.
+func fetchFileBulk(b *lrpc.Binding, name string, w io.Writer, max int64) (moved, size int64, err error) {
+	h := lrpc.NewBulkWriter(w, max)
+	res, err := b.CallBulk(fsBulkProcFetch, bulkNameArgs(name), h)
+	if err != nil {
+		return 0, 0, err
+	}
+	return h.Transferred(), int64(binary.LittleEndian.Uint64(res)), nil
+}

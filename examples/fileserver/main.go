@@ -17,6 +17,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"sort"
 	"strings"
@@ -172,6 +173,48 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("%d 128-byte writes in %v (%.0f calls/sec)\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+
+	// Bulk plane: whole-file transfers that would be absurd as in-band
+	// arguments. Store 256 MiB through a BulkIn handle and stream it
+	// back out through a BulkOut handle.
+	if _, err := registerFSBulk(sys, fs); err != nil {
+		log.Fatal(err)
+	}
+	bulk, err := sys.Import(fsBulkName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stream 256 MiB in from a generator (the io.Reader form), then
+	// measure warm buffer-backed round trips — the shape of repeated
+	// transfers, where the handler aliases the caller's buffer directly.
+	const bulkSize = 256 << 20
+	if err := storeFileBulk(bulk, "dataset.bin", newPatternReader(bulkSize), bulkSize); err != nil {
+		log.Fatal(err)
+	}
+	blob := make([]byte, bulkSize)
+	if _, err := io.ReadFull(newPatternReader(bulkSize), blob); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := bulk.CallBulk(fsBulkProcStore, bulkNameArgs("dataset.bin"), lrpc.NewBulkIn(blob)); err != nil {
+		log.Fatal(err)
+	}
+	storeElapsed := time.Since(start)
+	h := lrpc.NewBulkOut(blob) // reuse: fetch overwrites the upload buffer
+	if _, err := bulk.CallBulk(fsBulkProcFetch, bulkNameArgs("dataset.bin"), h); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := bulk.CallBulk(fsBulkProcFetch, bulkNameArgs("dataset.bin"), h); err != nil {
+		log.Fatal(err)
+	}
+	fetchElapsed := time.Since(start)
+	if h.Transferred() != bulkSize {
+		log.Fatalf("Fetch moved %d bytes, want %d", h.Transferred(), bulkSize)
+	}
+	fmt.Printf("bulk store 256 MiB: %v (%.1f GiB/s), fetch: %v (%.1f GiB/s)\n",
+		storeElapsed.Round(time.Millisecond), float64(bulkSize)/storeElapsed.Seconds()/(1<<30),
+		fetchElapsed.Round(time.Millisecond), float64(bulkSize)/fetchElapsed.Seconds()/(1<<30))
 
 	names := make([]string, 0, len(fs.files))
 	for name := range fs.files {

@@ -1,0 +1,234 @@
+package experiments
+
+// Bulk-data plane bandwidth: CallBulk round trips carrying 4 KiB–64 MiB
+// payloads through the same three transports as the latency rig
+// (transports.go). Where that rig asks "how fast is a small call", this
+// one asks "how fast do bytes move once a call carries real data" — the
+// regime where the shm plane's single warm copy through the shared bulk
+// region should beat TCP loopback's socket traversal, which is exactly
+// the acceptance gate (cmd/benchcheck -min-bulk-bandwidth).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"time"
+
+	"lrpc"
+)
+
+// BulkProcSink is the single procedure of the bulk rig's interface: it
+// walks the BulkIn payload (one byte per cache line, so the pages are
+// genuinely read on the serving side without turning the benchmark into
+// a memory-sum contest) and returns the payload length it saw as a
+// little-endian u64.
+const BulkProcSink = 0
+
+// BulkSizes is the payload sweep, 4 KiB to 64 MiB.
+var BulkSizes = []int{4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20}
+
+// BulkLargeBytes is the payload size from which the shm-over-TCP gate
+// applies: below it, per-call overhead still matters; at and above it,
+// bandwidth is the whole story.
+const BulkLargeBytes = 1 << 20
+
+// BulkInterfaceName names the export the bulk rig serves, alongside the
+// latency rig's "Transport" on the same child process.
+const BulkInterfaceName = "TransportBulk"
+
+// BulkPoint is one (transport, payload size) bandwidth measurement.
+type BulkPoint struct {
+	PayloadBytes int `json:"payload_bytes"`
+	// NsPerOp is the best-window round trip carrying the payload.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerSec is PayloadBytes / (NsPerOp ns), the headline number.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+// BulkTransport is one transport's sweep.
+type BulkTransport struct {
+	Transport string      `json:"transport"`
+	Points    []BulkPoint `json:"points"`
+}
+
+// BulkResult is the full bulk-bandwidth artifact (BENCH_pr8.json). The
+// Bench discriminator routes cmd/benchcheck to the bulk gate.
+type BulkResult struct {
+	Bench        string          `json:"bench"` // always "bulk"
+	NumCPU       int             `json:"num_cpu"`
+	CalibNsPerOp float64         `json:"calib_ns_per_op"`
+	Transports   []BulkTransport `json:"transports"`
+	// ShmOverTCPAtLarge is the minimum shm/tcp bytes-per-second ratio
+	// across payloads of BulkLargeBytes and above — the acceptance
+	// number. Zero when either transport is absent.
+	ShmOverTCPAtLarge float64 `json:"shm_over_tcp_at_large"`
+}
+
+// BulkInterface builds the export the bulk rig serves.
+func BulkInterface() *lrpc.Interface {
+	return &lrpc.Interface{
+		Name: BulkInterfaceName,
+		Procs: []lrpc.Proc{
+			{Name: "Sink", AStackSize: 64, NumAStacks: 16,
+				Handler: func(c *lrpc.Call) {
+					var touched uint64
+					for _, seg := range c.BulkSegments() {
+						for i := 0; i < len(seg); i += 64 {
+							touched += uint64(seg[i])
+						}
+					}
+					buf := c.ResultsBuf(8)
+					binary.LittleEndian.PutUint64(buf, uint64(c.BulkLen()))
+				}},
+		},
+	}
+}
+
+// BulkCaller is the call surface the rig measures — satisfied by
+// *lrpc.Binding, *lrpc.ShmClient, and *lrpc.NetClient alike.
+type BulkCaller interface {
+	CallBulk(proc int, args []byte, h *lrpc.BulkHandle) ([]byte, error)
+}
+
+// MeasureBulk sweeps BulkSizes through one transport. The payload
+// buffer is allocated once and reused so the sweep measures the
+// transport's copies, not first-touch page faults on the source.
+func MeasureBulk(name string, c BulkCaller) (BulkTransport, error) {
+	t := BulkTransport{Transport: name}
+	payload := make([]byte, BulkSizes[len(BulkSizes)-1])
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for _, size := range BulkSizes {
+		ns, err := bulkBestNs(c, payload[:size])
+		if err != nil {
+			return t, fmt.Errorf("bulk %s at %d bytes: %w", name, size, err)
+		}
+		t.Points = append(t.Points, BulkPoint{
+			PayloadBytes: size,
+			NsPerOp:      ns,
+			BytesPerSec:  float64(size) / (ns / 1e9),
+		})
+	}
+	return t, nil
+}
+
+// bulkBestNs returns the best-of-reps mean ns per round trip for one
+// payload. Reps shrink as payloads grow: a 4 KiB call fits thousands of
+// ops in a rep, a 64 MiB transfer runs a handful — the same
+// best-window idea as bestWindowNs with the op count pinned up front
+// (mid-loop clock checks would cost more than a small transfer).
+func bulkBestNs(c BulkCaller, payload []byte) (float64, error) {
+	ops := (8 << 20) / len(payload)
+	if ops < 1 {
+		ops = 1
+	}
+	if ops > 512 {
+		ops = 512
+	}
+	const reps = 6
+	verify := func(res []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		if n := binary.LittleEndian.Uint64(res); n != uint64(len(payload)) {
+			return fmt.Errorf("sink saw %d of %d payload bytes", n, len(payload))
+		}
+		return nil
+	}
+	h := lrpc.NewBulkIn(payload)
+	for i := 0; i < 2; i++ { // warm the transport's staging paths
+		if err := verify(c.CallBulk(BulkProcSink, nil, h)); err != nil {
+			return 0, err
+		}
+	}
+	best := float64(0)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := verify(c.CallBulk(BulkProcSink, nil, h)); err != nil {
+				return 0, err
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(ops)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// FinishBulkResult stamps the host fields and the acceptance ratio.
+func FinishBulkResult(transports []BulkTransport) BulkResult {
+	r := BulkResult{
+		Bench:        "bulk",
+		NumCPU:       runtime.NumCPU(),
+		CalibNsPerOp: calibNsPerOp(),
+		Transports:   transports,
+	}
+	perSize := func(name string) map[int]float64 {
+		for _, t := range r.Transports {
+			if t.Transport == name {
+				m := make(map[int]float64, len(t.Points))
+				for _, p := range t.Points {
+					m[p.PayloadBytes] = p.BytesPerSec
+				}
+				return m
+			}
+		}
+		return nil
+	}
+	shm, tcp := perSize("shm"), perSize("tcp")
+	for size, tcpBps := range tcp {
+		if size < BulkLargeBytes || tcpBps <= 0 {
+			continue
+		}
+		ratio := shm[size] / tcpBps
+		if r.ShmOverTCPAtLarge == 0 || ratio < r.ShmOverTCPAtLarge {
+			r.ShmOverTCPAtLarge = ratio
+		}
+	}
+	if len(shm) == 0 {
+		r.ShmOverTCPAtLarge = 0
+	}
+	return r
+}
+
+// BulkTable renders the sweep for human eyes.
+func BulkTable(r BulkResult) *Table {
+	header := []string{"transport"}
+	for _, size := range BulkSizes {
+		header = append(header, fmtBytes(size))
+	}
+	t := &Table{
+		Title:  "Bulk-data bandwidth (MiB/s moved per CallBulk round trip, best of reps)",
+		Header: header,
+		Notes: []string{
+			us(float64(r.NumCPU)) + " CPUs available; calibration " + us1(r.CalibNsPerOp) + " ns/op scalar loop",
+		},
+	}
+	if r.ShmOverTCPAtLarge > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"shm moves %.2fx the bytes/sec of TCP loopback at >= %s payloads (worst size)",
+			r.ShmOverTCPAtLarge, fmtBytes(BulkLargeBytes)))
+	}
+	for _, tr := range r.Transports {
+		row := []string{tr.Transport}
+		for _, p := range tr.Points {
+			row = append(row, us(p.BytesPerSec/(1<<20)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%d KiB", n>>10)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

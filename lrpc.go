@@ -134,6 +134,18 @@ type Call struct {
 	oob    []byte
 	resLen int
 
+	// Bulk plane (bulk.go): the out-of-band payload attached by CallBulk.
+	// bulkSegs alias transport-owned memory (the caller's buffer
+	// in-process, shared segment pages on shm) and, like args, are valid
+	// only for the handler's duration. bulkIn is the valid input bytes;
+	// bulkOut the bytes the handler produced; bulkFlat caches Bulk()'s
+	// linearization of a scattered payload.
+	bulkSegs [][]byte
+	bulkFlat []byte
+	bulkDir  BulkDir
+	bulkIn   int
+	bulkOut  int
+
 	// stripe selects the cache line this invocation's counters land on.
 	// Assigned once when the Call is minted; sync.Pool's per-P caching
 	// keeps each processor reusing the same Calls, and therefore the
@@ -155,6 +167,7 @@ var callPool = sync.Pool{New: func() any {
 // invocation — the handler may still hold references.
 func (c *Call) release() {
 	c.args, c.astack, c.oob, c.resLen = nil, nil, nil, 0
+	c.bulkSegs, c.bulkFlat, c.bulkDir, c.bulkIn, c.bulkOut = nil, nil, 0, 0, 0
 	callPool.Put(c)
 }
 

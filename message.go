@@ -124,6 +124,14 @@ func (mb *MsgBinding) Call(proc int, args []byte) ([]byte, error) {
 	if mb.exp.terminated.Load() {
 		return nil, ErrRevoked
 	}
+	// The baseline honors the same argument ceiling as the real planes
+	// (see the error matrix in README.md) so comparative benchmarks
+	// classify oversized payloads identically. There is no bulk plane
+	// here: a payload within the ceiling simply takes the full copy
+	// complement, which is exactly the cost the baseline exists to show.
+	if len(args) > MaxOOBSize {
+		return nil, fmt.Errorf("%w: %d argument bytes exceed the %d-byte ceiling", ErrTooLarge, len(args), MaxOOBSize)
+	}
 
 	// Copy A: caller's stack -> request message.
 	msg := &message{proc: proc, reply: make(chan *message, 1)}

@@ -110,6 +110,14 @@ const (
 	// execution and the error was discarded — nobody is waiting for a
 	// reply (async.go; DESIGN §5.13). Err carries the dropped error.
 	TraceOneWayDrop
+	// TraceBulkSpill: in-band arguments overflowed a shm slot and were
+	// spilled to the session's bulk region instead of being rejected
+	// (bulk.go, shm.go); Proc carries the procedure when known.
+	TraceBulkSpill
+	// TraceBulkReject: a bulk payload or spill was refused — bulk region
+	// absent, payload beyond its capacity, or descriptor invalid. Err
+	// carries the classification the caller saw.
+	TraceBulkReject
 
 	numTraceKinds
 )
@@ -119,6 +127,7 @@ var traceKindNames = [numTraceKinds]string{
 	"shed", "breaker-open", "breaker-close", "rebind", "reap", "write-fail",
 	"shm-bind", "shm-peer-crash", "shm-torn-doorbell",
 	"election", "lease-expire", "failover", "one-way-drop",
+	"bulk-spill", "bulk-reject",
 }
 
 func (k TraceKind) String() string {
@@ -364,6 +373,7 @@ type exportMetrics struct {
 	dispatch histogram // whole client-visible call path
 	handler  histogram // server procedure proper (all planes, via runHandler)
 	copySpan histogram // argument staging + result copy (stub copies A and F)
+	bulkSpan histogram // bulk-carrying dispatches end to end, payload movement included
 }
 
 // poolObs is the gauge block behind astackPool.obs: checkout traffic and
@@ -441,6 +451,7 @@ type ExportSnapshot struct {
 	Dispatch HistogramSnapshot `json:"dispatch"`
 	Handler  HistogramSnapshot `json:"handler"`
 	Copy     HistogramSnapshot `json:"copy"`
+	Bulk     HistogramSnapshot `json:"bulk"`
 
 	Pools PoolSnapshot `json:"pools"`
 }
@@ -494,6 +505,7 @@ func (e *Export) MetricsSnapshot() ExportSnapshot {
 		sn.Dispatch = m.dispatch.snapshot()
 		sn.Handler = m.handler.snapshot()
 		sn.Copy = m.copySpan.snapshot()
+		sn.Bulk = m.bulkSpan.snapshot()
 	}
 	e.mu.Lock()
 	bindings := append([]*Binding(nil), e.bindings...)
@@ -571,7 +583,7 @@ func (s *System) WriteMetricsText(w io.Writer) error {
 		for _, span := range []struct {
 			name string
 			h    HistogramSnapshot
-		}{{"dispatch", e.Dispatch}, {"handler", e.Handler}, {"copy", e.Copy}} {
+		}{{"dispatch", e.Dispatch}, {"handler", e.Handler}, {"copy", e.Copy}, {"bulk", e.Bulk}} {
 			if _, err := fmt.Fprintf(w, "lrpc_span_count{iface=%q,span=%q} %d\n",
 				e.Name, span.name, span.h.Count); err != nil {
 				return err
@@ -648,13 +660,13 @@ func (e ExportSnapshot) Render() string {
 		fmt.Fprintf(&b, "  admission: cap %d, queue %d; %d inflight, %d queued\n",
 			a.MaxConcurrent, a.MaxQueue, a.Inflight, a.Queued)
 	}
-	if e.Dispatch.Count > 0 || e.Handler.Count > 0 || e.Copy.Count > 0 {
+	if e.Dispatch.Count > 0 || e.Handler.Count > 0 || e.Copy.Count > 0 || e.Bulk.Count > 0 {
 		fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s %10s\n",
 			"span", "p50", "p90", "p99", "max", "mean")
 		for _, span := range []struct {
 			name string
 			h    HistogramSnapshot
-		}{{"dispatch", e.Dispatch}, {"handler", e.Handler}, {"copy", e.Copy}} {
+		}{{"dispatch", e.Dispatch}, {"handler", e.Handler}, {"copy", e.Copy}, {"bulk", e.Bulk}} {
 			if span.h.Count == 0 {
 				continue
 			}

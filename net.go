@@ -44,6 +44,16 @@ import (
 // server, and the callID is ignored. The flag is masked off before the
 // procedure index is used, so a hostile flag bit can neither address a
 // different procedure nor make the server consume a reply path.
+//
+// Bit 30 of the proc word is the bulk flag (wireFlagBulk, bulk.go): the
+// request's args begin with a bulk header — u8 direction, u64 payload
+// length (BulkIn) or reserved capacity (BulkOut) — and, for BulkIn, the
+// payload itself streams on the connection immediately AFTER the frame,
+// outside the frame envelope, so it is never bounded by maxFrame and
+// never buffered through the frame parser. A bulk call's reply uses
+// status 3 ("ok + bulk"): body = u64 produced, results; the produced
+// payload bytes stream after the reply frame the same way. Frames stay
+// small; payloads move as raw chunked stream the kernel can splice.
 
 // ErrConnClosed reports a call on a closed network binding, or a call
 // whose connection died after the request may have reached the server
@@ -104,6 +114,23 @@ const maxFrame = MaxOOBSize + 1024
 // its proc word; see the wire protocol comment above.
 const wireFlagOneWay = uint32(1) << 31
 
+// wireFlagBulk marks a request that carries an out-of-frame bulk
+// payload (bit 30 of the proc word); see the wire protocol comment.
+const wireFlagBulk = uint32(1) << 30
+
+// bulkReqHdrSize is the bulk header prefixed to a bulk request's args:
+// u8 direction + u64 length/capacity.
+const bulkReqHdrSize = 1 + 8
+
+// reqOverhead is every request's fixed framing cost beyond the name and
+// args — call id, name length, proc word — excluding the frame length
+// word (maxFrame bounds the frame payload, not the length word). The
+// client-side size check (checkRequestSize) accounts for it plus the
+// interface name, so an oversized request is rejected with ErrTooLarge
+// before any byte is written instead of tripping the server's maxFrame
+// guard and killing the connection.
+const reqOverhead = 8 + 2 + 4
+
 // ServeOptions tunes ServeNetworkOpts. The zero value selects defaults.
 type ServeOptions struct {
 	// MaxInFlight bounds concurrently running handlers per connection;
@@ -113,6 +140,12 @@ type ServeOptions struct {
 	// WriteTimeout bounds each reply write, so a handler is never pinned
 	// forever on a peer that stopped reading. 0 selects 10s.
 	WriteTimeout time.Duration
+	// MaxBulkBytes bounds one request's out-of-frame bulk payload (or
+	// reserved BulkOut capacity); larger requests are rejected with
+	// ErrTooLarge — the payload is drained first so the stream stays
+	// framed. It bounds per-request server memory: up to MaxInFlight
+	// payloads can be resident at once. 0 selects MaxBulkSize.
+	MaxBulkBytes int64
 }
 
 func (o *ServeOptions) fill() {
@@ -121,6 +154,9 @@ func (o *ServeOptions) fill() {
 	}
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
+	}
+	if o.MaxBulkBytes <= 0 {
+		o.MaxBulkBytes = MaxBulkSize
 	}
 }
 
@@ -229,15 +265,60 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 			closeOnce.Do(func() { conn.Close() })
 		}
 	}
+	// replyBulk is reply for a successful bulk call: the status-3 frame
+	// plus the produced payload streamed behind it under one write-lock
+	// hold.
+	replyBulk := func(iface string, callID uint64, results, bulk []byte) {
+		if err := writeBulkReply(conn, &wmu, opts.WriteTimeout, callID, results, bulk); err != nil {
+			s.emitTrace(TraceWriteFail, iface, "", err)
+			closeOnce.Do(func() { conn.Close() })
+		}
+	}
 	bindings := map[string]*Binding{}
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
 			break
 		}
-		callID, name, proc, oneWay, args, err := parseRequest(frame)
+		callID, name, proc, oneWay, bulk, args, err := parseRequest(frame)
 		if err != nil {
 			break
+		}
+		// A bulk request's payload travels on the stream right behind its
+		// frame: it must be consumed here, in read-loop order, whatever
+		// becomes of the call itself — otherwise the next frame would be
+		// parsed out of the middle of the payload.
+		var bulkDir BulkDir
+		var bulkLen int64
+		var bulkIn []byte
+		if bulk {
+			bulkDir, bulkLen, args, err = parseBulkHeader(args)
+			if err != nil {
+				break // framing is unrecoverable past a malformed bulk header
+			}
+			if oneWay || bulkLen > opts.MaxBulkBytes {
+				// Reject, but keep the stream framed first.
+				if bulkDir == BulkIn {
+					if _, err := io.CopyN(io.Discard, conn, bulkLen); err != nil {
+						break
+					}
+				}
+				if oneWay {
+					s.emitTrace(TraceOneWayDrop, name, "",
+						errors.New("lrpc: one-way call cannot carry a bulk payload"))
+					continue
+				}
+				s.emitTrace(TraceBulkReject, name, "", ErrTooLarge)
+				reply(name, callID, 2, []byte(fmt.Sprintf(
+					"%s: %d-byte bulk payload exceeds the server's %d-byte limit",
+					ErrTooLarge.Error(), bulkLen, opts.MaxBulkBytes)))
+				continue
+			}
+			if bulkDir == BulkIn {
+				if bulkIn, err = readBulkBody(conn, int(bulkLen)); err != nil {
+					break
+				}
+			}
 		}
 		b, ok := bindings[name]
 		if !ok {
@@ -267,6 +348,38 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if bulk {
+				var segs [][]byte
+				inLen := 0
+				var outBuf []byte
+				if bulkDir == BulkIn {
+					segs = [][]byte{bulkIn}
+					inLen = len(bulkIn)
+				} else {
+					outBuf = make([]byte, bulkLen)
+					segs = [][]byte{outBuf}
+				}
+				res, produced, err := b.dispatchBulk(proc, args, bulkDir, segs, inLen)
+				select {
+				case <-closing:
+					return
+				default:
+				}
+				if err != nil {
+					reply(name, callID, rejectStatus(err), []byte(err.Error()))
+					return
+				}
+				if len(res) > MaxOOBSize {
+					reply(name, callID, 1, []byte(oversizedResults(len(res))))
+					return
+				}
+				if bulkDir == BulkIn {
+					reply(name, callID, 0, res)
+					return
+				}
+				replyBulk(name, callID, res, outBuf[:produced])
+				return
+			}
 			res, err := b.Call(proc, args)
 			if oneWay {
 				if err != nil {
@@ -281,6 +394,14 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 			}
 			if err != nil {
 				reply(name, callID, rejectStatus(err), []byte(err.Error()))
+				return
+			}
+			if len(res) > MaxOOBSize {
+				// An oversized result frame would trip the client's
+				// maxFrame guard and kill the whole pipelined connection;
+				// fail this one call cleanly instead. Results beyond
+				// MaxOOBSize need the bulk plane (CallBulk with BulkOut).
+				reply(name, callID, 1, []byte(oversizedResults(len(res))))
 				return
 			}
 			reply(name, callID, 0, res)
@@ -447,11 +568,20 @@ type pendingCall struct {
 	// instead of being handed over ch, and releases the in-flight slot
 	// the submission acquired.
 	fut *Future
+	// bulk, when non-nil, is a synchronous bulk call's handle: a status-3
+	// reply's payload streams into it directly from the read loop, which
+	// is the only place the bytes behind the reply frame can be consumed
+	// in order.
+	bulk *BulkHandle
 }
 
 type netReply struct {
 	status byte
 	body   []byte
+	// bulkErr records a sink-write failure while the read loop streamed a
+	// bulk reply into the handle's io.Writer (the stream itself was
+	// drained, so the connection survives).
+	bulkErr error
 }
 
 // DialInterface connects to a remote System at addr (as served by
@@ -617,6 +747,38 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 			delete(c.wait, id)
 		}
 		c.mu.Unlock()
+		if reply.status == 3 {
+			// Bulk reply: the produced payload streams right behind the
+			// frame and must be consumed here, waiter or no waiter, before
+			// the next frame can be parsed.
+			if len(reply.body) < 8 {
+				c.connBroken(conn, gen, errors.New("lrpc: short bulk reply"))
+				return
+			}
+			produced := int64(binary.LittleEndian.Uint64(reply.body[0:8]))
+			reply.body = reply.body[8:]
+			var h *BulkHandle
+			if ok && p.fut == nil {
+				h = p.bulk
+			}
+			sinkErr, connErr := c.streamBulkReply(conn, h, produced)
+			if connErr != nil {
+				// The payload stream broke: the connection is beyond
+				// recovery, and the claimed waiter learns like every other
+				// pipelined call — through its closed channel.
+				if ok {
+					if p.fut != nil {
+						<-c.sem
+						p.fut.complete(nil, fmt.Errorf("%w: connection lost during bulk reply", ErrConnClosed))
+					} else {
+						close(p.ch)
+					}
+				}
+				c.connBroken(conn, gen, connErr)
+				return
+			}
+			reply.status, reply.bulkErr = 0, sinkErr
+		}
 		if !ok {
 			continue
 		}
@@ -635,6 +797,52 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 		}
 		p.ch <- reply
 	}
+}
+
+// streamBulkReply consumes produced payload bytes following a status-3
+// reply frame, directing them into the waiter's handle — or the void,
+// when the waiter is gone or timed out. A sink-write failure (sinkErr)
+// still drains the remaining stream bytes so the connection stays
+// framed; connErr reports the stream itself failing or the server
+// overrunning the handle's reserved capacity, both fatal to the
+// connection.
+func (c *NetClient) streamBulkReply(conn net.Conn, h *BulkHandle, produced int64) (sinkErr, connErr error) {
+	if produced < 0 {
+		return nil, fmt.Errorf("lrpc: bulk reply length %d out of range", produced)
+	}
+	if h == nil {
+		_, err := io.CopyN(io.Discard, conn, produced)
+		return nil, err
+	}
+	if produced > h.length() {
+		return nil, fmt.Errorf("lrpc: %d-byte bulk reply exceeds the handle's %d-byte capacity",
+			produced, h.length())
+	}
+	if h.dst == nil {
+		if _, err := io.ReadFull(conn, h.buf[:produced]); err != nil {
+			return nil, err
+		}
+		h.n = produced
+		return nil, nil
+	}
+	// Writer-backed sink: chunked copy, draining past any sink failure.
+	cbuf := make([]byte, 256<<10)
+	remaining := produced
+	for remaining > 0 {
+		k := min(int64(len(cbuf)), remaining)
+		if _, err := io.ReadFull(conn, cbuf[:k]); err != nil {
+			return sinkErr, err
+		}
+		remaining -= k
+		if sinkErr == nil {
+			if _, werr := h.dst.Write(cbuf[:k]); werr != nil {
+				sinkErr = werr
+			} else {
+				h.n += k
+			}
+		}
+	}
+	return sinkErr, nil
 }
 
 // connBroken retires a dead connection: detach it (if it is still the
@@ -794,8 +1002,8 @@ func (c *NetClient) Call(proc int, args []byte) ([]byte, error) {
 // ErrCallTimeout when the deadline expires, whether it is waiting for an
 // in-flight slot, a reconnection, or the reply.
 func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
-	if len(args) > MaxOOBSize {
-		return nil, ErrTooLarge
+	if err := c.checkRequestSize(args, 0); err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -928,6 +1136,232 @@ func (c *NetClient) writeRequest(ctx context.Context, conn net.Conn, id uint64, 
 	c.wmu.Unlock()
 	frameBufPool.Put(bp)
 	return n > 0, err
+}
+
+// checkRequestSize rejects, before any wire activity, a request that
+// could never cross: args beyond MaxOOBSize, a name beyond the u16
+// field, or a total frame — fixed overhead, name, bulk header (extra),
+// args — beyond maxFrame. Without this, a request near the limits would
+// pass the client, trip the server's readFrame guard, and take the
+// whole pipelined connection down with it.
+func (c *NetClient) checkRequestSize(args []byte, extra int) error {
+	if len(args) > MaxOOBSize {
+		return ErrTooLarge
+	}
+	if len(c.name) > 0xFFFF {
+		return fmt.Errorf("%w: interface name of %d bytes exceeds the wire limit", ErrTooLarge, len(c.name))
+	}
+	if n := reqOverhead + len(c.name) + extra + len(args); n > maxFrame {
+		return fmt.Errorf("%w: %d-byte request frame exceeds the %d-byte wire limit", ErrTooLarge, n, maxFrame)
+	}
+	return nil
+}
+
+// CallBulk performs one network RPC carrying an out-of-frame bulk
+// payload (bulk.go; nil h degrades to Call), under the client's default
+// CallTimeout when one is configured. WriteTimeout bounds the whole
+// payload stream — raise it when moving very large payloads over slow
+// links.
+func (c *NetClient) CallBulk(proc int, args []byte, h *BulkHandle) ([]byte, error) {
+	ctx := context.Background()
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
+	return c.CallBulkContext(ctx, proc, args, h)
+}
+
+// CallBulkContext is CallBulk under a context. When a deadline fires
+// after the read loop has begun streaming the reply payload into the
+// handle's buffer, the call waits for that stream to finish before
+// returning, so the buffer is never written after the caller regains
+// control.
+func (c *NetClient) CallBulkContext(ctx context.Context, proc int, args []byte, h *BulkHandle) ([]byte, error) {
+	if h == nil {
+		return c.CallContext(ctx, proc, args)
+	}
+	if err := h.check(); err != nil {
+		return nil, err
+	}
+	if err := c.checkRequestSize(args, bulkReqHdrSize); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h.n = 0
+	c.calls.Add(1)
+	var probe bool
+	if c.br != nil {
+		var err error
+		probe, err = c.br.allow(time.Now())
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := c.doCallBulk(ctx, proc, args, h)
+	c.brObserve(probe, err)
+	return res, err
+}
+
+func (c *NetClient) doCallBulk(ctx context.Context, proc int, args []byte, h *BulkHandle) ([]byte, error) {
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.closedCh:
+		return nil, notSent(ErrConnClosed)
+	case <-ctx.Done():
+		c.timeouts.Add(1)
+		return nil, timeoutError(ctx.Err())
+	}
+	defer func() { <-c.sem }()
+
+	// A buffer-backed payload can be replayed, so a request that never
+	// reached the wire retries like doCall; a stream-backed source is
+	// consumed by its attempt and gets exactly one.
+	replayable := h.src == nil
+	for attempt := 0; attempt < c.opts.RedialAttempts; attempt++ {
+		conn, gen, err := c.getConn(ctx)
+		if err != nil {
+			if errors.Is(err, ErrCallTimeout) {
+				c.timeouts.Add(1)
+				return nil, err
+			}
+			return nil, notSent(err)
+		}
+
+		p := &pendingCall{ch: make(chan netReply, 1), gen: gen, bulk: h}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, notSent(ErrConnClosed)
+		}
+		c.nextID++
+		id := c.nextID
+		c.wait[id] = p
+		c.mu.Unlock()
+
+		wrote, werr := c.writeBulkRequest(ctx, conn, id, uint32(proc)|wireFlagBulk, args, h)
+		if werr != nil {
+			c.unregister(id)
+			c.emitEvent(TraceWriteFail, werr)
+			c.connBroken(conn, gen, werr)
+			if !wrote {
+				if replayable {
+					c.retries.Add(1)
+					continue
+				}
+				return nil, notSent(werr)
+			}
+			return nil, fmt.Errorf("%w: send failed mid-request: %v", ErrConnClosed, werr)
+		}
+
+		reply, delivered, err := c.awaitBulkReply(ctx, id, p)
+		if err != nil {
+			return nil, err
+		}
+		if !delivered {
+			return nil, fmt.Errorf("%w: connection lost awaiting reply", ErrConnClosed)
+		}
+		if reply.status != 0 {
+			c.failures.Add(1)
+			return nil, &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2}
+		}
+		if reply.bulkErr != nil {
+			return reply.body, fmt.Errorf("lrpc: bulk sink: %w", reply.bulkErr)
+		}
+		if h.dir == BulkIn {
+			h.n = h.length()
+		}
+		return reply.body, nil
+	}
+	return nil, notSent(fmt.Errorf("%w: request could not be sent after %d attempts",
+		ErrConnClosed, c.opts.RedialAttempts))
+}
+
+// awaitBulkReply waits for a bulk call's reply. When the deadline (or
+// Close) fires after the read loop already claimed the call — it may be
+// mid-stream into the handle's buffer — the call keeps waiting for the
+// claimed delivery instead of abandoning a buffer the read loop is
+// writing; the stream's completion or the connection's death bounds the
+// wait.
+func (c *NetClient) awaitBulkReply(ctx context.Context, id uint64, p *pendingCall) (netReply, bool, error) {
+	select {
+	case reply, ok := <-p.ch:
+		return reply, ok, nil
+	case <-ctx.Done():
+		if c.unregister(id) {
+			c.timeouts.Add(1)
+			return netReply{}, false, timeoutError(ctx.Err())
+		}
+	case <-c.closedCh:
+		if c.unregister(id) {
+			return netReply{}, false, ErrConnClosed
+		}
+	}
+	// The read loop owns the call: a reply or a channel close is
+	// guaranteed to arrive.
+	reply, ok := <-p.ch
+	return reply, ok, nil
+}
+
+// unregister removes a pending call from the wait table; false reports
+// that the read loop already claimed it.
+func (c *NetClient) unregister(id uint64) bool {
+	c.mu.Lock()
+	_, present := c.wait[id]
+	if present {
+		delete(c.wait, id)
+	}
+	c.mu.Unlock()
+	return present
+}
+
+// writeBulkRequest writes the bulk request frame and, for BulkIn,
+// streams the payload right behind it under the same write-lock hold,
+// so a concurrent request cannot interleave into the payload. A
+// buffer-backed payload is a single Write; a stream-backed one goes
+// through io.CopyN, whose ReadFrom fast path hands an *os.File source
+// to sendfile(2) on platforms that provide it. wrote reports whether
+// any byte reached the connection.
+func (c *NetClient) writeBulkRequest(ctx context.Context, conn net.Conn, id uint64, procWord uint32, args []byte, h *BulkHandle) (wrote bool, err error) {
+	payload := int64(0)
+	if h.dir == BulkIn {
+		payload = h.length()
+	}
+	capacity := h.length()
+	bp := frameBuf(4 + 8 + 2 + len(c.name) + 4 + bulkReqHdrSize + len(args))
+	buf := *bp
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
+	binary.LittleEndian.PutUint64(buf[4:12], id)
+	binary.LittleEndian.PutUint16(buf[12:14], uint16(len(c.name)))
+	off := 14 + copy(buf[14:], c.name)
+	binary.LittleEndian.PutUint32(buf[off:], procWord)
+	buf[off+4] = byte(h.dir)
+	binary.LittleEndian.PutUint64(buf[off+5:off+13], uint64(capacity))
+	copy(buf[off+4+bulkReqHdrSize:], args)
+
+	deadline := time.Now().Add(c.opts.WriteTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	conn.SetWriteDeadline(deadline)
+	defer conn.SetWriteDeadline(time.Time{})
+	n, err := conn.Write(buf)
+	frameBufPool.Put(bp)
+	if err != nil || payload == 0 {
+		return n > 0, err
+	}
+	// A fresh budget for the payload: it can dwarf the frame.
+	conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	if h.src != nil {
+		_, err = io.CopyN(conn, h.src, payload)
+	} else {
+		_, err = conn.Write(h.buf)
+	}
+	return true, err
 }
 
 // Close tears down the connection permanently; in-flight calls fail with
@@ -1125,21 +1559,114 @@ func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID ui
 	return err
 }
 
-func parseRequest(frame []byte) (callID uint64, name string, proc int, oneWay bool, args []byte, err error) {
+func parseRequest(frame []byte) (callID uint64, name string, proc int, oneWay, bulk bool, args []byte, err error) {
 	if len(frame) < 10 {
-		return 0, "", 0, false, nil, errors.New("lrpc: short request")
+		return 0, "", 0, false, false, nil, errors.New("lrpc: short request")
 	}
 	callID = binary.LittleEndian.Uint64(frame[0:8])
 	nameLen := int(binary.LittleEndian.Uint16(frame[8:10]))
 	if len(frame) < 10+nameLen+4 {
-		return 0, "", 0, false, nil, errors.New("lrpc: truncated request")
+		return 0, "", 0, false, false, nil, errors.New("lrpc: truncated request")
 	}
 	name = string(frame[10 : 10+nameLen])
 	procWord := binary.LittleEndian.Uint32(frame[10+nameLen:])
 	oneWay = procWord&wireFlagOneWay != 0
-	// Mask the flag bit off unconditionally: a hostile flag must not be
+	bulk = procWord&wireFlagBulk != 0
+	// Mask the flag bits off unconditionally: a hostile flag must not be
 	// able to alias one procedure index onto another.
-	proc = int(procWord &^ wireFlagOneWay)
+	proc = int(procWord &^ (wireFlagOneWay | wireFlagBulk))
 	args = frame[10+nameLen+4:]
-	return callID, name, proc, oneWay, args, nil
+	return callID, name, proc, oneWay, bulk, args, nil
+}
+
+// parseBulkHeader splits a bulk request's args into the bulk header —
+// direction and payload length (BulkIn) or reserved capacity (BulkOut)
+// — and the in-band args proper. An invalid header is unrecoverable:
+// the connection cannot know whether payload bytes follow, so callers
+// must drop it.
+func parseBulkHeader(args []byte) (BulkDir, int64, []byte, error) {
+	if len(args) < bulkReqHdrSize {
+		return 0, 0, nil, errors.New("lrpc: truncated bulk header")
+	}
+	dir := BulkDir(args[0])
+	n := int64(binary.LittleEndian.Uint64(args[1:9]))
+	if dir != BulkIn && dir != BulkOut {
+		return 0, 0, nil, fmt.Errorf("lrpc: bad bulk direction %d", args[0])
+	}
+	if n < 0 || n > MaxBulkSize {
+		return 0, 0, nil, fmt.Errorf("lrpc: bulk length %d out of range", n)
+	}
+	return dir, n, args[bulkReqHdrSize:], nil
+}
+
+// readBulkBody reads exactly n out-of-frame payload bytes. Like
+// readFrame's large case, the buffer grows only as bytes actually
+// arrive, so a hostile length cannot commit the whole allocation before
+// sending a single payload byte.
+func readBulkBody(r io.Reader, n int) ([]byte, error) {
+	const chunk = 256 << 10
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		want := min(n-len(buf), chunk)
+		if len(buf)+want > cap(buf) {
+			grown := cap(buf) * 2
+			if grown > n {
+				grown = n
+			}
+			nb := make([]byte, len(buf), grown)
+			copy(nb, buf)
+			buf = nb
+		}
+		off := len(buf)
+		buf = buf[:off+want]
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// writeBulkReply writes a status-3 reply — frame(callID, 3, u64
+// produced, results) — with the produced payload bytes streamed right
+// behind the frame, all under the write lock so a concurrent reply
+// cannot interleave into the payload.
+func writeBulkReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID uint64, results, bulk []byte) error {
+	bp := frameBuf(4 + 9 + 8 + len(results))
+	buf := *bp
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(9+8+len(results)))
+	binary.LittleEndian.PutUint64(buf[4:12], callID)
+	buf[12] = 3
+	binary.LittleEndian.PutUint64(buf[13:21], uint64(len(bulk)))
+	copy(buf[21:], results)
+	wmu.Lock()
+	defer wmu.Unlock()
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := conn.Write(buf)
+	frameBufPool.Put(bp)
+	if err != nil {
+		return err
+	}
+	if timeout > 0 {
+		// A fresh budget for the payload: it can dwarf the frame.
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err = conn.Write(bulk)
+	return err
+}
+
+// oversizedResults is the error text for handler results beyond
+// MaxOOBSize on a plane that cannot frame them.
+func oversizedResults(n int) string {
+	return fmt.Sprintf("%s: %d result bytes exceed MaxOOBSize (%d); use CallBulk with a BulkOut handle",
+		ErrTooLarge.Error(), n, MaxOOBSize)
 }

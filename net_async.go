@@ -36,8 +36,8 @@ import (
 // future and will complete it exactly once; an error return means the
 // future was never handed off and the caller must complete it.
 func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Future) error {
-	if len(args) > MaxOOBSize {
-		return ErrTooLarge
+	if err := c.checkRequestSize(args, 0); err != nil {
+		return err
 	}
 	c.asyncCalls.Add(1)
 	select {
@@ -114,8 +114,8 @@ func (c *NetClient) CallAsync(proc int, args []byte) (*Future, error) {
 // covers local submission only; at-most-once execution is all the
 // caller may assume (DESIGN §5.13).
 func (c *NetClient) CallOneWay(proc int, args []byte) error {
-	if len(args) > MaxOOBSize {
-		return ErrTooLarge
+	if err := c.checkRequestSize(args, 0); err != nil {
+		return err
 	}
 	c.oneWays.Add(1)
 	ctx := context.Background()
@@ -154,11 +154,8 @@ type netBatch struct {
 
 func (nb *netBatch) stage(e *batchEnt) error {
 	c := nb.c
-	if len(e.args) > MaxOOBSize {
-		return ErrTooLarge
-	}
-	if len(c.name) > 0xFFFF {
-		return fmt.Errorf("lrpc: interface name of %d bytes exceeds the wire limit", len(c.name))
+	if err := c.checkRequestSize(e.args, 0); err != nil {
+		return err
 	}
 	if e.fut != nil {
 		e.fut.abandons = &c.timeouts

@@ -43,9 +43,28 @@ func FuzzParseRequest(f *testing.F) {
 	hostile = binary.LittleEndian.AppendUint16(hostile, 0)
 	hostile = binary.LittleEndian.AppendUint32(hostile, ^uint32(0))
 	f.Add(hostile)
+	// Bulk frames: the flag plus a well-formed bulk header (dir + payload
+	// length) in the args, and the flag with truncated args — the parser
+	// only surfaces the flag; header validation is parseBulkHeader's job.
+	bulky := make([]byte, 0, 48)
+	bulky = binary.LittleEndian.AppendUint64(bulky, 9)
+	bulky = binary.LittleEndian.AppendUint16(bulky, 4)
+	bulky = append(bulky, "Echo"...)
+	bulky = binary.LittleEndian.AppendUint32(bulky, 3|wireFlagBulk)
+	bulky = append(bulky, byte(BulkIn))
+	bulky = binary.LittleEndian.AppendUint64(bulky, 1<<20)
+	bulky = append(bulky, 0xCC)
+	f.Add(bulky)
+	truncBulk := make([]byte, 0, 32)
+	truncBulk = binary.LittleEndian.AppendUint64(truncBulk, 9)
+	truncBulk = binary.LittleEndian.AppendUint16(truncBulk, 4)
+	truncBulk = append(truncBulk, "Echo"...)
+	truncBulk = binary.LittleEndian.AppendUint32(truncBulk, 3|wireFlagBulk)
+	truncBulk = append(truncBulk, byte(BulkOut)) // header cut short
+	f.Add(truncBulk)
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		callID, name, proc, oneWay, args, err := parseRequest(frame)
+		callID, name, proc, oneWay, bulk, args, err := parseRequest(frame)
 		if err != nil {
 			return
 		}
@@ -63,15 +82,19 @@ func FuzzParseRequest(f *testing.F) {
 			// parse negative.
 			t.Fatalf("negative proc index %d from wire bytes", proc)
 		}
-		// Flag invariants: oneWay mirrors the wire bit, and the bit never
-		// leaks into the proc index (a hostile flagged proc must not
-		// address a different procedure than its unflagged twin).
+		// Flag invariants: oneWay and bulk mirror their wire bits, and
+		// neither bit leaks into the proc index (a hostile flagged proc
+		// must not address a different procedure than its unflagged twin).
 		procWord := binary.LittleEndian.Uint32(frame[10+len(name):])
 		if oneWay != (procWord&wireFlagOneWay != 0) {
 			t.Fatalf("oneWay %v does not match wire bit in proc word %#x", oneWay, procWord)
 		}
-		if uint32(proc)&wireFlagOneWay != 0 || uint32(proc) != procWord&^wireFlagOneWay {
-			t.Fatalf("one-way flag leaked into proc index %#x (wire word %#x)", proc, procWord)
+		if bulk != (procWord&wireFlagBulk != 0) {
+			t.Fatalf("bulk %v does not match wire bit in proc word %#x", bulk, procWord)
+		}
+		if uint32(proc)&(wireFlagOneWay|wireFlagBulk) != 0 ||
+			uint32(proc) != procWord&^(wireFlagOneWay|wireFlagBulk) {
+			t.Fatalf("flag bits leaked into proc index %#x (wire word %#x)", proc, procWord)
 		}
 		// The parsed name and args must alias or equal the frame's bytes.
 		if string(frame[10:10+len(name)]) != name {
@@ -97,6 +120,19 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<20)) // big claim, no body
 	f.Add(frame(bytes.Repeat([]byte{0x5A}, 70<<10)))    // crosses the 64 KiB chunk
 	f.Add([]byte{1, 2})                                 // truncated header
+	// Boundary pair: a frame of exactly maxFrame must round-trip (a
+	// MaxOOBSize reply plus its header fits the headroom), one byte more
+	// must be rejected before any body allocation.
+	f.Add(frame(bytes.Repeat([]byte{0x6B}, maxFrame)))
+	f.Add(binary.LittleEndian.AppendUint32(nil, uint32(maxFrame+1)))
+	// A bulk-reply-shaped frame: id u64 | status 3 | produced u64 |
+	// results — the frame itself is ordinary; the payload streams after
+	// it and never passes through readFrame.
+	bulkReply := binary.LittleEndian.AppendUint64(nil, 11)
+	bulkReply = append(bulkReply, 3)
+	bulkReply = binary.LittleEndian.AppendUint64(bulkReply, 1<<16)
+	bulkReply = append(bulkReply, "ok"...)
+	f.Add(frame(bulkReply))
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		r := bytes.NewReader(stream)

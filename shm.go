@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"runtime"
@@ -49,10 +50,24 @@ import (
 
 const (
 	shmMagic   = uint64(0x314D4853_43505254) // segment/handshake tag ("TRPCSHM1")
-	shmVersion = uint32(1)
+	shmVersion = uint32(2)                   // v2: bulk region + per-slot descriptors
 
 	shmHdrSize  = 128
 	slotHdrSize = 64
+
+	// Bulk region geometry: the segment tail past the slots is a
+	// page-granular pool the client allocates from; a call names its
+	// pages through a scatter/gather descriptor area between the slot
+	// header and the payload, and the server reads them in place —
+	// Mercury's registered-bulk-handle model over the paper's pairwise
+	// segment (DESIGN §5.14).
+	bulkPageSize = 64 << 10
+	bulkDescSize = 256 // u32 run count + maxBulkRuns × (u32 page, u32 count)
+	maxBulkRuns  = (bulkDescSize - 4) / 8
+
+	// slotPayloadOff is where the in-band payload starts inside a slot's
+	// stride: header, then descriptor area, then A-stack bytes.
+	slotPayloadOff = slotHdrSize + bulkDescSize
 
 	// segment header offsets
 	shmOffMagic       = 0
@@ -61,14 +76,18 @@ const (
 	shmOffSlotSize    = 16
 	shmOffServerEpoch = 20
 	shmOffClientEpoch = 24
+	shmOffBulkBytes   = 32 // u64: granted bulk-region size
 
 	// per-slot header offsets (relative to the slot base)
-	slotOffState  = 0
-	slotOffProc   = 4
-	slotOffArgLen = 8
-	slotOffResLen = 12
-	slotOffCode   = 16
-	slotOffCallID = 24
+	slotOffState   = 0
+	slotOffProc    = 4
+	slotOffArgLen  = 8
+	slotOffResLen  = 12
+	slotOffCode    = 16
+	slotOffCallID  = 24
+	slotOffBulkLen = 32 // u64: payload length (in/spill) or produced length (out reply)
+	slotOffBulkCap = 40 // u64: capacity the descriptor's pages provide
+	slotOffBulkDir = 48 // u32: BulkDir, bulkDirSpill, or 0 for a plain call
 
 	// slot states
 	slotIdle    = uint32(0)
@@ -88,21 +107,24 @@ const (
 )
 
 // shmLayout is the deterministic geometry of a segment, computed
-// identically on both sides from the handshake's (nslots, slotSize).
+// identically on both sides from the handshake's (nslots, slotSize,
+// bulkBytes).
 type shmLayout struct {
-	nslots   int
-	slotSize int
-	ringCap  int
-	c2sOff   int
-	s2cOff   int
-	slotsOff int
-	stride   int
-	segSize  int
+	nslots    int
+	slotSize  int
+	bulkBytes int // granted bulk-region size; 0 disables the bulk plane
+	ringCap   int
+	c2sOff    int
+	s2cOff    int
+	slotsOff  int
+	stride    int
+	bulkOff   int
+	segSize   int
 }
 
-func shmLayoutFor(nslots, slotSize int) shmLayout {
+func shmLayoutFor(nslots, slotSize int, bulkBytes int) shmLayout {
 	align := func(n, a int) int { return (n + a - 1) &^ (a - 1) }
-	l := shmLayout{nslots: nslots, slotSize: slotSize}
+	l := shmLayout{nslots: nslots, slotSize: slotSize, bulkBytes: bulkBytes}
 	// The rings hold slot indices plus slack, so a torn or duplicated
 	// doorbell can never wedge a full ring.
 	l.ringCap = shmring.CapFor(2 * nslots)
@@ -111,8 +133,9 @@ func shmLayoutFor(nslots, slotSize int) shmLayout {
 	l.c2sOff = shmHdrSize
 	l.s2cOff = l.c2sOff + ringSize
 	l.slotsOff = l.s2cOff + ringSize
-	l.stride = slotHdrSize + align(slotSize, 64)
-	l.segSize = align(l.slotsOff+nslots*l.stride, 4096)
+	l.stride = slotPayloadOff + align(slotSize, 64)
+	l.bulkOff = align(l.slotsOff+nslots*l.stride, 4096)
+	l.segSize = align(l.bulkOff+bulkBytes, 4096)
 	return l
 }
 
@@ -374,7 +397,7 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 		conn.Close()
 		return
 	}
-	if len(frame) < 22 || binary.LittleEndian.Uint64(frame[0:8]) != shmMagic {
+	if len(frame) < 30 || binary.LittleEndian.Uint64(frame[0:8]) != shmMagic {
 		fail("lrpc: bad shm bind request")
 		return
 	}
@@ -384,12 +407,13 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 	}
 	slots := int(binary.LittleEndian.Uint32(frame[12:16]))
 	slotSize := int(binary.LittleEndian.Uint32(frame[16:20]))
-	nameLen := int(binary.LittleEndian.Uint16(frame[20:22]))
-	if len(frame) < 22+nameLen {
+	bulkBytes := int64(binary.LittleEndian.Uint64(frame[20:28]))
+	nameLen := int(binary.LittleEndian.Uint16(frame[28:30]))
+	if len(frame) < 30+nameLen {
 		fail("lrpc: truncated shm bind request")
 		return
 	}
-	name := string(frame[22 : 22+nameLen])
+	name := string(frame[30 : 30+nameLen])
 	if slots < 1 {
 		slots = 1
 	}
@@ -399,9 +423,27 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 	if slotSize < 64 {
 		slotSize = 64
 	}
+	// A slot request the server cannot honor is a deterministic bind
+	// failure, never a silent clamp: a clamped slot would truncate the
+	// arguments of calls the client sized against what it asked for.
 	if slotSize > sv.opts.MaxSlotSize {
-		slotSize = sv.opts.MaxSlotSize
+		fail(fmt.Sprintf("%s: requested %d-byte slots exceed the server's %d-byte maximum",
+			ErrTooLarge.Error(), slotSize, sv.opts.MaxSlotSize))
+		return
 	}
+	// The bulk grant, by contrast, is a negotiation: the client checks
+	// every payload against the granted size, so capping it loses no
+	// data. Round up to whole pages.
+	if bulkBytes < 0 {
+		bulkBytes = 0
+	}
+	if bulkBytes > sv.opts.MaxBulkBytes {
+		bulkBytes = sv.opts.MaxBulkBytes
+	}
+	if bulkBytes > MaxBulkSize {
+		bulkBytes = MaxBulkSize
+	}
+	bulkBytes = (bulkBytes + bulkPageSize - 1) &^ (bulkPageSize - 1)
 
 	// Bind-time validation: the import either succeeds now or the
 	// caller never gets a segment — there is no per-call name check.
@@ -411,7 +453,7 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 		return
 	}
 
-	lay := shmLayoutFor(slots, slotSize)
+	lay := shmLayoutFor(slots, slotSize, int(bulkBytes))
 	f, seg, err := newShmSegment(lay.segSize)
 	if err != nil {
 		fail(err.Error())
@@ -421,6 +463,7 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 	shmU32(seg, shmOffVersion).Store(shmVersion)
 	shmU32(seg, shmOffNSlots).Store(uint32(slots))
 	shmU32(seg, shmOffSlotSize).Store(uint32(slotSize))
+	shmU64(seg, shmOffBulkBytes).Store(uint64(bulkBytes))
 	shmU32(seg, shmOffServerEpoch).Store(1)
 	c2s, err := shmring.Init(seg[lay.c2sOff:lay.s2cOff], lay.ringCap)
 	if err == nil {
@@ -441,6 +484,7 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 			binary.LittleEndian.PutUint32(reply[4:8], uint32(slots))
 			binary.LittleEndian.PutUint32(reply[8:12], uint32(slotSize))
 			binary.LittleEndian.PutUint64(reply[16:24], uint64(lay.segSize))
+			binary.LittleEndian.PutUint64(reply[32:40], uint64(bulkBytes))
 			rights := syscall.UnixRights(int(f.Fd()))
 			if _, _, werr := conn.WriteMsgUnix(reply, rights, nil); werr != nil {
 				err = werr
@@ -581,17 +625,22 @@ func (ss *shmSession) dispatch(v uint64) {
 	}
 	proc := int(shmU32(ss.seg, base+slotOffProc).Load())
 	argLen := int(shmU32(ss.seg, base+slotOffArgLen).Load())
-	payload := ss.seg[base+slotHdrSize : base+slotHdrSize+ss.lay.slotSize]
+	dir := shmU32(ss.seg, base+slotOffBulkDir).Load()
+	payload := ss.seg[base+slotPayloadOff : base+slotPayloadOff+ss.lay.slotSize]
 	var (
-		resLen int
-		oob    []byte
-		err    error
+		resLen   int
+		oob      []byte
+		produced int
+		err      error
 	)
-	if argLen > ss.lay.slotSize {
+	switch {
+	case argLen > ss.lay.slotSize:
 		err = fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot",
 			ErrTooLarge, argLen, ss.lay.slotSize)
-	} else {
+	case dir == 0:
 		resLen, oob, err = ss.b.callShared(proc, payload, argLen)
+	default:
+		resLen, oob, produced, err = ss.dispatchBulk(base, dir, proc, payload, argLen)
 	}
 	if err == nil && oob != nil {
 		// Out-of-band results do not fit the pairwise A-stack; the shm
@@ -599,6 +648,9 @@ func (ss *shmSession) dispatch(v uint64) {
 		// size exception rather than silent truncation.
 		err = fmt.Errorf("%w: %d result bytes exceed the %d-byte slot",
 			ErrTooLarge, resLen, ss.lay.slotSize)
+	}
+	if err == nil && dir == uint32(BulkOut) {
+		shmU64(ss.seg, base+slotOffBulkLen).Store(uint64(produced))
 	}
 	if err != nil {
 		text := err.Error()
@@ -624,20 +676,119 @@ func (ss *shmSession) dispatch(v uint64) {
 	ss.s2c.Bump()
 }
 
+// readBulkDesc parses and validates one slot's scatter/gather
+// descriptor. The descriptor lives in client-writable memory, so every
+// field is hostile until proven in-bounds: run counts, page indices,
+// and totals are checked against the granted bulk region before any
+// segment slice is built — a forged descriptor must never hand a
+// handler bytes outside the bulk region.
+func (ss *shmSession) readBulkDesc(base int) (segs [][]byte, total int64, err error) {
+	if ss.lay.bulkBytes == 0 {
+		return nil, 0, errors.New("lrpc: shm bulk call on a session with no bulk region")
+	}
+	npages := ss.lay.bulkBytes / bulkPageSize
+	desc := ss.seg[base+slotHdrSize : base+slotPayloadOff]
+	nruns := int(binary.LittleEndian.Uint32(desc[0:4]))
+	if nruns > maxBulkRuns {
+		return nil, 0, fmt.Errorf("lrpc: shm bulk descriptor claims %d runs", nruns)
+	}
+	segs = make([][]byte, 0, nruns)
+	for i := 0; i < nruns; i++ {
+		start := int(binary.LittleEndian.Uint32(desc[4+i*8:]))
+		count := int(binary.LittleEndian.Uint32(desc[8+i*8:]))
+		if count <= 0 || start > npages-count {
+			return nil, 0, fmt.Errorf(
+				"lrpc: shm bulk descriptor run [%d,+%d) outside the %d-page region",
+				start, count, npages)
+		}
+		off := ss.lay.bulkOff + start*bulkPageSize
+		segs = append(segs, ss.seg[off:off+count*bulkPageSize])
+		total += int64(count) * bulkPageSize
+	}
+	return segs, total, nil
+}
+
+// truncSegs limits a segment list to its first n bytes.
+func truncSegs(segs [][]byte, n int64) [][]byte {
+	out := segs[:0]
+	for _, s := range segs {
+		if n <= 0 {
+			break
+		}
+		if int64(len(s)) > n {
+			s = s[:n]
+		}
+		out = append(out, s)
+		n -= int64(len(s))
+	}
+	return out
+}
+
+// dispatchBulk runs one bulk-carrying doorbell: validate the
+// descriptor, then route by direction — spilled arguments re-enter the
+// plain dispatch path with the bulk pages as the argument bytes, while
+// in/out payloads surface through the Call's bulk accessors with the
+// pages read and written in place (the plane's zero-copy transfer).
+func (ss *shmSession) dispatchBulk(base int, dir uint32, proc int, payload []byte, argLen int) (resLen int, oob []byte, produced int, err error) {
+	segs, total, err := ss.readBulkDesc(base)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	bulkCap := int64(shmU64(ss.seg, base+slotOffBulkCap).Load())
+	bulkLen := int64(shmU64(ss.seg, base+slotOffBulkLen).Load())
+	if bulkCap > total {
+		bulkCap = total
+	}
+	if bulkLen < 0 || bulkLen > bulkCap {
+		return 0, nil, 0, fmt.Errorf(
+			"lrpc: shm bulk length %d outside the %d-byte descriptor capacity", bulkLen, bulkCap)
+	}
+	segs = truncSegs(segs, bulkCap)
+	switch dir {
+	case uint32(bulkDirSpill):
+		// The arguments themselves spilled past the slot: hand them to
+		// the plain dispatch path. A single run aliases the pages
+		// directly; a scattered spill is linearized once.
+		var args []byte
+		if len(segs) == 1 {
+			args = segs[0][:bulkLen]
+		} else {
+			args = make([]byte, bulkLen)
+			n := 0
+			for _, s := range segs {
+				n += copy(args[n:], s)
+			}
+		}
+		resLen, oob, _, err = ss.b.callSharedBulk(proc, payload, args, nil, 0, 0)
+		return resLen, oob, 0, err
+	case uint32(BulkIn), uint32(BulkOut):
+		return ss.b.callSharedBulk(proc, payload, payload[:argLen], segs, BulkDir(dir), int(bulkLen))
+	}
+	return 0, nil, 0, fmt.Errorf("lrpc: shm bulk direction %d invalid", dir)
+}
+
 // callShared is the dispatch half of a shared-memory call: the same
 // sequence as callAppend with the A-stack pool replaced by the
 // segment's pairwise slot — the arguments are already on the A-stack
 // when the doorbell rings, so there is no copy A and no pool checkout.
 func (b *Binding) callShared(proc int, shared []byte, argLen int) (resLen int, oob []byte, err error) {
+	resLen, oob, _, err = b.callSharedBulk(proc, shared, shared[:argLen], nil, 0, 0)
+	return resLen, oob, err
+}
+
+// callSharedBulk is callShared with the argument bytes decoupled from
+// the A-stack (a spilled call's args live in bulk pages) and an
+// optional bulk payload exposed to the handler in place.
+func (b *Binding) callSharedBulk(proc int, astack, args []byte, segs [][]byte, dir BulkDir, bulkIn int) (resLen int, oob []byte, produced int, err error) {
 	m := b.exp.metrics.Load()
 	var started time.Time
 	if m != nil {
 		started = time.Now()
 	}
-	p, _, err := b.validate(proc, shared[:argLen])
+	p, _, err := b.validate(proc, args)
 	if err != nil {
 		b.traceValidateFail(proc, err)
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	adm := b.exp.admission.Load()
 	if adm != nil {
@@ -645,17 +796,18 @@ func (b *Binding) callShared(proc int, shared []byte, argLen int) (resLen int, o
 			if aerr == ErrOverload {
 				b.recordShed(p, b.pools[proc], aerr)
 			}
-			return 0, nil, aerr
+			return 0, nil, 0, aerr
 		}
 	}
 	c := callPool.Get().(*Call)
-	c.astack = shared
-	c.args = shared[:argLen]
+	c.astack = astack
+	c.args = args
 	c.oob = nil
 	c.resLen = 0
-	if p.ProtectArgs && argLen > 0 {
-		cp := make([]byte, argLen)
-		copy(cp, shared[:argLen]) // copy E: immutability-sensitive procedures
+	c.bulkSegs, c.bulkDir, c.bulkIn = segs, dir, bulkIn
+	if p.ProtectArgs && len(args) > 0 {
+		cp := make([]byte, len(args))
+		copy(cp, args) // copy E: immutability-sensitive procedures
 		c.args = cp
 	}
 	if herr := b.exp.runHandler(p, c); herr != nil {
@@ -665,22 +817,27 @@ func (b *Binding) callShared(proc int, shared []byte, argLen int) (resLen int, o
 		// The Call is not released (the panicked handler may hold
 		// references); the slot itself is reused freely — the client
 		// overwrites it on its next call.
-		return 0, nil, herr
+		return 0, nil, 0, herr
 	}
 	resLen = c.resLen
 	oob = c.oob
+	produced = c.bulkOut
 	if adm != nil {
 		adm.exit()
 	}
 	b.exp.calls.add(c.stripe, 1)
 	if m != nil {
-		m.dispatch.record(c.stripe, time.Since(started))
+		if dir != 0 {
+			m.bulkSpan.record(c.stripe, time.Since(started))
+		} else {
+			m.dispatch.record(c.stripe, time.Since(started))
+		}
 	}
 	c.release()
 	if b.exp.terminated.Load() {
-		return resLen, oob, ErrCallFailed
+		return resLen, oob, produced, ErrCallFailed
 	}
-	return resLen, oob, nil
+	return resLen, oob, produced, nil
 }
 
 // --- client ---
@@ -700,6 +857,13 @@ type ShmClient struct {
 	free   chan uint32
 	sigs   []chan struct{}
 	callID atomic.Uint64
+
+	// Bulk plane: the client owns page allocation in the segment's bulk
+	// region; bulkHeld marks slots holding pages so the recycle fast
+	// path skips the allocator lock for plain calls. nil/absent when the
+	// session was granted no bulk region.
+	bulk     *shmBulkAlloc
+	bulkHeld []atomic.Bool
 
 	// Async plane (shm_async.go): per-slot submission kind and, for
 	// kindAsync slots, the future awaiting the reply. Both are written
@@ -758,11 +922,12 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	req := make([]byte, 0, 22+len(name))
+	req := make([]byte, 0, 30+len(name))
 	req = binary.LittleEndian.AppendUint64(req, shmMagic)
 	req = binary.LittleEndian.AppendUint32(req, shmVersion)
 	req = binary.LittleEndian.AppendUint32(req, uint32(opts.Slots))
 	req = binary.LittleEndian.AppendUint32(req, uint32(opts.SlotSize))
+	req = binary.LittleEndian.AppendUint64(req, uint64(opts.BulkBytes))
 	req = binary.LittleEndian.AppendUint16(req, uint16(len(name)))
 	req = append(req, name...)
 	if err := writeFrame(conn, req); err != nil {
@@ -792,13 +957,15 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 	nslots := int(binary.LittleEndian.Uint32(reply[4:8]))
 	slotSize := int(binary.LittleEndian.Uint32(reply[8:12]))
 	segSize := int(binary.LittleEndian.Uint64(reply[16:24]))
+	bulkBytes := int64(binary.LittleEndian.Uint64(reply[32:40]))
 	fd, err := parseSegmentFd(oob[:oobGot])
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	lay := shmLayoutFor(nslots, slotSize)
-	if lay.segSize != segSize || nslots < 1 {
+	lay := shmLayoutFor(nslots, slotSize, int(bulkBytes))
+	if lay.segSize != segSize || nslots < 1 ||
+		bulkBytes < 0 || bulkBytes > MaxBulkSize || bulkBytes%bulkPageSize != 0 {
 		syscall.Close(fd)
 		conn.Close()
 		return nil, errors.New("lrpc: shm handshake geometry mismatch")
@@ -812,7 +979,8 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 	}
 	if shmU64(seg, shmOffMagic).Load() != shmMagic ||
 		shmU32(seg, shmOffNSlots).Load() != uint32(nslots) ||
-		shmU32(seg, shmOffSlotSize).Load() != uint32(slotSize) {
+		shmU32(seg, shmOffSlotSize).Load() != uint32(slotSize) ||
+		shmU64(seg, shmOffBulkBytes).Load() != uint64(bulkBytes) {
 		syscall.Munmap(seg)
 		conn.Close()
 		return nil, errors.New("lrpc: shm segment header mismatch")
@@ -846,6 +1014,10 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 		dead:      make(chan struct{}),
 		demuxDone: make(chan struct{}),
 	}
+	if bulkBytes > 0 {
+		c.bulk = newShmBulkAlloc(int(bulkBytes/bulkPageSize), nslots)
+		c.bulkHeld = make([]atomic.Bool, nslots)
+	}
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < nslots; i++ {
 		c.free <- uint32(i)
@@ -866,7 +1038,7 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 // sentinel when the text matches one, so DialShm("missing name") is
 // errors.Is-comparable with the local Import failure.
 func remoteBindError(text string) error {
-	for _, sent := range []error{ErrNotExported, ErrRevoked} {
+	for _, sent := range []error{ErrNotExported, ErrRevoked, ErrTooLarge} {
 		s := sent.Error()
 		if text == s {
 			return sent
@@ -941,10 +1113,9 @@ func (c *ShmClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 
 func (c *ShmClient) callContext(ctx context.Context, proc int, args, dst []byte) ([]byte, error) {
 	c.calls.Add(1)
-	if len(args) > c.lay.slotSize {
+	if err := c.checkArgSize(len(args)); err != nil {
 		c.failures.Add(1)
-		return nil, fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot",
-			ErrTooLarge, len(args), c.lay.slotSize)
+		return nil, err
 	}
 	if err := c.begin(); err != nil {
 		c.failures.Add(1)
@@ -975,10 +1146,14 @@ func (c *ShmClient) callContext(ctx context.Context, proc int, args, dst []byte)
 	case <-c.sigs[id]: // drain a stale wakeup from a prior occupant
 	default:
 	}
-	payload := c.seg[base+slotHdrSize : base+slotHdrSize+c.lay.slotSize]
-	copy(payload, args) // the single argument copy, straight into the shared A-stack
+	payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
+	if err := c.stageArgs(id, base, args); err != nil {
+		c.failures.Add(1)
+		c.recycle(id, state)
+		c.end()
+		return nil, err
+	}
 	shmU32(c.seg, base+slotOffProc).Store(uint32(proc))
-	shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(args)))
 	shmU32(c.seg, base+slotOffResLen).Store(0)
 	shmU32(c.seg, base+slotOffCode).Store(0)
 	shmU64(c.seg, base+slotOffCallID).Store(c.callID.Add(1))
@@ -993,56 +1168,8 @@ func (c *ShmClient) callContext(ctx context.Context, proc int, args, dst []byte)
 		c.end()
 		return nil, err
 	}
-
-	// Reply: bounded spin on the slot's state (both domains run
-	// concurrently on distinct processors in the best case; on a single
-	// processor the yields inside the spin hand the CPU straight to the
-	// server domain), then park on the per-slot signal fed by the
-	// doorbell demultiplexer.
-	spun := false
-	for i := 0; i < c.opts.Spin; i++ {
-		if st := state.Load(); st >= slotDoneOK {
-			c.spinReplies.Add(1)
-			spun = true
-			break
-		}
-		// Spinners drain the reply ring themselves: with the
-		// demultiplexer asleep, hints must not accumulate, and a hint
-		// for a parked sibling is forwarded to its signal channel.
-		c.drainReplies()
-		runtime.Gosched()
-		shmring.OSYield()
-	}
-	if !spun {
-		// Crossing into the parked regime: register so the reply
-		// doorbell takes the futex path, and rouse the demultiplexer.
-		c.parked.Add(1)
-		select {
-		case c.kick <- struct{}{}:
-		default:
-		}
-	park:
-		for {
-			select {
-			case <-c.sigs[id]:
-				if st := state.Load(); st >= slotDoneOK {
-					c.parked.Add(-1)
-					c.parkReplies.Add(1)
-					break park
-				}
-			case <-c.dead:
-				c.parked.Add(-1)
-				c.failures.Add(1)
-				c.end()
-				return nil, c.deadErr(true)
-			case <-ctx.Done():
-				c.timeouts.Add(1)
-				// The orphan watcher inherits this caller's parked
-				// registration along with its inflight reference.
-				c.abandon(id, state)
-				return nil, timeoutError(ctx.Err())
-			}
-		}
+	if err := c.awaitReply(ctx, id, state); err != nil {
+		return nil, err
 	}
 	code := shmU32(c.seg, base+slotOffCode).Load()
 	resLen := int(shmU32(c.seg, base+slotOffResLen).Load())
@@ -1109,13 +1236,409 @@ func (c *ShmClient) abandon(id uint32, state *atomic.Uint32) {
 	}()
 }
 
-// recycle returns a slot to the free list.
+// recycle returns a slot to the free list, releasing any bulk pages it
+// held and clearing its bulk direction — the single funnel every
+// completion path (sync, async, one-way, orphaned) drains through, so
+// pages can never leak with their slot. Plain calls skip the allocator
+// lock via the bulkHeld fast check.
 func (c *ShmClient) recycle(id uint32, state *atomic.Uint32) {
+	if c.bulk != nil {
+		shmU32(c.seg, c.lay.slotBase(id)+slotOffBulkDir).Store(0)
+		if c.bulkHeld[id].Load() {
+			c.bulk.release(id)
+			c.bulkHeld[id].Store(false)
+		}
+	}
 	state.Store(slotIdle)
 	select {
 	case c.free <- id:
 	default:
 	}
+}
+
+// awaitReply waits for slot id's reply: a bounded spin on the slot's
+// state (both domains run concurrently on distinct processors in the
+// best case; on a single processor the yields inside the spin hand the
+// CPU straight to the server domain), then a park on the per-slot
+// signal fed by the doorbell demultiplexer. A non-nil return has
+// already settled the caller's accounting: dead sessions release the
+// inflight reference here, timeouts hand the slot (and the inflight
+// reference) to an orphan watcher.
+func (c *ShmClient) awaitReply(ctx context.Context, id uint32, state *atomic.Uint32) error {
+	for i := 0; i < c.opts.Spin; i++ {
+		if st := state.Load(); st >= slotDoneOK {
+			c.spinReplies.Add(1)
+			return nil
+		}
+		// Spinners drain the reply ring themselves: with the
+		// demultiplexer asleep, hints must not accumulate, and a hint
+		// for a parked sibling is forwarded to its signal channel.
+		c.drainReplies()
+		runtime.Gosched()
+		shmring.OSYield()
+	}
+	// Crossing into the parked regime: register so the reply doorbell
+	// takes the futex path, and rouse the demultiplexer.
+	c.parked.Add(1)
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	for {
+		select {
+		case <-c.sigs[id]:
+			if st := state.Load(); st >= slotDoneOK {
+				c.parked.Add(-1)
+				c.parkReplies.Add(1)
+				return nil
+			}
+		case <-c.dead:
+			c.parked.Add(-1)
+			c.failures.Add(1)
+			c.end()
+			return c.deadErr(true)
+		case <-ctx.Done():
+			c.timeouts.Add(1)
+			// The orphan watcher inherits this caller's parked
+			// registration along with its inflight reference.
+			c.abandon(id, state)
+			return timeoutError(ctx.Err())
+		}
+	}
+}
+
+// checkArgSize classifies an argument size before any slot is taken:
+// args that fit the slot always pass; args past the slot but within
+// MaxOOBSize pass when the session has a bulk region to spill into
+// (matching the in-process and TCP planes' contract); everything else
+// is ErrTooLarge.
+func (c *ShmClient) checkArgSize(n int) error {
+	if n <= c.lay.slotSize {
+		return nil
+	}
+	if n > MaxOOBSize {
+		return ErrTooLarge
+	}
+	if c.bulk == nil {
+		return fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot",
+			ErrTooLarge, n, c.lay.slotSize)
+	}
+	return nil
+}
+
+// stageArgs writes one call's arguments for slot id: into the slot's
+// payload when they fit, otherwise spilled into freshly allocated bulk
+// pages named by the slot's descriptor (dir=bulkDirSpill, the paper's
+// out-of-band segment pressed into argument service). The caller has
+// already passed checkArgSize, so a failure here is transient page
+// exhaustion, reported as ErrNoAStacks.
+func (c *ShmClient) stageArgs(id uint32, base int, args []byte) error {
+	if len(args) <= c.lay.slotSize {
+		payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
+		copy(payload, args) // the single argument copy, straight into the shared A-stack
+		shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(args)))
+		return nil
+	}
+	runs, err := c.allocBulk(id, int64(len(args)))
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, r := range runs {
+		n += copy(c.bulkRunBytes(r), args[n:])
+	}
+	c.writeBulkDesc(base, runs)
+	shmU32(c.seg, base+slotOffArgLen).Store(0)
+	shmU64(c.seg, base+slotOffBulkLen).Store(uint64(len(args)))
+	shmU64(c.seg, base+slotOffBulkCap).Store(uint64(len(args)))
+	shmU32(c.seg, base+slotOffBulkDir).Store(uint32(bulkDirSpill))
+	if t := c.opts.Tracer; t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceBulkSpill, Iface: c.name})
+	}
+	return nil
+}
+
+// --- client-owned bulk page allocator ---
+
+// bulkRun is one contiguous extent of bulk pages.
+type bulkRun struct{ start, count uint32 }
+
+// shmBulkAlloc hands out page runs from the segment's bulk region. The
+// client owns the whole allocation lifecycle (the server only ever
+// follows descriptors), so a plain mutex suffices: the lock is taken
+// once per bulk call, never on the plain-call path.
+type shmBulkAlloc struct {
+	mu    sync.Mutex
+	used  []bool
+	nfree int
+	held  [][]bulkRun // per-slot runs, released by recycle
+}
+
+func newShmBulkAlloc(npages, nslots int) *shmBulkAlloc {
+	return &shmBulkAlloc{
+		used:  make([]bool, npages),
+		nfree: npages,
+		held:  make([][]bulkRun, nslots),
+	}
+}
+
+// alloc reserves runs covering n bytes for slot id, gathering up to
+// maxBulkRuns extents first-fit. Both failure modes — not enough free
+// pages, or free pages shattered into more extents than one descriptor
+// can name — are transient resource exhaustion.
+func (a *shmBulkAlloc) alloc(id uint32, n int64) ([]bulkRun, error) {
+	npages := int((n + bulkPageSize - 1) / bulkPageSize)
+	if npages == 0 {
+		return nil, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if npages > a.nfree {
+		return nil, fmt.Errorf("%w: shm bulk region exhausted (%d pages wanted, %d free)",
+			ErrNoAStacks, npages, a.nfree)
+	}
+	var runs []bulkRun
+	need := npages
+	for i := 0; i < len(a.used) && need > 0; i++ {
+		if a.used[i] {
+			continue
+		}
+		if len(runs) == maxBulkRuns {
+			for _, r := range runs {
+				for p := r.start; p < r.start+r.count; p++ {
+					a.used[p] = false
+				}
+			}
+			return nil, fmt.Errorf("%w: shm bulk region too fragmented for %d pages",
+				ErrNoAStacks, npages)
+		}
+		run := bulkRun{start: uint32(i), count: 0}
+		for i < len(a.used) && !a.used[i] && need > 0 {
+			a.used[i] = true
+			run.count++
+			need--
+			i++
+		}
+		runs = append(runs, run)
+	}
+	a.nfree -= npages
+	a.held[id] = runs
+	return runs, nil
+}
+
+// release frees every run slot id holds.
+func (a *shmBulkAlloc) release(id uint32) {
+	a.mu.Lock()
+	for _, r := range a.held[id] {
+		for p := r.start; p < r.start+r.count; p++ {
+			a.used[p] = false
+		}
+		a.nfree += int(r.count)
+	}
+	a.held[id] = nil
+	a.mu.Unlock()
+}
+
+// allocBulk reserves pages for slot id and marks the slot as holding
+// them, so recycle releases them with the slot.
+func (c *ShmClient) allocBulk(id uint32, n int64) ([]bulkRun, error) {
+	runs, err := c.bulk.alloc(id, n)
+	if err != nil {
+		return nil, err
+	}
+	if runs != nil {
+		c.bulkHeld[id].Store(true)
+	}
+	return runs, nil
+}
+
+// bulkRunBytes returns the segment bytes one run covers.
+func (c *ShmClient) bulkRunBytes(r bulkRun) []byte {
+	off := c.lay.bulkOff + int(r.start)*bulkPageSize
+	return c.seg[off : off+int(r.count)*bulkPageSize]
+}
+
+// writeBulkDesc publishes runs into slot base's descriptor area. Plain
+// stores suffice: the posting store of slotPosted is the release
+// barrier the server's CAS acquires through, same as the payload copy.
+func (c *ShmClient) writeBulkDesc(base int, runs []bulkRun) {
+	desc := c.seg[base+slotHdrSize : base+slotPayloadOff]
+	binary.LittleEndian.PutUint32(desc[0:4], uint32(len(runs)))
+	for i, r := range runs {
+		binary.LittleEndian.PutUint32(desc[4+i*8:], r.start)
+		binary.LittleEndian.PutUint32(desc[8+i*8:], r.count)
+	}
+}
+
+// BulkBytes reports the session's granted bulk-region size in bytes (0
+// when the session has no bulk region).
+func (c *ShmClient) BulkBytes() int64 { return int64(c.lay.bulkBytes) }
+
+// CallBulk invokes proc with a bulk payload carried through the
+// segment's bulk region (bulk.go; nil h degrades to Call): the payload
+// is written once into client-allocated pages — or, for BulkOut, pages
+// are reserved for the handler to fill — and the handler touches those
+// pages in place. Arguments ride in the slot and must fit it.
+func (c *ShmClient) CallBulk(proc int, args []byte, h *BulkHandle) ([]byte, error) {
+	if h == nil {
+		return c.Call(proc, args)
+	}
+	c.calls.Add(1)
+	if err := h.check(); err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	if len(args) > c.lay.slotSize {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot (bulk calls carry args in-slot)",
+			ErrTooLarge, len(args), c.lay.slotSize)
+	}
+	if c.bulk == nil {
+		c.failures.Add(1)
+		return nil, errors.New("lrpc: shm session has no bulk region (dial with BulkBytes > 0)")
+	}
+	size := h.length()
+	if size > int64(c.lay.bulkBytes) {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("%w: %d-byte bulk payload exceeds the session's %d-byte bulk region",
+			ErrTooLarge, size, c.lay.bulkBytes)
+	}
+	if err := c.begin(); err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	h.n = 0
+	var id uint32
+	select {
+	case id = <-c.free:
+	default:
+		select {
+		case id = <-c.free:
+		case <-c.dead:
+			c.failures.Add(1)
+			c.end()
+			return nil, c.deadErr(false)
+		}
+	}
+	base := c.lay.slotBase(id)
+	state := shmU32(c.seg, base+slotOffState)
+	select {
+	case <-c.sigs[id]: // drain a stale wakeup from a prior occupant
+	default:
+	}
+	fail := func(err error) ([]byte, error) {
+		c.failures.Add(1)
+		c.recycle(id, state)
+		c.end()
+		return nil, err
+	}
+	runs, err := c.allocBulk(id, size)
+	if err != nil {
+		return fail(err)
+	}
+	if h.dir == BulkIn {
+		// The single payload copy, straight into the shared pages — from
+		// the caller's buffer or streamed from its reader.
+		if h.buf != nil {
+			n := 0
+			for _, r := range runs {
+				n += copy(c.bulkRunBytes(r), h.buf[n:])
+			}
+		} else if h.src != nil {
+			remain := size
+			for _, r := range runs {
+				dst := c.bulkRunBytes(r)
+				if int64(len(dst)) > remain {
+					dst = dst[:remain]
+				}
+				if _, rerr := io.ReadFull(h.src, dst); rerr != nil {
+					return fail(fmt.Errorf("lrpc: bulk source: %w", rerr))
+				}
+				remain -= int64(len(dst))
+			}
+		}
+	}
+	c.writeBulkDesc(base, runs)
+	payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
+	copy(payload, args)
+	shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(args)))
+	inLen := uint64(0)
+	if h.dir == BulkIn {
+		inLen = uint64(size)
+	}
+	shmU64(c.seg, base+slotOffBulkLen).Store(inLen)
+	shmU64(c.seg, base+slotOffBulkCap).Store(uint64(size))
+	shmU32(c.seg, base+slotOffBulkDir).Store(uint32(h.dir))
+	shmU32(c.seg, base+slotOffProc).Store(uint32(proc))
+	shmU32(c.seg, base+slotOffResLen).Store(0)
+	shmU32(c.seg, base+slotOffCode).Store(0)
+	shmU64(c.seg, base+slotOffCallID).Store(c.callID.Add(1))
+	state.Store(slotPosted)
+	if err := c.ringDoorbell(uint64(id)); err != nil {
+		c.failures.Add(1)
+		c.end()
+		return nil, err
+	}
+	if err := c.awaitReply(context.Background(), id, state); err != nil {
+		return nil, err
+	}
+	code := shmU32(c.seg, base+slotOffCode).Load()
+	resLen := int(shmU32(c.seg, base+slotOffResLen).Load())
+	if resLen > c.lay.slotSize {
+		resLen = c.lay.slotSize
+	}
+	var out []byte
+	if st := state.Load(); st != slotDoneOK {
+		err = shmErrFromCode(code, string(payload[:resLen]))
+		c.failures.Add(1)
+		c.recycle(id, state)
+		c.end()
+		return nil, err
+	}
+	if resLen > 0 {
+		out = append([]byte(nil), payload[:resLen]...) // the single result copy out
+	}
+	switch h.dir {
+	case BulkIn:
+		h.n = size
+	case BulkOut:
+		produced := int64(shmU64(c.seg, base+slotOffBulkLen).Load())
+		if produced < 0 || produced > size {
+			produced = size // a corrupt reply length cannot overrun the handle
+		}
+		var sinkErr error
+		remain := produced
+		for _, r := range runs {
+			if remain <= 0 {
+				break
+			}
+			src := c.bulkRunBytes(r)
+			if int64(len(src)) > remain {
+				src = src[:remain]
+			}
+			if h.dst != nil {
+				if sinkErr == nil {
+					if _, werr := h.dst.Write(src); werr != nil {
+						sinkErr = werr
+					} else {
+						h.n += int64(len(src))
+					}
+				}
+			} else {
+				copy(h.buf[h.n:], src)
+				h.n += int64(len(src))
+			}
+			remain -= int64(len(src))
+		}
+		if sinkErr != nil {
+			c.recycle(id, state)
+			c.end()
+			return out, fmt.Errorf("lrpc: bulk sink: %w", sinkErr)
+		}
+	}
+	c.recycle(id, state)
+	c.end()
+	return out, nil
 }
 
 // drainReplies empties whatever the reply ring holds right now — the

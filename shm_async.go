@@ -70,10 +70,9 @@ func (c *ShmClient) NewBatch() *Batch {
 // slot. block=false returns errWouldBlock instead of waiting for a
 // slot; ring=false leaves the doorbell un-bumped for a batch flush.
 func (c *ShmClient) submitAsync(proc int, args []byte, fut *Future, block, ring bool) error {
-	if len(args) > c.lay.slotSize {
+	if err := c.checkArgSize(len(args)); err != nil {
 		c.failures.Add(1)
-		return fmt.Errorf("%w: %d argument bytes exceed the %d-byte slot",
-			ErrTooLarge, len(args), c.lay.slotSize)
+		return err
 	}
 	if err := c.begin(); err != nil {
 		c.failures.Add(1)
@@ -125,10 +124,14 @@ func (c *ShmClient) postSlot(id uint32, proc int, args []byte, fut *Future, ring
 	case <-c.sigs[id]: // drain a stale wakeup from a prior occupant
 	default:
 	}
-	payload := c.seg[base+slotHdrSize : base+slotHdrSize+c.lay.slotSize]
-	copy(payload, args) // the single argument copy, straight into the shared A-stack
+	if err := c.stageArgs(id, base, args); err != nil {
+		// Transient bulk-page exhaustion before anything was registered:
+		// the slot goes straight back to the free list.
+		c.recycle(id, state)
+		c.failures.Add(1)
+		return err
+	}
 	shmU32(c.seg, base+slotOffProc).Store(uint32(proc))
-	shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(args)))
 	shmU32(c.seg, base+slotOffResLen).Store(0)
 	shmU32(c.seg, base+slotOffCode).Store(0)
 	shmU64(c.seg, base+slotOffCallID).Store(c.callID.Add(1))
@@ -209,7 +212,7 @@ func (c *ShmClient) finishAsync(id uint32) {
 	if resLen > c.lay.slotSize {
 		resLen = c.lay.slotSize
 	}
-	payload := c.seg[base+slotHdrSize : base+slotHdrSize+c.lay.slotSize]
+	payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
 	st := state.Load()
 	var out []byte
 	var err error
@@ -247,7 +250,7 @@ func (c *ShmClient) finishOneWay(id uint32) {
 			if resLen > c.lay.slotSize {
 				resLen = c.lay.slotSize
 			}
-			payload := c.seg[base+slotHdrSize : base+slotHdrSize+c.lay.slotSize]
+			payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
 			t.TraceEvent(TraceEvent{Kind: TraceOneWayDrop, Iface: c.name,
 				Err: shmErrFromCode(code, string(payload[:resLen]))})
 		}

@@ -22,9 +22,17 @@ type ShmDialOptions struct {
 	Slots int
 	// SlotSize is the requested per-slot payload capacity in bytes: the
 	// size of each shared A-stack. Arguments and in-band results must
-	// fit. 0 selects DefaultAStackSize; the server clamps to its
-	// MaxSlotSize.
+	// fit (larger arguments spill into the bulk region when one was
+	// granted). 0 selects DefaultAStackSize. A request above the
+	// server's MaxSlotSize is rejected at the handshake with ErrTooLarge
+	// — never silently clamped.
 	SlotSize int
+	// BulkBytes is the requested size of the segment's bulk region: the
+	// page pool behind CallBulk payloads and oversized-argument spills.
+	// 0 selects MaxOOBSize; negative disables the bulk plane for this
+	// session. The server grants min(requested, MaxBulkBytes), rounded
+	// up to whole 64 KiB pages — read the outcome from BulkBytes().
+	BulkBytes int64
 	// Spin bounds the reply-polling iterations before a caller parks on
 	// its slot's signal channel. 0 selects 64.
 	Spin int
@@ -44,6 +52,12 @@ func (o *ShmDialOptions) fill() {
 	if o.SlotSize <= 0 {
 		o.SlotSize = DefaultAStackSize
 	}
+	switch {
+	case o.BulkBytes == 0:
+		o.BulkBytes = MaxOOBSize
+	case o.BulkBytes < 0:
+		o.BulkBytes = 0
+	}
 	if o.Spin <= 0 {
 		o.Spin = 64
 	}
@@ -55,8 +69,14 @@ type ShmServeOptions struct {
 	// 0 selects 256.
 	MaxSlots int
 	// MaxSlotSize caps the per-slot payload bytes a client may request.
-	// 0 selects 1 MiB.
+	// A request above the cap is rejected at the handshake (the client
+	// sees ErrTooLarge), never clamped. 0 selects 1 MiB.
 	MaxSlotSize int
+	// MaxBulkBytes caps the per-session bulk region a client may be
+	// granted; requests above it are clamped (the grant is negotiated,
+	// so no data is at stake). 0 selects 256 MiB; negative disables the
+	// bulk plane entirely.
+	MaxBulkBytes int64
 	// Workers is the number of dispatcher goroutines per session — the
 	// shm analog of the paper's "as many threads as A-stacks" sizing,
 	// bounded because handlers run on the worker. 0 selects 2.
@@ -72,6 +92,12 @@ func (o *ShmServeOptions) fill() {
 	}
 	if o.MaxSlotSize <= 0 {
 		o.MaxSlotSize = 1 << 20
+	}
+	switch {
+	case o.MaxBulkBytes == 0:
+		o.MaxBulkBytes = 256 << 20
+	case o.MaxBulkBytes < 0:
+		o.MaxBulkBytes = 0
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2

@@ -71,6 +71,14 @@ func (c *ShmClient) Slots() int { return 0 }
 // SlotSize returns 0 on this platform.
 func (c *ShmClient) SlotSize() int { return 0 }
 
+// BulkBytes returns 0 on this platform.
+func (c *ShmClient) BulkBytes() int64 { return 0 }
+
+// CallBulk fails with ErrShmUnsupported.
+func (c *ShmClient) CallBulk(proc int, args []byte, h *BulkHandle) ([]byte, error) {
+	return nil, ErrShmUnsupported
+}
+
 // Call fails with ErrShmUnsupported.
 func (c *ShmClient) Call(proc int, args []byte) ([]byte, error) { return nil, ErrShmUnsupported }
 
