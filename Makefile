@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmtcheck vet build test race stress shmtest haftest bench benchjson benchjson5 benchjson6 benchjson7 benchjson8 benchcheck fuzz staticcheck vulncheck
+.PHONY: ci fmtcheck vet build test race stress shmtest haftest brokertest bench benchjson benchjson5 benchjson6 benchjson7 benchjson8 benchjson9 benchcheck fuzz staticcheck vulncheck
 
 # Formatting, vet, static analysis, build, tests (plain and -race), then
 # the perf gates: the whole merge bar in one command. The gates check the
@@ -12,7 +12,7 @@ GO ?= go
 # BENCH_pr5.json against the shm-speedup floor (both deterministic);
 # regenerate the artifacts with `make benchjson benchjson5` (or the full
 # `make bench`) when the call path changes.
-ci: fmtcheck vet staticcheck vulncheck build test race shmtest haftest benchcheck
+ci: fmtcheck vet staticcheck vulncheck build test race shmtest haftest brokertest benchcheck
 
 # gofmt -l prints nonconforming files; any output is a failure.
 fmtcheck:
@@ -68,6 +68,14 @@ shmtest:
 haftest:
 	$(GO) test -race -count=1 -run 'TestHA|TestWrittenFrameNotRetried|TestRetryFailedCallsNeverRetriesWrittenFrame|TestNotSentClassification|TestNotExecutedVouch' .
 
+# The multi-tenant broker suite: policy isolation (rate buckets,
+# bulkheads, suspension, token auth), the control-protocol parser and
+# hostile-frame tests, the async-plane breaker wiring, and the
+# crash-restart fault schedules (SIGKILL mid-traffic, lease expiry,
+# registry generation changes) with the at-most-once ledger audited.
+brokertest:
+	$(GO) test -race -count=1 -run 'TestBroker|TestParseBrokerControl|TestAsyncBreaker' .
+
 # Native Go fuzzing over the wire parsers (net_fuzz_test.go). Short
 # budgets so it's usable as a pre-commit smoke test; raise FUZZTIME for a
 # real session.
@@ -75,6 +83,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseBrokerControl$$' -fuzztime $(FUZZTIME) .
 
 # Full benchmark sweep with allocation counts (the wall-clock Null path
 # must report 0 allocs/op), then the multiprocessor throughput rig into a
@@ -115,15 +124,24 @@ benchjson7:
 benchjson8:
 	$(GO) run ./cmd/lrpcbench -json bulk > BENCH_pr8.json
 
+# Regenerate the broker-isolation artifact: victim-tenant p99 latency
+# unloaded vs. under an aggressor flood the broker sheds, plus the
+# crash-restart recovery time and the at-most-once ledger verdict.
+benchjson9:
+	$(GO) run ./cmd/lrpcbench -json broker > BENCH_pr9.json
+
 # Fail if the Null latency regressed >10% against the recorded baseline,
 # if the recorded shm-vs-TCP Null speedup is under its 5x floor, if the
 # failover artifact records a double execution or an off-scale
 # convergence time, if batch-64 shm submission amortizes to less than
 # 3x the per-call latency, or if shm bulk bandwidth falls below TCP's
-# at any payload of 1 MiB and above.
+# at any payload of 1 MiB and above, or if the broker artifact records
+# a double execution, a victim p99 flood/unloaded ratio over 3x, or a
+# restart the victim never reattached from.
 benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr4.json
 	$(GO) run ./cmd/benchcheck BENCH_pr5.json
 	$(GO) run ./cmd/benchcheck BENCH_pr6.json
 	$(GO) run ./cmd/benchcheck BENCH_pr7.json
 	$(GO) run ./cmd/benchcheck -min-bulk-bandwidth 1 BENCH_pr8.json
+	$(GO) run ./cmd/benchcheck BENCH_pr9.json

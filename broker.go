@@ -1,0 +1,1510 @@
+package lrpc
+
+// The multi-tenant broker plane: RPC as a managed system service (mRPC,
+// arXiv 2304.07349) grafted onto the paper's domain-isolation argument.
+// LRPC's kernel mediates between mutually distrusting domains; in this
+// package, admission control and quotas historically lived per-export
+// inside one process, so one misbehaving client domain could degrade
+// every other. The Broker moves that mediation into a standalone,
+// killable daemon:
+//
+//   - tenants (client domains) connect over TCP and admit themselves
+//     with a control-frame HELLO carrying a tenant identity, an optional
+//     token, and the service they intend to call; the broker answers
+//     with its generation, a per-tenant lease, and the live policy
+//     version;
+//   - after admission the connection speaks the ordinary LRPC wire
+//     protocol (net.go) and the broker relays frames to the backend,
+//     applying centralized policy first: per-tenant token-bucket rate
+//     limits and concurrency bulkheads (the existing admission priority
+//     queue, one instance per tenant), so an aggressor sheds with
+//     ErrQuotaExceeded while victims keep their latency;
+//   - policy is a versioned document (BrokerPolicy) stored in the
+//     replicated registry and applied live — no tenant or backend
+//     restarts; SetPolicy writes through, a poll loop picks up
+//     out-of-band updates;
+//   - every rejection the broker issues is wire status 2 — the vouch of
+//     non-execution — so the at-most-once classification of failover.go
+//     holds across the extra hop.
+//
+// Same-machine tenants can bypass the relay entirely: the shm bind
+// handshake (shm.go) carries the same tenant identity and ShmServer
+// admits or refuses it at bind time via ShmServeOptions.Admit, so a
+// brokered deployment can hand trusted local tenants the fast path
+// while keeping per-call quota enforcement on the TCP plane.
+//
+// Crash-restart survival is the design's spine: the broker holds no
+// durable state. Its generation is its announcement lease in the
+// replicated registry (unique per registration), policy lives in the
+// registry, and tenants run SuperviseBroker (supervise_broker.go) —
+// a NetClient whose dial hook re-resolves, re-dials, and re-admits, so
+// a SIGKILLed broker is survived the same way a crashed server is:
+// frames that never reached the wire replay, written-but-unacknowledged
+// frames surface as errors, and nothing executes twice.
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors of the broker plane.
+var (
+	// ErrQuotaExceeded reports a call shed by the broker's per-tenant
+	// policy: the tenant's token bucket was empty or its concurrency
+	// bulkhead (and wait queue) was full. The broker vouches the call
+	// never reached a handler (wire status 2), so it is always safe to
+	// retry — after backing off, since the quota that shed it is still
+	// in force. errors.Is(err, ErrQuotaExceeded) matches across the
+	// wire.
+	ErrQuotaExceeded = errors.New("lrpc: tenant quota exceeded")
+
+	// ErrTenantSuspended reports a call (or admission) rejected because
+	// the live policy marks the tenant suspended. Vouched non-executed
+	// like ErrQuotaExceeded; errors.Is(err, ErrTenantSuspended) matches
+	// across the wire.
+	ErrTenantSuspended = errors.New("lrpc: tenant suspended by policy")
+
+	// ErrNotAdmitted reports a broker data frame for an interface the
+	// tenant's HELLO did not admit it to, or a malformed admission.
+	ErrNotAdmitted = errors.New("lrpc: tenant not admitted")
+)
+
+// DefaultBrokerName is the registry name a broker announces under when
+// BrokerOptions.Name is empty; tenants resolve it to find the broker.
+const DefaultBrokerName = "lrpc.broker"
+
+// PlanePolicy is the Endpoint.Plane tag under which a BrokerPolicy
+// document is stored in the replicated registry: the endpoint's Addr
+// field carries the policy JSON, not a network address.
+const PlanePolicy = "policy"
+
+// --- control protocol ---
+//
+// A broker connection opens with one control frame (ordinary u32-length
+// framing, readFrame/writeFrame). Control payload layout, all integers
+// little-endian:
+//
+//	[0:4]  magic "LBK1"
+//	[4]    version (1)
+//	[5]    op
+//	[6:]   op-specific body
+//
+//	opHello body:     u16 tenantLen, tenant, u16 tokenLen, token,
+//	                  u16 serviceLen, service, u64 prevGen, u64 prevLease
+//	opStats body:     empty
+//	opGetPolicy body: empty
+//	opSetPolicy body: u32 blobLen, blob (BrokerPolicy JSON)
+//
+// Replies echo the header with a status byte and message:
+//
+//	[0:4] magic, [4] version, [5] op, [6] status (0 ok), u16 msgLen, msg,
+//	then for ok replies:
+//	  hello:           u64 generation, u64 lease, u64 policyVersion
+//	  stats/getpolicy: u32 blobLen, blob (JSON)
+//	  setpolicy:       u64 policyVersion
+//
+// After an accepted HELLO the connection carries ordinary LRPC request
+// frames, relayed to the backend under policy. Stats/policy ops may
+// repeat on their (admin) connection; they never mix with data frames.
+
+const (
+	brokerMagic   = uint32(0x314B424C) // "LBK1"
+	brokerVersion = 1
+
+	brokerOpHello     = 1
+	brokerOpStats     = 2
+	brokerOpGetPolicy = 3
+	brokerOpSetPolicy = 4
+
+	// brokerMaxIdent bounds each HELLO identifier (tenant, token,
+	// service): hostile length fields beyond it are rejected before any
+	// allocation is sized from them.
+	brokerMaxIdent = 256
+
+	// brokerCtlOverhead is the fixed control header: magic, version, op.
+	brokerCtlOverhead = 4 + 1 + 1
+)
+
+// brokerControl is one parsed control frame.
+type brokerControl struct {
+	op                 byte
+	tenant             string
+	token              string
+	service            string
+	prevGen, prevLease uint64
+	blob               []byte
+}
+
+// ctlReader is a bounds-checked cursor over a control frame; any
+// out-of-range read poisons it. The same discipline as regReader: check
+// `bad` once at the end instead of threading errors through every field.
+type ctlReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *ctlReader) u16() int {
+	if r.bad || r.off+2 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := int(binary.LittleEndian.Uint16(r.b[r.off:]))
+	r.off += 2
+	return v
+}
+
+func (r *ctlReader) u32() int {
+	if r.bad || r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := int(binary.LittleEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	return v
+}
+
+func (r *ctlReader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// ident reads a u16-length-prefixed identifier, capped at
+// brokerMaxIdent BEFORE the slice is taken, so a hostile length can
+// neither over-read nor size an allocation.
+func (r *ctlReader) ident() string {
+	n := r.u16()
+	if r.bad || n > brokerMaxIdent || r.off+n > len(r.b) {
+		r.bad = true
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *ctlReader) blob(max int) []byte {
+	n := r.u32()
+	if r.bad || n > max || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// parseBrokerControl parses one control frame. It is the hostile-input
+// surface of the broker (FuzzParseBrokerControl): every length field is
+// validated against the remaining bytes and a hard cap before any
+// allocation, trailing garbage is rejected, and no input can make it
+// panic, hang, or allocate beyond the frame it was handed.
+func parseBrokerControl(frame []byte) (*brokerControl, error) {
+	if len(frame) < brokerCtlOverhead {
+		return nil, errors.New("lrpc: short broker control frame")
+	}
+	if binary.LittleEndian.Uint32(frame[0:4]) != brokerMagic {
+		return nil, errors.New("lrpc: not a broker control frame")
+	}
+	if frame[4] != brokerVersion {
+		return nil, fmt.Errorf("lrpc: broker control version %d unsupported", frame[4])
+	}
+	pc := &brokerControl{op: frame[5]}
+	r := &ctlReader{b: frame, off: brokerCtlOverhead}
+	switch pc.op {
+	case brokerOpHello:
+		pc.tenant = r.ident()
+		pc.token = r.ident()
+		pc.service = r.ident()
+		pc.prevGen = r.u64()
+		pc.prevLease = r.u64()
+	case brokerOpStats, brokerOpGetPolicy:
+		// no body
+	case brokerOpSetPolicy:
+		pc.blob = r.blob(len(frame))
+	default:
+		return nil, fmt.Errorf("lrpc: unknown broker control op %d", pc.op)
+	}
+	if r.bad || r.off != len(frame) {
+		return nil, errors.New("lrpc: malformed broker control frame")
+	}
+	if pc.op == brokerOpHello && pc.tenant == "" {
+		return nil, errors.New("lrpc: broker hello without a tenant identity")
+	}
+	return pc, nil
+}
+
+// appendBrokerHello encodes a HELLO control payload.
+func appendBrokerHello(dst []byte, tenant, token, service string, prevGen, prevLease uint64) []byte {
+	dst = appendCtlHeader(dst, brokerOpHello)
+	for _, s := range []string{tenant, token, service} {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+		dst = append(dst, s...)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, prevGen)
+	dst = binary.LittleEndian.AppendUint64(dst, prevLease)
+	return dst
+}
+
+func appendCtlHeader(dst []byte, op byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, brokerMagic)
+	return append(dst, brokerVersion, op)
+}
+
+// appendCtlReply encodes a control reply header (magic, version, op,
+// status, message).
+func appendCtlReply(dst []byte, op, status byte, msg string) []byte {
+	dst = appendCtlHeader(dst, op)
+	dst = append(dst, status)
+	if len(msg) > 0xFFFF {
+		msg = msg[:0xFFFF]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// parseCtlReply decodes a control reply, returning the op-specific tail.
+// A non-zero status becomes an error carrying the server's message
+// verbatim, so sentinel texts (ErrTenantSuspended, ...) survive the hop.
+func parseCtlReply(frame []byte, wantOp byte) ([]byte, error) {
+	if len(frame) < brokerCtlOverhead+1 ||
+		binary.LittleEndian.Uint32(frame[0:4]) != brokerMagic ||
+		frame[4] != brokerVersion || frame[5] != wantOp {
+		return nil, errors.New("lrpc: malformed broker control reply")
+	}
+	r := &ctlReader{b: frame, off: brokerCtlOverhead + 1}
+	n := r.u16()
+	if r.bad || r.off+n > len(r.b) {
+		return nil, errors.New("lrpc: malformed broker control reply")
+	}
+	msg := string(frame[r.off : r.off+n])
+	if frame[brokerCtlOverhead] != 0 {
+		return nil, &RemoteError{Msg: msg, NotExecuted: true}
+	}
+	return frame[r.off+n:], nil
+}
+
+// --- policy ---
+
+// TenantPolicy is one tenant's centralized policy entry.
+type TenantPolicy struct {
+	// RatePerSec is the token-bucket refill rate for this tenant's
+	// calls; 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth. 0 selects max(1, RatePerSec).
+	Burst int `json:"burst,omitempty"`
+	// MaxConcurrent is the tenant's concurrency bulkhead: calls running
+	// through the broker at once. 0 means unlimited.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxQueue is how many calls may wait for a bulkhead slot before
+	// further arrivals shed immediately.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// Priority orders bulkhead waiters (resilience.go): under pressure
+	// low-priority tenants shed first.
+	Priority Priority `json:"priority,omitempty"`
+	// Suspended rejects every call (and new calls on live connections)
+	// with ErrTenantSuspended until a policy update lifts it.
+	Suspended bool `json:"suspended,omitempty"`
+	// Token, when non-empty, must be presented at HELLO.
+	Token string `json:"token,omitempty"`
+}
+
+// BrokerPolicy is the versioned policy document a broker enforces. It
+// lives in the replicated registry (StoreBrokerPolicy/LoadBrokerPolicy)
+// and is applied live: higher Version wins.
+type BrokerPolicy struct {
+	Version uint64 `json:"version"`
+	// AllowUnknown admits tenants without an explicit entry under
+	// Default. When false, unknown tenants are refused at HELLO.
+	AllowUnknown bool `json:"allow_unknown,omitempty"`
+	// Default is the policy for admitted tenants without an entry; nil
+	// means unlimited.
+	Default *TenantPolicy `json:"default,omitempty"`
+	// Tenants maps tenant identity to its policy entry.
+	Tenants map[string]TenantPolicy `json:"tenants,omitempty"`
+}
+
+// lookup resolves the effective entry for a tenant; ok=false refuses
+// admission. A nil policy admits everyone, unlimited.
+func (p *BrokerPolicy) lookup(tenant string) (TenantPolicy, bool) {
+	if p == nil {
+		return TenantPolicy{}, true
+	}
+	if tp, ok := p.Tenants[tenant]; ok {
+		return tp, true
+	}
+	if !p.AllowUnknown {
+		return TenantPolicy{}, false
+	}
+	if p.Default != nil {
+		return *p.Default, true
+	}
+	return TenantPolicy{}, true
+}
+
+// clone deep-copies a policy so live mutation of a caller's document
+// cannot race the broker's applied snapshot.
+func (p *BrokerPolicy) clone() *BrokerPolicy {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	if p.Default != nil {
+		d := *p.Default
+		c.Default = &d
+	}
+	if p.Tenants != nil {
+		c.Tenants = make(map[string]TenantPolicy, len(p.Tenants))
+		for k, v := range p.Tenants {
+			c.Tenants[k] = v
+		}
+	}
+	return &c
+}
+
+// StoreBrokerPolicy publishes a policy document into the replicated
+// registry under name, as a PlanePolicy endpoint whose Addr carries the
+// JSON. Registrations are leased forever (ttl 0) so policy survives
+// broker death; readers take the highest Version among live documents.
+// It returns the registration's lease so a writer that replaces policy
+// can Unregister its previous document.
+func StoreBrokerPolicy(rc *RegistryClient, name string, p *BrokerPolicy) (uint64, error) {
+	if p == nil {
+		return 0, errors.New("lrpc: nil broker policy")
+	}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return 0, err
+	}
+	return rc.Register(name, 0, Endpoint{Plane: PlanePolicy, Addr: string(blob)})
+}
+
+// LoadBrokerPolicy fetches the highest-versioned policy document stored
+// under name; ErrNoSuchName when none is stored.
+func LoadBrokerPolicy(rc *RegistryClient, name string) (*BrokerPolicy, error) {
+	eps, err := rc.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	var best *BrokerPolicy
+	for _, ep := range eps {
+		if ep.Plane != PlanePolicy {
+			continue
+		}
+		var p BrokerPolicy
+		if json.Unmarshal([]byte(ep.Addr), &p) != nil {
+			continue
+		}
+		if best == nil || p.Version > best.Version {
+			q := p
+			best = &q
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no policy document under %q", ErrNoSuchName, name)
+	}
+	return best, nil
+}
+
+// --- token bucket ---
+
+// tokenBucket is a mutex-guarded token bucket; one per tenant, taken
+// once per relayed call. The broker path is syscall-bound, so a mutex
+// here is noise — the 0-lock discipline belongs to the in-process plane.
+type tokenBucket struct {
+	mu        sync.Mutex
+	ratePerNs float64
+	burst     float64
+	tokens    float64
+	lastNs    int64
+}
+
+func newTokenBucket(ratePerSec float64, burst int) *tokenBucket {
+	if burst <= 0 {
+		burst = int(ratePerSec)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tokenBucket{
+		ratePerNs: ratePerSec / float64(time.Second),
+		burst:     float64(burst),
+		tokens:    float64(burst),
+	}
+}
+
+// take consumes one token if available.
+func (tb *tokenBucket) take(nowNs int64) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.lastNs != 0 && nowNs > tb.lastNs {
+		tb.tokens += float64(nowNs-tb.lastNs) * tb.ratePerNs
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.lastNs = nowNs
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// --- tenant state ---
+
+// tenantEffective is one tenant's applied policy: swapped atomically as
+// a unit on policy updates, so a relayed call sees one coherent
+// (bucket, bulkhead, suspension) triple. In-flight calls exit against
+// the bulkhead they entered.
+type tenantEffective struct {
+	pol       TenantPolicy
+	bucket    *tokenBucket // nil: unlimited rate
+	adm       *admission   // nil: unlimited concurrency
+	suspended bool
+}
+
+// tenantState aggregates one tenant's connections: effective policy and
+// striped lifetime counters (stripe = connection, so concurrent
+// connections of one tenant do not serialize on a counter line).
+type tenantState struct {
+	name string
+	eff  atomic.Pointer[tenantEffective]
+
+	conns    atomic.Int64
+	inflight atomic.Int64
+
+	admits           stripedUint64
+	reattaches       stripedUint64
+	calls            stripedUint64
+	oneWays          stripedUint64
+	errorsN          stripedUint64
+	quotaSheds       stripedUint64
+	suspendedRejects stripedUint64
+	bulkRejects      stripedUint64
+	bytesIn          stripedUint64
+	bytesOut         stripedUint64
+}
+
+func newTenantEffective(pol TenantPolicy) *tenantEffective {
+	eff := &tenantEffective{pol: pol, suspended: pol.Suspended}
+	if pol.RatePerSec > 0 {
+		eff.bucket = newTokenBucket(pol.RatePerSec, pol.Burst)
+	}
+	if pol.MaxConcurrent > 0 {
+		q := pol.MaxQueue
+		if q < 0 {
+			q = 0
+		}
+		eff.adm = &admission{cfg: AdmissionConfig{
+			MaxConcurrent: pol.MaxConcurrent, MaxQueue: q}}
+	}
+	return eff
+}
+
+// TenantSnapshot is one tenant's point-in-time view for the snapshot
+// and Prometheus planes (and `lrpcstat tenants`).
+type TenantSnapshot struct {
+	Tenant    string `json:"tenant"`
+	Suspended bool   `json:"suspended,omitempty"`
+
+	RatePerSec    float64 `json:"rate_per_sec,omitempty"`
+	MaxConcurrent int     `json:"max_concurrent,omitempty"`
+	MaxQueue      int     `json:"max_queue,omitempty"`
+	Priority      int     `json:"priority,omitempty"`
+
+	Conns    int64 `json:"conns"`
+	InFlight int64 `json:"in_flight"`
+
+	Admits           uint64 `json:"admits"`
+	Reattaches       uint64 `json:"reattaches"`
+	Calls            uint64 `json:"calls"`
+	OneWays          uint64 `json:"one_ways,omitempty"`
+	Errors           uint64 `json:"errors,omitempty"`
+	QuotaSheds       uint64 `json:"quota_sheds"`
+	SuspendedRejects uint64 `json:"suspended_rejects,omitempty"`
+	BulkRejects      uint64 `json:"bulk_rejects,omitempty"`
+	BytesIn          uint64 `json:"bytes_in"`
+	BytesOut         uint64 `json:"bytes_out"`
+}
+
+// BrokerInfo is the broker-level half of a stats snapshot.
+type BrokerInfo struct {
+	Generation    uint64 `json:"generation"`
+	PolicyVersion uint64 `json:"policy_version"`
+	Tenants       int    `json:"tenants"`
+	Addr          string `json:"addr,omitempty"`
+}
+
+// brokerStatsBlob is the JSON payload of an opStats reply.
+type brokerStatsBlob struct {
+	Info    BrokerInfo       `json:"info"`
+	Tenants []TenantSnapshot `json:"tenants"`
+}
+
+// --- broker ---
+
+// BrokerUpstream is a backend caller the broker relays admitted frames
+// through: *NetClient and *ReplicatedSupervisor both satisfy it, and
+// LocalUpstream adapts an in-process Binding.
+type BrokerUpstream interface {
+	CallContext(ctx context.Context, proc int, args []byte) ([]byte, error)
+	Close() error
+}
+
+// localUpstream adapts an in-process Binding (which holds no transport
+// to close) to the BrokerUpstream surface.
+type localUpstream struct{ b *Binding }
+
+func (u localUpstream) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
+	return u.b.CallContext(ctx, proc, args)
+}
+func (u localUpstream) Close() error { return nil }
+
+// LocalUpstream wraps an in-process binding as a broker upstream — the
+// single-process deployment where broker and backend share an address
+// space (and the shape the broker experiment measures).
+func LocalUpstream(b *Binding) BrokerUpstream { return localUpstream{b: b} }
+
+// BrokerOptions tunes a Broker. The zero value selects defaults.
+type BrokerOptions struct {
+	// Name is the registry name the broker announces under; tenants
+	// resolve it. Empty selects DefaultBrokerName.
+	Name string
+	// PolicyName is the registry name of the policy document. Empty
+	// selects Name + ".policy".
+	PolicyName string
+	// MaxInFlight bounds concurrently relayed calls per tenant
+	// connection (the same backpressure as ServeOptions). 0 selects 64.
+	MaxInFlight int
+	// WriteTimeout bounds each reply write. 0 selects 10s.
+	WriteTimeout time.Duration
+	// ForwardTimeout bounds one relayed upstream call. 0 selects 10s.
+	ForwardTimeout time.Duration
+	// QueueTimeout bounds how long a call may wait for a bulkhead slot
+	// before shedding with ErrQuotaExceeded. 0 selects 250ms.
+	QueueTimeout time.Duration
+	// MaxControlFrame bounds one control frame (policy documents ride
+	// in them). 0 selects 64 KiB.
+	MaxControlFrame int
+	// PolicyPoll is the interval at which an announced broker re-reads
+	// the registry policy document, picking up out-of-band updates.
+	// 0 selects 2s; negative disables polling.
+	PolicyPoll time.Duration
+	// Upstream lazily resolves a backend caller for a service the
+	// broker has no explicit upstream for (SetUpstream). nil means
+	// unknown services are rejected.
+	Upstream func(service string) (BrokerUpstream, error)
+	// Seed seeds the broker generation for registry-less deployments;
+	// 0 selects a random seed. Announce overrides the generation with
+	// the announcement lease.
+	Seed int64
+	// Tracer receives TraceShed events for policy rejections.
+	Tracer Tracer
+}
+
+func (o *BrokerOptions) fill() {
+	if o.Name == "" {
+		o.Name = DefaultBrokerName
+	}
+	if o.PolicyName == "" {
+		o.PolicyName = o.Name + ".policy"
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 10 * time.Second
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 250 * time.Millisecond
+	}
+	if o.MaxControlFrame <= 0 {
+		o.MaxControlFrame = 64 << 10
+	}
+	if o.PolicyPoll == 0 {
+		o.PolicyPoll = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = rand.Int63()
+	}
+}
+
+// upstreamEntry resolves a service's upstream exactly once, outside the
+// broker lock (resolution may dial).
+type upstreamEntry struct {
+	once sync.Once
+	up   BrokerUpstream
+	err  error
+}
+
+// Broker is the multi-tenant RPC service daemon. Construct with
+// NewBroker, attach upstreams (SetUpstream or BrokerOptions.Upstream),
+// optionally Announce into a replicated registry, then Serve/Start.
+type Broker struct {
+	opts BrokerOptions
+
+	gen      atomic.Uint64 // broker generation (announcement lease)
+	leaseCtr atomic.Uint64 // per-generation tenant lease mint
+	connCtr  atomic.Uint32 // counter stripe assignment
+
+	policy  atomic.Pointer[BrokerPolicy]
+	version atomic.Uint64 // applied policy version
+
+	mu          sync.Mutex
+	tenants     map[string]*tenantState
+	ups         map[string]*upstreamEntry
+	ln          *trackedListener
+	ann         *Announcement
+	rc          *RegistryClient
+	policyLease uint64 // registry lease of the policy doc we wrote
+	pollStop    chan struct{}
+
+	closed   atomic.Bool
+	wg       sync.WaitGroup // tenant connections
+	serveErr chan error
+
+	helloRejects atomic.Uint64
+}
+
+// NewBroker builds a broker with no policy (admit everyone, unlimited)
+// and no upstreams.
+func NewBroker(opts BrokerOptions) *Broker {
+	opts.fill()
+	bk := &Broker{
+		opts:     opts,
+		tenants:  map[string]*tenantState{},
+		ups:      map[string]*upstreamEntry{},
+		serveErr: make(chan error, 1),
+	}
+	bk.gen.Store(uint64(rand.New(rand.NewSource(opts.Seed)).Int63()) | 1)
+	return bk
+}
+
+// Name returns the broker's announce name.
+func (bk *Broker) Name() string { return bk.opts.Name }
+
+// Generation returns the broker's current generation (the announcement
+// lease once Announce has run).
+func (bk *Broker) Generation() uint64 { return bk.gen.Load() }
+
+// PolicyVersion returns the applied policy version.
+func (bk *Broker) PolicyVersion() uint64 { return bk.version.Load() }
+
+// SetUpstream installs the backend caller for one service name.
+func (bk *Broker) SetUpstream(service string, up BrokerUpstream) {
+	e := &upstreamEntry{up: up}
+	e.once.Do(func() {})
+	bk.mu.Lock()
+	bk.ups[service] = e
+	bk.mu.Unlock()
+}
+
+// upstreamFor resolves the backend caller for a service, lazily through
+// BrokerOptions.Upstream when no explicit one is installed.
+func (bk *Broker) upstreamFor(service string) (BrokerUpstream, error) {
+	bk.mu.Lock()
+	e, ok := bk.ups[service]
+	if !ok {
+		if bk.opts.Upstream == nil {
+			bk.mu.Unlock()
+			return nil, fmt.Errorf("%w: no upstream for %q", ErrNotExported, service)
+		}
+		e = &upstreamEntry{}
+		bk.ups[service] = e
+	}
+	bk.mu.Unlock()
+	e.once.Do(func() { e.up, e.err = bk.opts.Upstream(service) })
+	if e.err != nil {
+		// Resolution failed; let a later call try afresh.
+		bk.mu.Lock()
+		if bk.ups[service] == e {
+			delete(bk.ups, service)
+		}
+		bk.mu.Unlock()
+	}
+	return e.up, e.err
+}
+
+// SetPolicy applies a policy document live — existing tenant
+// connections see the new buckets, bulkheads, and suspensions on their
+// next call — and, when the broker is announced into a registry, writes
+// the document through so it survives broker death. Version 0 is
+// auto-assigned (current+1).
+func (bk *Broker) SetPolicy(p *BrokerPolicy) error {
+	if p == nil {
+		return errors.New("lrpc: nil broker policy")
+	}
+	p = p.clone()
+	if p.Version == 0 {
+		p.Version = bk.version.Load() + 1
+	}
+	bk.applyPolicy(p)
+	bk.mu.Lock()
+	rc := bk.rc
+	prevLease := bk.policyLease
+	bk.mu.Unlock()
+	if rc == nil {
+		return nil
+	}
+	lease, err := StoreBrokerPolicy(rc, bk.opts.PolicyName, p)
+	if err != nil {
+		return fmt.Errorf("lrpc: broker policy applied locally but not stored: %w", err)
+	}
+	bk.mu.Lock()
+	bk.policyLease = lease
+	bk.mu.Unlock()
+	if prevLease != 0 {
+		_ = rc.Unregister(bk.opts.PolicyName, prevLease)
+	}
+	return nil
+}
+
+// Policy returns the applied policy document (a copy), nil when none.
+func (bk *Broker) Policy() *BrokerPolicy { return bk.policy.Load().clone() }
+
+// applyPolicy installs a policy snapshot and re-derives every known
+// tenant's effective state. Suspending a tenant revokes its bulkhead so
+// parked waiters fail immediately instead of draining the queue first.
+func (bk *Broker) applyPolicy(p *BrokerPolicy) {
+	bk.policy.Store(p)
+	bk.version.Store(p.Version)
+	bk.mu.Lock()
+	states := make([]*tenantState, 0, len(bk.tenants))
+	for _, ts := range bk.tenants {
+		states = append(states, ts)
+	}
+	bk.mu.Unlock()
+	for _, ts := range states {
+		pol, ok := p.lookup(ts.name)
+		if !ok {
+			// The tenant lost its entry: treat as suspension; its next
+			// HELLO will be refused.
+			pol.Suspended = true
+		}
+		eff := newTenantEffective(pol)
+		old := ts.eff.Swap(eff)
+		if eff.suspended && old != nil && old.adm != nil {
+			old.adm.revoke()
+		}
+	}
+}
+
+// tenant returns (creating on first admission) the named tenant state.
+func (bk *Broker) tenant(name string) *tenantState {
+	bk.mu.Lock()
+	ts, ok := bk.tenants[name]
+	if !ok {
+		ts = &tenantState{name: name}
+		pol, _ := bk.policy.Load().lookup(name)
+		ts.eff.Store(newTenantEffective(pol))
+		bk.tenants[name] = ts
+	}
+	bk.mu.Unlock()
+	return ts
+}
+
+// Announce registers the broker's address in the replicated registry
+// under its Name and adopts the announcement lease as the broker
+// generation — a fresh process gets a fresh lease, so tenants detect
+// restarts by generation change. It also loads the stored policy
+// document (if any, and newer than the applied one) and starts the
+// policy poll loop. Call before Serve so no tenant admits under the
+// pre-announce generation.
+func (bk *Broker) Announce(rc *RegistryClient, ttl time.Duration, addr string) (*Announcement, error) {
+	a, err := AnnounceEndpoint(rc, bk.opts.Name, ttl, Endpoint{Plane: PlaneTCP, Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	bk.gen.Store(a.Lease())
+	bk.mu.Lock()
+	bk.ann = a
+	bk.rc = rc
+	stop := make(chan struct{})
+	bk.pollStop = stop
+	bk.mu.Unlock()
+	if p, perr := LoadBrokerPolicy(rc, bk.opts.PolicyName); perr == nil && p.Version > bk.version.Load() {
+		bk.applyPolicy(p)
+	}
+	if bk.opts.PolicyPoll > 0 {
+		bk.wg.Add(1)
+		go bk.pollPolicy(rc, stop)
+	}
+	return a, nil
+}
+
+// pollPolicy picks up policy documents written by other processes
+// (StoreBrokerPolicy straight into the registry): live update without
+// restarting the broker, tenants, or backends.
+func (bk *Broker) pollPolicy(rc *RegistryClient, stop chan struct{}) {
+	defer bk.wg.Done()
+	t := time.NewTicker(bk.opts.PolicyPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if p, err := LoadBrokerPolicy(rc, bk.opts.PolicyName); err == nil && p.Version > bk.version.Load() {
+			bk.applyPolicy(p)
+		}
+	}
+}
+
+// Start listens on addr and serves in the background.
+func (bk *Broker) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { bk.serveErr <- bk.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts tenant and admin connections until the listener fails
+// or the broker is closed.
+func (bk *Broker) Serve(ln net.Listener) error {
+	tl := newTrackedListener(ln)
+	bk.mu.Lock()
+	if bk.closed.Load() {
+		bk.mu.Unlock()
+		tl.Close()
+		return ErrConnClosed
+	}
+	bk.ln = tl
+	bk.mu.Unlock()
+	for {
+		conn, err := tl.Accept()
+		if err != nil {
+			return err
+		}
+		bk.wg.Add(1)
+		go bk.serveConn(conn)
+	}
+}
+
+// Close shuts the broker down cleanly: withdraw the announcement (so
+// resolving tenants stop seeing it before the port goes dark), sever
+// connections, drain relays, release upstreams.
+func (bk *Broker) Close() error { return bk.shutdown(false) }
+
+// Abort simulates a broker crash from inside the process: connections
+// are severed and the listener dies, but the announcement is NOT
+// withdrawn — the registration lingers until its lease expires, exactly
+// as after a SIGKILL. Fault harnesses and the broker experiment use it;
+// production shutdown is Close.
+func (bk *Broker) Abort() { _ = bk.shutdown(true) }
+
+func (bk *Broker) shutdown(abort bool) error {
+	if !bk.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	bk.mu.Lock()
+	ann, ln, stop := bk.ann, bk.ln, bk.pollStop
+	bk.ann, bk.pollStop = nil, nil
+	ups := bk.ups
+	bk.ups = map[string]*upstreamEntry{}
+	bk.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	if ann != nil {
+		if abort {
+			ann.Abandon()
+		} else {
+			_ = ann.Close()
+		}
+	}
+	if ln != nil {
+		_ = ln.Close()
+		ln.CloseAll()
+	}
+	bk.wg.Wait()
+	for _, e := range ups {
+		if e.up != nil {
+			_ = e.up.Close()
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the broker-level info and per-tenant counters,
+// sorted by tenant name.
+func (bk *Broker) Snapshot() (BrokerInfo, []TenantSnapshot) {
+	bk.mu.Lock()
+	states := make([]*tenantState, 0, len(bk.tenants))
+	for _, ts := range bk.tenants {
+		states = append(states, ts)
+	}
+	var addr string
+	if bk.ln != nil {
+		addr = bk.ln.Addr().String()
+	}
+	bk.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+	out := make([]TenantSnapshot, 0, len(states))
+	for _, ts := range states {
+		out = append(out, ts.snapshot())
+	}
+	return BrokerInfo{
+		Generation:    bk.gen.Load(),
+		PolicyVersion: bk.version.Load(),
+		Tenants:       len(out),
+		Addr:          addr,
+	}, out
+}
+
+func (ts *tenantState) snapshot() TenantSnapshot {
+	eff := ts.eff.Load()
+	sn := TenantSnapshot{
+		Tenant:           ts.name,
+		Conns:            ts.conns.Load(),
+		InFlight:         ts.inflight.Load(),
+		Admits:           ts.admits.sum(),
+		Reattaches:       ts.reattaches.sum(),
+		Calls:            ts.calls.sum(),
+		OneWays:          ts.oneWays.sum(),
+		Errors:           ts.errorsN.sum(),
+		QuotaSheds:       ts.quotaSheds.sum(),
+		SuspendedRejects: ts.suspendedRejects.sum(),
+		BulkRejects:      ts.bulkRejects.sum(),
+		BytesIn:          ts.bytesIn.sum(),
+		BytesOut:         ts.bytesOut.sum(),
+	}
+	if eff != nil {
+		sn.Suspended = eff.suspended
+		sn.RatePerSec = eff.pol.RatePerSec
+		sn.MaxConcurrent = eff.pol.MaxConcurrent
+		sn.MaxQueue = eff.pol.MaxQueue
+		sn.Priority = int(eff.pol.Priority)
+	}
+	return sn
+}
+
+// WriteMetricsText renders the per-tenant counters in Prometheus text
+// exposition format — the broker-plane extension of the package's
+// System.WriteMetricsText surface.
+func (bk *Broker) WriteMetricsText(w io.Writer) error {
+	info, tenants := bk.Snapshot()
+	if _, err := fmt.Fprintf(w,
+		"# TYPE lrpc_broker_generation gauge\nlrpc_broker_generation %d\n"+
+			"# TYPE lrpc_broker_policy_version gauge\nlrpc_broker_policy_version %d\n",
+		info.Generation, info.PolicyVersion); err != nil {
+		return err
+	}
+	for _, t := range tenants {
+		esc := promLabelEscape(t.Tenant)
+		susp := 0
+		if t.Suspended {
+			susp = 1
+		}
+		if _, err := fmt.Fprintf(w,
+			"lrpc_tenant_calls_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_one_ways_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_errors_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_quota_sheds_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_suspended_rejects_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_admits_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_reattaches_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_bytes_in_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_bytes_out_total{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_in_flight{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_conns{tenant=\"%s\"} %d\n"+
+				"lrpc_tenant_suspended{tenant=\"%s\"} %d\n",
+			esc, t.Calls, esc, t.OneWays, esc, t.Errors, esc, t.QuotaSheds,
+			esc, t.SuspendedRejects, esc, t.Admits, esc, t.Reattaches,
+			esc, t.BytesIn, esc, t.BytesOut, esc, t.InFlight, esc, t.Conns,
+			esc, susp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabelEscape keeps hostile tenant names from breaking the
+// exposition format (quotes and newlines are the dangerous bytes).
+func promLabelEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			out = append(out, '\\', c)
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func (bk *Broker) emitShed(tenant string, err error) {
+	if bk.opts.Tracer != nil {
+		bk.opts.Tracer.TraceEvent(TraceEvent{Kind: TraceShed, Iface: "tenant/" + tenant, Err: err})
+	}
+}
+
+// --- connection handling ---
+
+// readLimitedFrame reads one frame like readFrame but under a caller
+// cap: a length header beyond max is rejected before a byte of body is
+// read, let alone allocated.
+func readLimitedFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > max {
+		return nil, fmt.Errorf("lrpc: %d-byte control frame exceeds the %d-byte limit", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (bk *Broker) serveConn(conn net.Conn) {
+	defer bk.wg.Done()
+	// The first frame decides what this connection is: a HELLO makes it
+	// a tenant data connection, stats/policy ops make it an admin
+	// connection. Either way it must arrive promptly.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	frame, err := readLimitedFrame(conn, bk.opts.MaxControlFrame)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	pc, err := parseBrokerControl(frame)
+	if err != nil {
+		// Not (valid) control: refuse and drop. Never relay un-admitted
+		// frames.
+		bk.writeCtl(conn, appendCtlReply(nil, 0, 1, err.Error()))
+		conn.Close()
+		return
+	}
+	if pc.op != brokerOpHello {
+		bk.serveAdmin(conn, pc)
+		return
+	}
+	bk.serveTenant(conn, pc)
+}
+
+func (bk *Broker) writeCtl(conn net.Conn, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(bk.opts.WriteTimeout))
+	err := writeFrame(conn, payload)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// serveAdmin answers stats and policy control ops, one reply per
+// frame, until the peer hangs up.
+func (bk *Broker) serveAdmin(conn net.Conn, first *brokerControl) {
+	defer conn.Close()
+	pc := first
+	for {
+		var reply []byte
+		switch pc.op {
+		case brokerOpStats:
+			info, tenants := bk.Snapshot()
+			blob, err := json.Marshal(brokerStatsBlob{Info: info, Tenants: tenants})
+			if err != nil {
+				reply = appendCtlReply(nil, pc.op, 1, err.Error())
+				break
+			}
+			reply = appendCtlReply(nil, pc.op, 0, "")
+			reply = binary.LittleEndian.AppendUint32(reply, uint32(len(blob)))
+			reply = append(reply, blob...)
+		case brokerOpGetPolicy:
+			blob, err := json.Marshal(bk.policy.Load())
+			if err != nil {
+				reply = appendCtlReply(nil, pc.op, 1, err.Error())
+				break
+			}
+			reply = appendCtlReply(nil, pc.op, 0, "")
+			reply = binary.LittleEndian.AppendUint32(reply, uint32(len(blob)))
+			reply = append(reply, blob...)
+		case brokerOpSetPolicy:
+			var p BrokerPolicy
+			if err := json.Unmarshal(pc.blob, &p); err != nil {
+				reply = appendCtlReply(nil, pc.op, 1, "lrpc: bad policy document: "+err.Error())
+				break
+			}
+			if err := bk.SetPolicy(&p); err != nil {
+				reply = appendCtlReply(nil, pc.op, 1, err.Error())
+				break
+			}
+			reply = appendCtlReply(nil, pc.op, 0, "")
+			reply = binary.LittleEndian.AppendUint64(reply, bk.version.Load())
+		default:
+			reply = appendCtlReply(nil, pc.op, 1, "lrpc: unexpected broker control op")
+		}
+		if bk.writeCtl(conn, reply) != nil {
+			return
+		}
+		frame, err := readLimitedFrame(conn, bk.opts.MaxControlFrame)
+		if err != nil {
+			return
+		}
+		if pc, err = parseBrokerControl(frame); err != nil || pc.op == brokerOpHello {
+			return
+		}
+	}
+}
+
+// serveTenant admits one tenant connection and relays its frames.
+func (bk *Broker) serveTenant(conn net.Conn, hello *brokerControl) {
+	pol, ok := bk.policy.Load().lookup(hello.tenant)
+	if !ok {
+		bk.helloRejects.Add(1)
+		bk.writeCtl(conn, appendCtlReply(nil, brokerOpHello, 1,
+			fmt.Sprintf("%s: unknown tenant %q", ErrNotAdmitted.Error(), hello.tenant)))
+		conn.Close()
+		return
+	}
+	if pol.Token != "" && pol.Token != hello.token {
+		bk.helloRejects.Add(1)
+		bk.writeCtl(conn, appendCtlReply(nil, brokerOpHello, 1,
+			fmt.Sprintf("%s: bad token for tenant %q", ErrNotAdmitted.Error(), hello.tenant)))
+		conn.Close()
+		return
+	}
+	// Suspended tenants still admit: suspension is live policy, and a
+	// connection held open hears the un-suspension without re-dialing.
+	// Every call meanwhile rejects with ErrTenantSuspended.
+	ts := bk.tenant(hello.tenant)
+	stripe := bk.connCtr.Add(1)
+	gen := bk.gen.Load()
+	lease := bk.leaseCtr.Add(1)
+	ts.admits.add(stripe, 1)
+	if hello.prevGen != 0 && hello.prevGen != gen {
+		// Lease re-admission on a new broker generation: the tenant
+		// survived a broker restart and reattached.
+		ts.reattaches.add(stripe, 1)
+	}
+	reply := appendCtlReply(nil, brokerOpHello, 0, "")
+	reply = binary.LittleEndian.AppendUint64(reply, gen)
+	reply = binary.LittleEndian.AppendUint64(reply, lease)
+	reply = binary.LittleEndian.AppendUint64(reply, bk.version.Load())
+	if bk.writeCtl(conn, reply) != nil {
+		conn.Close()
+		return
+	}
+	ts.conns.Add(1)
+	defer ts.conns.Add(-1)
+	bk.relayLoop(conn, ts, hello.service, stripe)
+}
+
+// relayLoop is the broker's data path: the serveConn shape of net.go
+// with the policy gate ahead of dispatch and an upstream call instead
+// of a local handler.
+func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stripe uint32) {
+	closing := make(chan struct{})
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, bk.opts.MaxInFlight)
+	var wmu sync.Mutex
+	var closeOnce sync.Once
+	reply := func(callID uint64, status byte, body []byte) {
+		ts.bytesOut.add(stripe, uint64(13+len(body)))
+		if err := writeReply(conn, &wmu, bk.opts.WriteTimeout, callID, status, body); err != nil {
+			closeOnce.Do(func() { conn.Close() })
+		}
+	}
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		ts.bytesIn.add(stripe, uint64(4+len(frame)))
+		callID, name, proc, oneWay, bulk, args, perr := parseRequest(frame)
+		if perr != nil {
+			break
+		}
+		// Bulk frames are not relayed: the payload streams outside the
+		// frame envelope and splicing it through the broker would buffer
+		// it twice. Keep the stream framed (drain), vouch non-execution.
+		if bulk {
+			bulkDir, bulkLen, _, berr := parseBulkHeader(args)
+			if berr != nil {
+				break
+			}
+			if bulkDir == BulkIn {
+				if _, derr := io.CopyN(io.Discard, conn, bulkLen); derr != nil {
+					break
+				}
+			}
+			ts.bulkRejects.add(stripe, 1)
+			if !oneWay {
+				reply(callID, 2, []byte(fmt.Sprintf(
+					"%s: bulk calls are not relayed; bind the backend's bulk plane directly",
+					ErrNotAdmitted.Error())))
+			}
+			continue
+		}
+		// The HELLO admitted one service; frames for anything else are
+		// refused (a tenant cannot widen its own admission).
+		if service != "" && name != service {
+			if !oneWay {
+				reply(callID, 2, []byte(fmt.Sprintf(
+					"%s: tenant %q is admitted to %q, not %q",
+					ErrNotAdmitted.Error(), ts.name, service, name)))
+			}
+			continue
+		}
+
+		// --- the centralized policy gate ---
+		eff := ts.eff.Load()
+		if eff.suspended {
+			ts.suspendedRejects.add(stripe, 1)
+			bk.emitShed(ts.name, ErrTenantSuspended)
+			if !oneWay {
+				reply(callID, 2, []byte(fmt.Sprintf("%s: tenant %q",
+					ErrTenantSuspended.Error(), ts.name)))
+			}
+			continue
+		}
+		if eff.bucket != nil && !eff.bucket.take(time.Now().UnixNano()) {
+			ts.quotaSheds.add(stripe, 1)
+			bk.emitShed(ts.name, ErrQuotaExceeded)
+			if !oneWay {
+				reply(callID, 2, []byte(fmt.Sprintf(
+					"%s: tenant %q over its %g calls/sec rate",
+					ErrQuotaExceeded.Error(), ts.name, eff.pol.RatePerSec)))
+			}
+			continue
+		}
+		if eff.adm != nil {
+			deadline := time.Now().Add(bk.opts.QueueTimeout)
+			switch aerr := eff.adm.enter(eff.pol.Priority, deadline, closing); {
+			case aerr == nil:
+			case errors.Is(aerr, ErrRevoked):
+				ts.suspendedRejects.add(stripe, 1)
+				if !oneWay {
+					reply(callID, 2, []byte(fmt.Sprintf("%s: tenant %q",
+						ErrTenantSuspended.Error(), ts.name)))
+				}
+				continue
+			default: // ErrOverload: the bulkhead is full
+				ts.quotaSheds.add(stripe, 1)
+				bk.emitShed(ts.name, ErrQuotaExceeded)
+				if !oneWay {
+					reply(callID, 2, []byte(fmt.Sprintf(
+						"%s: tenant %q at its %d-call concurrency bulkhead",
+						ErrQuotaExceeded.Error(), ts.name, eff.pol.MaxConcurrent)))
+				}
+				continue
+			}
+		}
+
+		up, uerr := bk.upstreamFor(name)
+		if uerr != nil {
+			if eff.adm != nil {
+				eff.adm.exit()
+			}
+			if !oneWay {
+				reply(callID, 2, []byte(uerr.Error()))
+			}
+			continue
+		}
+
+		sem <- struct{}{}
+		wg.Add(1)
+		ts.inflight.Add(1)
+		go func(eff *tenantEffective) {
+			defer func() {
+				ts.inflight.Add(-1)
+				if eff.adm != nil {
+					eff.adm.exit()
+				}
+				<-sem
+				wg.Done()
+			}()
+			ctx, cancel := context.WithTimeout(context.Background(), bk.opts.ForwardTimeout)
+			res, cerr := up.CallContext(ctx, proc, args)
+			cancel()
+			if oneWay {
+				ts.oneWays.add(stripe, 1)
+				return
+			}
+			ts.calls.add(stripe, 1)
+			select {
+			case <-closing:
+				return
+			default:
+			}
+			if cerr != nil {
+				status, msg := upstreamStatus(cerr)
+				if status != 2 {
+					ts.errorsN.add(stripe, 1)
+				}
+				reply(callID, status, []byte(msg))
+				return
+			}
+			if len(res) > MaxOOBSize {
+				ts.errorsN.add(stripe, 1)
+				reply(callID, 1, []byte(oversizedResults(len(res))))
+				return
+			}
+			reply(callID, 0, res)
+		}(eff)
+	}
+	close(closing)
+	closeOnce.Do(func() { conn.Close() })
+	wg.Wait()
+}
+
+// upstreamStatus maps an upstream failure onto the tenant-facing wire:
+// the broker forwards the server's own non-execution vouch (status 2)
+// and adds its own for failures that provably never reached the
+// backend; anything else — including a broker→backend connection lost
+// with the frame written — stays status 1, because the backend may have
+// executed it and at-most-once forbids pretending otherwise.
+func upstreamStatus(err error) (byte, string) {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		if re.NotExecuted {
+			return 2, re.Msg
+		}
+		return 1, re.Msg
+	}
+	if errors.Is(err, ErrNotSent) || errors.Is(err, ErrBreakerOpen) ||
+		errors.Is(err, ErrOverload) || errors.Is(err, ErrRevoked) ||
+		errors.Is(err, ErrNotExported) || errors.Is(err, ErrNoAStacks) {
+		return 2, err.Error()
+	}
+	return 1, fmt.Sprintf("lrpc: broker upstream: %v", err)
+}
+
+// --- client-side control helpers ---
+
+// brokerControlRoundTrip writes one control payload and reads the
+// reply's op-specific tail on a raw connection.
+func brokerControlRoundTrip(conn net.Conn, payload []byte, wantOp byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := writeFrame(conn, payload); err != nil {
+		return nil, err
+	}
+	frame, err := readLimitedFrame(conn, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	return parseCtlReply(frame, wantOp)
+}
+
+// brokerHello admits this connection as a tenant; it returns the
+// broker's generation, the minted lease, and the policy version.
+func brokerHello(conn net.Conn, tenant, token, service string, prevGen, prevLease uint64, timeout time.Duration) (gen, lease, policyVersion uint64, err error) {
+	tail, err := brokerControlRoundTrip(conn,
+		appendBrokerHello(nil, tenant, token, service, prevGen, prevLease),
+		brokerOpHello, timeout)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(tail) < 24 {
+		return 0, 0, 0, errors.New("lrpc: short broker hello reply")
+	}
+	return binary.LittleEndian.Uint64(tail[0:8]),
+		binary.LittleEndian.Uint64(tail[8:16]),
+		binary.LittleEndian.Uint64(tail[16:24]), nil
+}
+
+func brokerBlobOp(addr string, payload []byte, wantOp byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	tail, err := brokerControlRoundTrip(conn, payload, wantOp, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(tail) < 4 {
+		return nil, errors.New("lrpc: short broker control reply")
+	}
+	n := int(binary.LittleEndian.Uint32(tail[0:4]))
+	if 4+n > len(tail) {
+		return nil, errors.New("lrpc: truncated broker control reply")
+	}
+	return tail[4 : 4+n], nil
+}
+
+// BrokerStats fetches a broker's info and per-tenant snapshot over the
+// control protocol (the `lrpcstat tenants` backend).
+func BrokerStats(addr string, timeout time.Duration) (BrokerInfo, []TenantSnapshot, error) {
+	blob, err := brokerBlobOp(addr, appendCtlHeader(nil, brokerOpStats), brokerOpStats, timeout)
+	if err != nil {
+		return BrokerInfo{}, nil, err
+	}
+	var st brokerStatsBlob
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return BrokerInfo{}, nil, err
+	}
+	return st.Info, st.Tenants, nil
+}
+
+// FetchBrokerPolicy fetches the broker's applied policy document.
+func FetchBrokerPolicy(addr string, timeout time.Duration) (*BrokerPolicy, error) {
+	blob, err := brokerBlobOp(addr, appendCtlHeader(nil, brokerOpGetPolicy), brokerOpGetPolicy, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if string(blob) == "null" {
+		return nil, nil
+	}
+	var p BrokerPolicy
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// PushBrokerPolicy applies a policy document to a live broker over the
+// control protocol (the broker also writes it through to the registry
+// when announced). It returns the applied version.
+func PushBrokerPolicy(addr string, p *BrokerPolicy, timeout time.Duration) (uint64, error) {
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return 0, err
+	}
+	payload := appendCtlHeader(nil, brokerOpSetPolicy)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(blob)))
+	payload = append(payload, blob...)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	tail, err := brokerControlRoundTrip(conn, payload, brokerOpSetPolicy, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if len(tail) < 8 {
+		return 0, errors.New("lrpc: short broker setpolicy reply")
+	}
+	return binary.LittleEndian.Uint64(tail[0:8]), nil
+}

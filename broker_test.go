@@ -1,0 +1,458 @@
+package lrpc
+
+// Behavior tests for the multi-tenant broker plane: admission, policy
+// enforcement (rate buckets, bulkheads, suspension, tokens), live
+// policy updates, service confinement, hostile first frames, and the
+// control protocol's parser. The crash/restart and registry-backed
+// schedules live in broker_kill_test.go (package lrpc_test).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startBrokerRig builds an in-process backend serving Arith behind a
+// broker listening on loopback, returning the broker and its address.
+func startBrokerRig(t *testing.T, opts BrokerOptions) (*Broker, string) {
+	t.Helper()
+	sys := NewSystem()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := NewBroker(opts)
+	bk.SetUpstream("Arith", LocalUpstream(b))
+	addr, err := bk.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bk.Close() })
+	return bk, addr
+}
+
+func brokerTenant(t *testing.T, addr, tenant, token string) *BrokerSession {
+	t.Helper()
+	s, err := SuperviseBroker(BrokerTenantOpts{
+		Tenant:      tenant,
+		Token:       token,
+		Service:     "Arith",
+		BrokerAddrs: []string{addr},
+		Net: DialOptions{
+			CallTimeout:    2 * time.Second,
+			RedialAttempts: 2,
+			BackoffInitial: time.Millisecond,
+			BackoffMax:     5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestBrokerAdmitAndCall(t *testing.T) {
+	bk, addr := startBrokerRig(t, BrokerOptions{})
+	s := brokerTenant(t, addr, "team-a", "")
+	res, err := s.Call(0, addArgs(40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(res); got != 42 {
+		t.Fatalf("Add through broker = %d, want 42", got)
+	}
+	st := s.Stats()
+	if st.Admits != 1 || st.Reattaches != 0 || st.Generation != bk.Generation() {
+		t.Fatalf("session stats %+v, broker gen %d", st, bk.Generation())
+	}
+	info, tenants := bk.Snapshot()
+	if info.Tenants != 1 || len(tenants) != 1 {
+		t.Fatalf("snapshot %+v %+v", info, tenants)
+	}
+	ts := tenants[0]
+	if ts.Tenant != "team-a" || ts.Calls != 1 || ts.Conns != 1 || ts.InFlight != 0 ||
+		ts.Admits != 1 || ts.BytesIn == 0 || ts.BytesOut == 0 {
+		t.Fatalf("tenant snapshot %+v", ts)
+	}
+}
+
+// TestBrokerQuotaIsolation: an aggressor burning through its token
+// bucket sheds with ErrQuotaExceeded while a victim tenant's calls keep
+// succeeding — the centralized-policy headline.
+func TestBrokerQuotaIsolation(t *testing.T) {
+	bk, addr := startBrokerRig(t, BrokerOptions{})
+	if err := bk.SetPolicy(&BrokerPolicy{
+		AllowUnknown: true,
+		Tenants: map[string]TenantPolicy{
+			"aggressor": {RatePerSec: 0.001, Burst: 3, Priority: PriorityLow},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	victim := brokerTenant(t, addr, "victim", "")
+	aggr := brokerTenant(t, addr, "aggressor", "")
+
+	var sheds int
+	for i := 0; i < 10; i++ {
+		if _, err := aggr.Call(0, addArgs(1, 1)); err != nil {
+			if !errors.Is(err, ErrQuotaExceeded) {
+				t.Fatalf("aggressor call %d: %v (want ErrQuotaExceeded)", i, err)
+			}
+			if !errors.Is(err, ErrNotExecuted) {
+				t.Fatalf("quota shed lost its non-execution vouch: %v", err)
+			}
+			sheds++
+		}
+	}
+	if sheds < 7 {
+		t.Fatalf("aggressor shed %d of 10 calls, want >= 7 (burst 3)", sheds)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := victim.Call(0, addArgs(1, 1)); err != nil {
+			t.Fatalf("victim call %d failed under aggressor flood: %v", i, err)
+		}
+	}
+	_, tenants := bk.Snapshot()
+	for _, ts := range tenants {
+		switch ts.Tenant {
+		case "aggressor":
+			if ts.QuotaSheds != uint64(sheds) {
+				t.Fatalf("aggressor QuotaSheds = %d, want %d", ts.QuotaSheds, sheds)
+			}
+		case "victim":
+			if ts.QuotaSheds != 0 || ts.Calls != 20 {
+				t.Fatalf("victim snapshot %+v", ts)
+			}
+		}
+	}
+}
+
+// TestBrokerBulkhead: the per-tenant concurrency quota reuses the
+// admission priority queue; at the cap with no queue, overflow sheds as
+// ErrQuotaExceeded.
+func TestBrokerBulkhead(t *testing.T) {
+	sys := NewSystem()
+	hold := make(chan struct{})
+	started := make(chan struct{}, 16)
+	if _, err := sys.Export(&Interface{
+		Name: "Slow",
+		Procs: []Proc{{Name: "Block", Handler: func(c *Call) {
+			started <- struct{}{}
+			<-hold
+		}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Import("Slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := NewBroker(BrokerOptions{QueueTimeout: 50 * time.Millisecond})
+	bk.SetUpstream("Slow", LocalUpstream(b))
+	if err := bk.SetPolicy(&BrokerPolicy{
+		AllowUnknown: true,
+		Tenants:      map[string]TenantPolicy{"bursty": {MaxConcurrent: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := bk.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Close()
+
+	s, err := SuperviseBroker(BrokerTenantOpts{
+		Tenant: "bursty", Service: "Slow", BrokerAddrs: []string{addr},
+		Net: DialOptions{CallTimeout: 5 * time.Second, RedialAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Call(0, nil)
+			errs <- err
+		}()
+	}
+	<-started
+	<-started // both bulkhead slots held inside the handler
+	if _, err := s.Call(0, nil); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third concurrent call = %v, want ErrQuotaExceeded", err)
+	}
+	close(hold)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("held call failed: %v", err)
+		}
+	}
+	_, tenants := bk.Snapshot()
+	if len(tenants) != 1 || tenants[0].QuotaSheds != 1 || tenants[0].InFlight != 0 {
+		t.Fatalf("tenant snapshot %+v", tenants)
+	}
+}
+
+// TestBrokerLivePolicyUpdate: suspension and un-suspension apply to a
+// live connection without re-dialing, and the policy version moves.
+func TestBrokerLivePolicyUpdate(t *testing.T) {
+	bk, addr := startBrokerRig(t, BrokerOptions{})
+	s := brokerTenant(t, addr, "team-a", "")
+	if _, err := s.Call(0, addArgs(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bk.PolicyVersion()
+	if _, err := PushBrokerPolicy(addr, &BrokerPolicy{
+		AllowUnknown: true,
+		Tenants:      map[string]TenantPolicy{"team-a": {Suspended: true}},
+	}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bk.PolicyVersion() <= v1 {
+		t.Fatalf("policy version did not advance: %d -> %d", v1, bk.PolicyVersion())
+	}
+	if _, err := s.Call(0, addArgs(1, 2)); !errors.Is(err, ErrTenantSuspended) {
+		t.Fatalf("suspended tenant call = %v, want ErrTenantSuspended", err)
+	}
+	if _, err := PushBrokerPolicy(addr, &BrokerPolicy{AllowUnknown: true}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Call(0, addArgs(1, 2)); err != nil {
+		t.Fatalf("un-suspended tenant call failed: %v", err)
+	}
+	_, tenants := bk.Snapshot()
+	if len(tenants) != 1 || tenants[0].SuspendedRejects != 1 {
+		t.Fatalf("tenant snapshot %+v", tenants)
+	}
+	// The applied policy is fetchable over the same control plane.
+	p, err := FetchBrokerPolicy(addr, 2*time.Second)
+	if err != nil || p == nil || p.Version != bk.PolicyVersion() {
+		t.Fatalf("FetchBrokerPolicy = %+v, %v", p, err)
+	}
+}
+
+// TestBrokerTokenAuth: a tenant whose policy demands a token is refused
+// without it, with the refusal classified ErrNotAdmitted + not-executed.
+func TestBrokerTokenAuth(t *testing.T) {
+	bk, addr := startBrokerRig(t, BrokerOptions{})
+	if err := bk.SetPolicy(&BrokerPolicy{
+		Tenants: map[string]TenantPolicy{"secure": {Token: "s3cret"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The first admission is synchronous: a policy refusal surfaces from
+	// SuperviseBroker itself, classified ErrNotAdmitted + not-executed.
+	dial := func(tenant, token string) error {
+		s, err := SuperviseBroker(BrokerTenantOpts{
+			Tenant: tenant, Token: token, Service: "Arith",
+			BrokerAddrs: []string{addr},
+		})
+		if err == nil {
+			s.Close()
+		}
+		return err
+	}
+	if err := dial("secure", "wrong"); !errors.Is(err, ErrNotAdmitted) {
+		t.Fatalf("bad-token admission = %v, want ErrNotAdmitted", err)
+	}
+	if err := dial("secure", "wrong"); !errors.Is(err, ErrNotExecuted) {
+		t.Fatalf("refusal lost its non-execution vouch: %v", err)
+	}
+	// Unknown tenants are refused outright under AllowUnknown: false.
+	if err := dial("stranger", ""); !errors.Is(err, ErrNotAdmitted) {
+		t.Fatalf("unknown-tenant admission = %v, want ErrNotAdmitted", err)
+	}
+	good := brokerTenant(t, addr, "secure", "s3cret")
+	if _, err := good.Call(0, addArgs(40, 2)); err != nil {
+		t.Fatalf("good-token call failed: %v", err)
+	}
+}
+
+// TestBrokerServiceConfinement: a tenant admitted to one service cannot
+// route frames to another through the same connection.
+func TestBrokerServiceConfinement(t *testing.T) {
+	_, addr := startBrokerRig(t, BrokerOptions{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	gen, _, _, err := brokerHello(conn, "sneaky", "", "Other", 0, 0, 2*time.Second)
+	if err != nil || gen == 0 {
+		t.Fatalf("hello: gen=%d err=%v", gen, err)
+	}
+	// Send a request frame for a service the HELLO did not admit.
+	frame := appendRequestFrame(nil, 7, "Arith", 0, addArgs(1, 1))
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) < 9 || binary.LittleEndian.Uint64(reply[0:8]) != 7 || reply[8] != 2 {
+		t.Fatalf("confinement reply % x", reply)
+	}
+	if msg := string(reply[9:]); !strings.HasPrefix(msg, ErrNotAdmitted.Error()) {
+		t.Fatalf("confinement message %q", msg)
+	}
+}
+
+// TestBrokerHostileFirstFrames: garbage, truncation, and oversized
+// length headers on a fresh connection are refused without relaying a
+// byte; a frame beyond MaxControlFrame is cut before its body is read.
+func TestBrokerHostileFirstFrames(t *testing.T) {
+	_, addr := startBrokerRig(t, BrokerOptions{MaxControlFrame: 4096})
+	hostile := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		{},
+		{0x4C, 0x42, 0x4B, 0x31}, // magic alone
+		appendCtlHeader(nil, 99), // unknown op
+		appendBrokerHello(nil, "", "", "x", 0, 0), // empty tenant
+		append(appendCtlHeader(nil, brokerOpHello), // hostile ident length
+			0xFF, 0xFF, 'a'),
+	}
+	for i, payload := range hostile {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if err := writeFrame(conn, payload); err != nil {
+			t.Fatalf("frame %d write: %v", i, err)
+		}
+		// The broker must answer (an error control reply) and close — or
+		// just close — but never hang or relay.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}
+	// A length header beyond MaxControlFrame is rejected pre-read.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("broker kept reading a 1 GiB control frame announcement")
+	}
+	conn.Close()
+	// A live tenant still works after the hostile parade.
+	s := brokerTenant(t, addr, "survivor", "")
+	if _, err := s.Call(0, addArgs(40, 2)); err != nil {
+		t.Fatalf("call after hostile frames: %v", err)
+	}
+}
+
+// TestBrokerMetricsText: the Prometheus exposition renders per-tenant
+// series and escapes hostile tenant names.
+func TestBrokerMetricsText(t *testing.T) {
+	bk, addr := startBrokerRig(t, BrokerOptions{})
+	s := brokerTenant(t, addr, "met\"ric\n", "")
+	if _, err := s.Call(0, addArgs(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := bk.WriteMetricsText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `lrpc_tenant_calls_total{tenant="met\"ric\n"} 1`) {
+		t.Fatalf("metrics exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "lrpc_broker_generation") {
+		t.Fatalf("metrics exposition missing broker series:\n%s", out)
+	}
+}
+
+// TestParseBrokerControl: the parser's strict-bounds contract, also
+// exercised continuously by FuzzParseBrokerControl.
+func TestParseBrokerControl(t *testing.T) {
+	valid := appendBrokerHello(nil, "tenant", "tok", "svc", 7, 9)
+	pc, err := parseBrokerControl(valid)
+	if err != nil || pc.op != brokerOpHello || pc.tenant != "tenant" ||
+		pc.token != "tok" || pc.service != "svc" || pc.prevGen != 7 || pc.prevLease != 9 {
+		t.Fatalf("valid hello parse: %+v, %v", pc, err)
+	}
+	if pc, err := parseBrokerControl(appendCtlHeader(nil, brokerOpStats)); err != nil || pc.op != brokerOpStats {
+		t.Fatalf("stats parse: %+v, %v", pc, err)
+	}
+	bad := [][]byte{
+		nil,
+		append([]byte(nil), valid[:5]...), // short header
+		append([]byte(nil), valid[:8]...), // truncated body
+		append(append([]byte(nil), valid...), 0, 0), // trailing garbage
+	}
+	// Corrupt the magic.
+	wrongMagic := append([]byte(nil), valid...)
+	wrongMagic[0] ^= 0xFF
+	bad = append(bad, wrongMagic)
+	// Hostile ident length pointing past the frame.
+	hostile := appendCtlHeader(nil, brokerOpHello)
+	hostile = append(hostile, 0xFF, 0x7F)
+	bad = append(bad, hostile)
+	for i, b := range bad {
+		if _, err := parseBrokerControl(b); err == nil {
+			t.Fatalf("malformed frame %d parsed cleanly: % x", i, b)
+		}
+	}
+}
+
+// TestBrokerPolicyRoundTrip: store/load through a policy document's
+// JSON form, highest version winning.
+func TestBrokerPolicyRoundTrip(t *testing.T) {
+	p := &BrokerPolicy{
+		Version:      3,
+		AllowUnknown: true,
+		Default:      &TenantPolicy{RatePerSec: 100},
+		Tenants: map[string]TenantPolicy{
+			"a": {RatePerSec: 5, Burst: 10, MaxConcurrent: 2, Priority: PriorityHigh},
+		},
+	}
+	c := p.clone()
+	if c == p || c.Default == p.Default || *c.Default != *p.Default ||
+		c.Version != p.Version || c.AllowUnknown != p.AllowUnknown ||
+		fmt.Sprintf("%v", c.Tenants) != fmt.Sprintf("%v", p.Tenants) {
+		t.Fatalf("clone mismatch: %+v vs %+v", c, p)
+	}
+	c.Tenants["b"] = TenantPolicy{}
+	if _, leaked := p.Tenants["b"]; leaked {
+		t.Fatal("clone shares the tenant map")
+	}
+	if tp, ok := p.lookup("a"); !ok || tp.RatePerSec != 5 {
+		t.Fatalf("lookup a = %+v, %v", tp, ok)
+	}
+	if tp, ok := p.lookup("unknown"); !ok || tp.RatePerSec != 100 {
+		t.Fatalf("lookup unknown = %+v, %v", tp, ok)
+	}
+	p.AllowUnknown = false
+	if _, ok := p.lookup("unknown"); ok {
+		t.Fatal("unknown admitted with AllowUnknown false")
+	}
+}

@@ -33,11 +33,21 @@
 // -min-bulk-bandwidth times TCP's at every payload of 1 MiB and above —
 // the PR-8 acceptance gate for the bulk-data plane.
 //
+// A one-argument artifact whose "bench" field reads "broker" (as
+// written by `lrpcbench -json broker`, see BENCH_pr9.json) is checked
+// as a multi-tenant isolation record: any double execution across the
+// broker crash fails outright, the aggressor flood must not have moved
+// the victim's p99 by more than -max-isolation-ratio, the victim must
+// have reattached to the restarted broker within the convergence
+// ceiling, and the broker must actually have shed aggressor traffic —
+// the PR-9 acceptance gate for the broker plane.
+//
 //	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
 //	benchcheck [-min-shm-speedup 5] TRANSPORTS.json
 //	benchcheck [-max-converge-ms 30000] FAILOVER.json
 //	benchcheck [-min-batch-speedup 3] BATCH.json
 //	benchcheck [-min-bulk-bandwidth 1] BULK.json
+//	benchcheck [-max-isolation-ratio 3] BROKER.json
 package main
 
 import (
@@ -55,6 +65,7 @@ func main() {
 	maxConvergeMs := flag.Float64("max-converge-ms", 30000, "maximum failover/leader-kill convergence for a failover artifact, ms")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 3, "minimum per-call-vs-batched shm Null speedup for a batch artifact")
 	minBulkBandwidth := flag.Float64("min-bulk-bandwidth", 1, "minimum shm-over-TCP bytes/sec ratio at large payloads for a bulk artifact")
+	maxIsolationRatio := flag.Float64("max-isolation-ratio", 3, "maximum victim p99 inflation under aggressor flood for a broker artifact")
 	flag.Parse()
 	switch flag.NArg() {
 	case 1:
@@ -65,6 +76,8 @@ func main() {
 			checkBatch(flag.Arg(0), *minBatchSpeedup)
 		case "bulk":
 			checkBulk(flag.Arg(0), *minBulkBandwidth)
+		case "broker":
+			checkBroker(flag.Arg(0), *maxIsolationRatio, *maxConvergeMs)
 		default:
 			checkTransports(flag.Arg(0), *minShmSpeedup)
 		}
@@ -323,6 +336,50 @@ func checkFailover(path string, maxConvergeMs float64) {
 	}
 	if r.LeaderKillConvergenceMs <= 0 || r.LeaderKillConvergenceMs > maxConvergeMs {
 		fail("leader-kill convergence %.1f ms outside (0, %.0f]", r.LeaderKillConvergenceMs, maxConvergeMs)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// checkBroker validates a multi-tenant isolation artifact: at-most-once
+// across the broker crash is absolute (zero doubles), the aggressor
+// must have been shed, the victim's p99 under flood must stay within
+// the isolation ceiling, and the restart recovery must be bounded.
+func checkBroker(path string, maxRatio, maxConvergeMs float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r experiments.BrokerIsolationResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	fmt.Printf("broker: victim p99 %.1f µs unloaded, %.1f µs under flood (ratio %.2fx, ceiling %.1fx)\n",
+		r.VictimUnloadedP99us, r.VictimFloodP99us, r.IsolationRatio, maxRatio)
+	fmt.Printf("aggressor %d calls / %d sheds; restart recovery %.1f ms, %d reattaches, %d victim calls (%d failed)\n",
+		r.AggressorCalls, r.AggressorSheds, r.RestartRecoveryMs, r.Reattaches, r.VictimCalls, r.VictimFailed)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if r.DoubleExecutions != 0 {
+		fail("%d call ids executed more than once (at-most-once violation)", r.DoubleExecutions)
+	}
+	if r.VictimCalls <= 0 || r.VictimFailed >= r.VictimCalls {
+		fail("no victim progress: %d calls, %d failed", r.VictimCalls, r.VictimFailed)
+	}
+	if r.IsolationRatio <= 0 || r.IsolationRatio > maxRatio {
+		fail("isolation ratio %.2fx outside (0, %.1f] — the aggressor moved the victim's tail", r.IsolationRatio, maxRatio)
+	}
+	if r.AggressorSheds == 0 {
+		fail("the broker never shed the aggressor (0 quota sheds of %d calls)", r.AggressorCalls)
+	}
+	if r.RestartRecoveryMs <= 0 || r.RestartRecoveryMs > maxConvergeMs {
+		fail("restart recovery %.1f ms outside (0, %.0f]", r.RestartRecoveryMs, maxConvergeMs)
+	}
+	if r.Reattaches < 1 {
+		fail("the victim never reattached to the restarted broker")
 	}
 	fmt.Println("benchcheck: ok")
 }

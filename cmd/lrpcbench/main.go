@@ -191,6 +191,22 @@ func main() {
 			} else {
 				fmt.Println(experiments.FailoverTable(r).Render())
 			}
+		case "broker":
+			r, err := experiments.BrokerIsolation(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrpcbench: broker: %v\n", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.BrokerTable(r).Render())
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "lrpcbench: unknown experiment %q\n", w)
 			os.Exit(2)

@@ -19,6 +19,13 @@
 //	    render its snapshot: the zero-setup way to see what the
 //	    observability layer reports.
 //
+//	lrpcstat tenants [-watch interval] ADDR
+//	    Query a running broker (see Broker / cmd/lrpcbroker) over its
+//	    control protocol and render the per-tenant table: policy in
+//	    force, connections, in-flight gauge, calls, quota sheds, and
+//	    reattach counts. With -watch, refetch and redraw on the given
+//	    interval.
+//
 // For backward compatibility, invoking lrpcstat with .idl file arguments
 // and no mode word selects the idl mode.
 package main
@@ -51,6 +58,8 @@ func main() {
 		metricsMode(args[1:])
 	case "demo":
 		demoMode(args[1:])
+	case "tenants":
+		tenantsMode(args[1:])
 	case "-h", "-help", "--help":
 		usage()
 	default:
@@ -70,6 +79,7 @@ func usage() {
   lrpcstat idl file.idl...          static interface census (paper 2.2)
   lrpcstat metrics [-watch d] URL   render a running system's snapshot
   lrpcstat demo [-calls n]          run a demo workload and render it
+  lrpcstat tenants [-watch d] ADDR  render a running broker's tenant table
 `)
 }
 
@@ -114,6 +124,48 @@ func fetchSnapshot(url string) (lrpc.Snapshot, error) {
 		return sn, fmt.Errorf("decoding snapshot from %s: %w", url, err)
 	}
 	return sn, nil
+}
+
+// --- tenants mode ---
+
+func tenantsMode(args []string) {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	watch := fs.Duration("watch", 0, "refetch and redraw on this interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lrpcstat tenants [-watch interval] BROKER_ADDR")
+		os.Exit(2)
+	}
+	addr := fs.Arg(0)
+	for {
+		info, tenants, err := lrpc.BrokerStats(addr, 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		if *watch > 0 {
+			fmt.Print("\033[H\033[2J") // clear between redraws
+		}
+		fmt.Printf("broker %s  generation %d  policy v%d  %d tenants\n\n",
+			addr, info.Generation, info.PolicyVersion, info.Tenants)
+		fmt.Printf("%-16s %-9s %8s %6s %8s %9s %8s %7s %7s %6s %6s\n",
+			"TENANT", "POLICY", "CONNS", "INFL", "CALLS", "ONEWAYS", "ERRORS", "SHEDS", "SUSP", "ADMIT", "REATT")
+		for _, t := range tenants {
+			pol := "open"
+			switch {
+			case t.Suspended:
+				pol = "suspended"
+			case t.RatePerSec > 0 || t.MaxConcurrent > 0:
+				pol = fmt.Sprintf("%g/s c%d", t.RatePerSec, t.MaxConcurrent)
+			}
+			fmt.Printf("%-16s %-9s %8d %6d %8d %9d %8d %7d %7d %6d %6d\n",
+				t.Tenant, pol, t.Conns, t.InFlight, t.Calls, t.OneWays,
+				t.Errors, t.QuotaSheds, t.SuspendedRejects, t.Admits, t.Reattaches)
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
 }
 
 // --- demo mode ---

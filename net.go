@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,9 +103,19 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return "lrpc: remote: " + e.Msg }
 
-// Is lets errors.Is(err, ErrNotExecuted) see through the wrapper.
+// Is lets errors.Is(err, ErrNotExecuted) see through the wrapper, and
+// lets the broker-plane policy sentinels match across the wire: the
+// broker prefixes its rejection text with the sentinel's Error() string,
+// so a tenant can errors.Is(err, ErrQuotaExceeded) on a RemoteError that
+// crossed one (or, via a relay, several) hops.
 func (e *RemoteError) Is(target error) bool {
-	return target == ErrNotExecuted && e.NotExecuted
+	switch target {
+	case ErrNotExecuted:
+		return e.NotExecuted
+	case ErrQuotaExceeded, ErrTenantSuspended, ErrNotAdmitted:
+		return strings.HasPrefix(e.Msg, target.Error())
+	}
+	return false
 }
 
 // maxFrame bounds a single network frame.
@@ -420,7 +431,8 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 // side effects.
 func rejectStatus(err error) byte {
 	if errors.Is(err, ErrRevoked) || errors.Is(err, ErrNotExported) ||
-		errors.Is(err, ErrOverload) || errors.Is(err, ErrNoAStacks) {
+		errors.Is(err, ErrOverload) || errors.Is(err, ErrNoAStacks) ||
+		errors.Is(err, ErrQuotaExceeded) || errors.Is(err, ErrTenantSuspended) {
 		return 2
 	}
 	return 1
@@ -573,6 +585,10 @@ type pendingCall struct {
 	// is the only place the bytes behind the reply frame can be consumed
 	// in order.
 	bulk *BulkHandle
+	// probe marks an asynchronous submission elected as the breaker's
+	// half-open probe: its completion (reply or connection death) carries
+	// the probe's verdict to brObserve.
+	probe bool
 }
 
 type netReply struct {
@@ -769,6 +785,7 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 				if ok {
 					if p.fut != nil {
 						<-c.sem
+						c.brObserve(p.probe, ErrConnClosed)
 						p.fut.complete(nil, fmt.Errorf("%w: connection lost during bulk reply", ErrConnClosed))
 					} else {
 						close(p.ch)
@@ -785,12 +802,18 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 		if p.fut != nil {
 			// Asynchronous completion, resolved right here: free the
 			// in-flight slot first so a continuation fired by complete
-			// can take it without spawning a waiter goroutine.
+			// can take it without spawning a waiter goroutine. The reply
+			// is the async call's breaker verdict (a remote error still
+			// proves the peer alive), observed before complete so a
+			// continuation's resubmission sees the updated breaker.
 			<-c.sem
 			if reply.status != 0 {
 				c.failures.Add(1)
-				p.fut.complete(nil, &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2})
+				rerr := &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2}
+				c.brObserve(p.probe, rerr)
+				p.fut.complete(nil, rerr)
 			} else {
+				c.brObserve(p.probe, nil)
 				p.fut.complete(reply.body, nil)
 			}
 			continue
@@ -867,9 +890,15 @@ func (c *NetClient) connBroken(conn net.Conn, gen uint64, _ error) {
 	}
 	c.mu.Unlock()
 	// Fail orphaned futures outside the lock: complete may fire
-	// continuations, which resubmit (and take c.mu).
+	// continuations, which resubmit (and take c.mu). Each swept future
+	// is one async call killed by a connection-level failure, and each
+	// counts against the breaker — the async mirror of every swept
+	// synchronous call observing its own ErrConnClosed (brObserve).
+	// Channel waiters are NOT counted here: their callers observe the
+	// closed channel and report to the breaker themselves.
 	for _, f := range futs {
 		<-c.sem
+		c.brFailure()
 		f.complete(nil, fmt.Errorf("%w: connection lost awaiting reply", ErrConnClosed))
 	}
 }

@@ -16,10 +16,17 @@ package lrpc
 //     a single conn.Write — N requests, one syscall, one wakeup on the
 //     server's read loop: the TCP spelling of "ring the doorbell once".
 //
-// The asynchronous plane deliberately bypasses the circuit breaker:
-// the breaker exists to fail fast while the peer is known dead, and an
-// async submitter discovers that the same way the breaker does — via
-// completions carrying ErrConnClosed (see DESIGN §5.13).
+// The asynchronous plane shares the synchronous path's circuit breaker
+// (DESIGN §5.13): submissions are gated by allow() — while the breaker
+// is open, CallAsync, CallOneWay, and Batch staging fail fast with
+// ErrBreakerOpen instead of queueing behind a dead peer — and async
+// completions feed it: a reply (even a remote error) counts success, a
+// future swept by a connection loss counts failure, and a submission
+// elected as the half-open probe carries its verdict on the pendingCall
+// (probe) to brObserve. One-way calls have no reply to observe, so a
+// probe elected for a one-way treats its successful write as the
+// verdict — weak evidence, but the alternative wedges the half-open
+// state forever under pure one-way traffic.
 
 import (
 	"context"
@@ -40,28 +47,39 @@ func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Fut
 		return err
 	}
 	c.asyncCalls.Add(1)
+	// Circuit breaker gate, ahead of the in-flight window (as in
+	// CallContext): while the peer is known dead the submission fails
+	// fast, and the future resolves with ErrBreakerOpen.
+	var probe bool
+	if c.br != nil {
+		var berr error
+		probe, berr = c.br.allow(time.Now())
+		if berr != nil {
+			return berr
+		}
+	}
 	select {
 	case c.sem <- struct{}{}:
 	case <-c.closedCh:
-		return notSent(ErrConnClosed)
+		return c.asyncObserve(probe, notSent(ErrConnClosed))
 	case <-ctx.Done():
 		c.timeouts.Add(1)
-		return timeoutError(ctx.Err())
+		return c.asyncObserve(probe, timeoutError(ctx.Err()))
 	}
 	conn, gen, err := c.getConn(ctx)
 	if err != nil {
 		<-c.sem
-		return notSent(err)
+		return c.asyncObserve(probe, notSent(err))
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		<-c.sem
-		return notSent(ErrConnClosed)
+		return c.asyncObserve(probe, notSent(ErrConnClosed))
 	}
 	c.nextID++
 	id := c.nextID
-	c.wait[id] = &pendingCall{fut: f, gen: gen}
+	c.wait[id] = &pendingCall{fut: f, gen: gen, probe: probe}
 	c.mu.Unlock()
 
 	wrote, werr := c.writeRequest(ctx, conn, id, uint32(proc), args)
@@ -70,7 +88,8 @@ func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Fut
 		// Claim the pending entry back. If connBroken swept it first, it
 		// owns the future and the in-flight slot — report success and let
 		// its completion (ErrConnClosed) stand; completing here too would
-		// double-complete the future and double-release the slot.
+		// double-complete the future and double-release the slot. (The
+		// sweep also carried the entry's probe verdict to the breaker.)
 		c.mu.Lock()
 		_, mine := c.wait[id]
 		if mine {
@@ -82,12 +101,23 @@ func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Fut
 			return nil
 		}
 		<-c.sem
+		c.brFailure() // a failed write is a connection-level failure
 		if !wrote {
 			return notSent(werr)
 		}
 		return fmt.Errorf("%w: send failed mid-request: %v", ErrConnClosed, werr)
 	}
 	return nil
+}
+
+// asyncObserve reports a submission-path failure to the breaker with
+// the sync path's classification (brObserve) and passes the error
+// through — so a probe elected by an async submission that dies before
+// its frame registers still delivers a verdict, and the half-open state
+// cannot wedge.
+func (c *NetClient) asyncObserve(probe bool, err error) error {
+	c.brObserve(probe, err)
+	return err
 }
 
 // CallAsync submits proc over the network without waiting: the returned
@@ -118,19 +148,34 @@ func (c *NetClient) CallOneWay(proc int, args []byte) error {
 		return err
 	}
 	c.oneWays.Add(1)
+	var probe bool
+	if c.br != nil {
+		var berr error
+		probe, berr = c.br.allow(time.Now())
+		if berr != nil {
+			return berr
+		}
+	}
 	ctx := context.Background()
 	conn, gen, err := c.getConn(ctx)
 	if err != nil {
-		return notSent(err)
+		return c.asyncObserve(probe, notSent(err))
 	}
 	wrote, werr := c.writeRequest(ctx, conn, 0, uint32(proc)|wireFlagOneWay, args)
 	if werr != nil {
 		c.emitEvent(TraceWriteFail, werr)
 		c.connBroken(conn, gen, werr)
+		c.brFailure()
 		if !wrote {
 			return notSent(werr)
 		}
 		return fmt.Errorf("%w: send failed mid-request: %v", ErrConnClosed, werr)
+	}
+	// A one-way produces no reply, so a successful write is the only
+	// verdict a probe can ever deliver; taking it as success keeps the
+	// half-open state from wedging under pure one-way traffic.
+	if probe {
+		c.brObserve(true, nil)
 	}
 	return nil
 }
@@ -150,6 +195,11 @@ type netBatch struct {
 	conn net.Conn // pinned at first stage; nil between batches
 	gen  uint64   // generation of the pinned connection
 	buf  []byte   // staged frames, written back-to-back by flush
+	// probe records that a staged ONE-WAY entry was elected the
+	// breaker's half-open probe: with no reply to observe, the flush
+	// write is its verdict. Future-carrying entries ride their verdict
+	// on pendingCall.probe instead.
+	probe bool
 }
 
 func (nb *netBatch) stage(e *batchEnt) error {
@@ -160,12 +210,22 @@ func (nb *netBatch) stage(e *batchEnt) error {
 	if e.fut != nil {
 		e.fut.abandons = &c.timeouts
 	}
+	// Circuit breaker gate: a staged entry that cannot be admitted fails
+	// here, and Batch.Call resolves its future with ErrBreakerOpen.
+	var probe bool
+	if c.br != nil {
+		var berr error
+		probe, berr = c.br.allow(time.Now())
+		if berr != nil {
+			return berr
+		}
+	}
 	// Pin a connection at the first staged entry: a batch is one
 	// coalesced write, so every frame in it must ride one generation.
 	if nb.conn == nil {
 		conn, gen, err := c.getConn(context.Background())
 		if err != nil {
-			return notSent(err)
+			return c.asyncObserve(probe, notSent(err))
 		}
 		nb.conn, nb.gen = conn, gen
 	}
@@ -173,6 +233,9 @@ func (nb *netBatch) stage(e *batchEnt) error {
 	if e.oneWay {
 		c.oneWays.Add(1)
 		nb.buf = appendRequestFrame(nb.buf, 0, c.name, uint32(e.proc)|wireFlagOneWay, e.args)
+		if probe {
+			nb.probe = true
+		}
 		return nil
 	}
 	c.asyncCalls.Add(1)
@@ -184,23 +247,23 @@ func (nb *netBatch) stage(e *batchEnt) error {
 	case c.sem <- struct{}{}:
 	default:
 		if err := nb.flush(); err != nil {
-			return err
+			return c.asyncObserve(probe, err)
 		}
 		select {
 		case c.sem <- struct{}{}:
 		case <-c.closedCh:
-			return notSent(ErrConnClosed)
+			return c.asyncObserve(probe, notSent(ErrConnClosed))
 		}
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		<-c.sem
-		return notSent(ErrConnClosed)
+		return c.asyncObserve(probe, notSent(ErrConnClosed))
 	}
 	c.nextID++
 	id := c.nextID
-	c.wait[id] = &pendingCall{fut: e.fut, gen: nb.gen}
+	c.wait[id] = &pendingCall{fut: e.fut, gen: nb.gen, probe: probe}
 	c.mu.Unlock()
 	nb.buf = appendRequestFrame(nb.buf, id, c.name, uint32(e.proc), e.args)
 	return nil
@@ -225,6 +288,11 @@ func (nb *netBatch) flush() error {
 	c.wmu.Unlock()
 	if err != nil {
 		c.emitEvent(TraceWriteFail, err)
+		// The failed write is one connection-level failure (it also
+		// stands as the verdict of any one-way probe staged in this
+		// batch); the swept futures below each count their own.
+		c.brFailure()
+		nb.probe = false
 		nb.retire(err)
 		return fmt.Errorf("%w: batch flush failed: %v", ErrConnClosed, err)
 	}
@@ -236,8 +304,18 @@ func (nb *netBatch) flush() error {
 	live := !c.closed && c.gen == gen
 	c.mu.Unlock()
 	if !live {
+		if nb.probe {
+			nb.probe = false
+			c.brFailure()
+		}
 		nb.retire(errors.New("connection retired during batch staging"))
 		return fmt.Errorf("%w: connection lost during batch flush", ErrConnClosed)
+	}
+	if nb.probe {
+		// A one-way probe's successful coalesced write is its verdict
+		// (see CallOneWay).
+		nb.probe = false
+		c.brObserve(true, nil)
 	}
 	return nil
 }

@@ -1,0 +1,265 @@
+package lrpc
+
+// Regression tests for the async plane sharing the NetClient circuit
+// breaker (net_async.go used to bypass it deliberately): async
+// connection-level failures must count toward opening the breaker, an
+// open breaker must fail CallAsync / Batch.Call / CallOneWay fast with
+// ErrBreakerOpen, and the half-open probe must close it again once the
+// peer returns — with no path that wedges the breaker half-open.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// breakerRig is a NetClient against a live echo server whose link can
+// be taken down (live conns cut, dials refused) and brought back.
+type breakerRig struct {
+	t     *testing.T
+	ln    net.Listener
+	c     *NetClient
+	mu    sync.Mutex
+	down  bool
+	conns []net.Conn
+}
+
+func newBreakerRig(t *testing.T) *breakerRig {
+	t.Helper()
+	sys := NewSystem()
+	if _, err := sys.Export(arithInterface()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sys.ServeNetwork(ln)
+	r := &breakerRig{t: t, ln: ln}
+	c, err := NewReconnectingClient("Arith", DialOptions{
+		Dial:             r.dial,
+		CallTimeout:      time.Second,
+		RedialAttempts:   1,
+		BackoffInitial:   time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.c = c
+	t.Cleanup(func() { c.Close(); ln.Close() })
+	return r
+}
+
+func (r *breakerRig) dial() (net.Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return nil, errors.New("injected: peer down")
+	}
+	c, err := net.Dial("tcp", r.ln.Addr().String())
+	if err == nil {
+		r.conns = append(r.conns, c)
+	}
+	return c, err
+}
+
+func (r *breakerRig) setDown(d bool) {
+	r.mu.Lock()
+	r.down = d
+	if d {
+		for _, c := range r.conns {
+			c.Close()
+		}
+		r.conns = nil
+	}
+	r.mu.Unlock()
+}
+
+func waitBreaker(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestAsyncBreakerOpensAndFailsFast: async submission failures open the
+// breaker, and while open every async entry point resolves fast with
+// ErrBreakerOpen instead of queueing behind a dead redial loop.
+func TestAsyncBreakerOpensAndFailsFast(t *testing.T) {
+	r := newBreakerRig(t)
+	if f, err := r.c.CallAsync(0, addArgs(40, 2)); err != nil {
+		t.Fatal(err)
+	} else if res, err := f.Wait(); err != nil || len(res) < 4 {
+		t.Fatalf("async with peer up: %v (%q)", err, res)
+	}
+
+	r.setDown(true)
+	// Async submissions burn the redial budget; each failed dial counts
+	// toward the shared breaker until it opens.
+	for i := 0; i < 10 && r.c.Stats().BreakerOpens == 0; i++ {
+		if f, err := r.c.CallAsync(0, addArgs(1, 1)); err == nil {
+			f.Wait()
+		}
+	}
+	waitBreaker(t, func() bool { return r.c.Stats().BreakerOpens >= 1 }, "breaker open")
+
+	// While open: CallAsync fails fast with no future escaping.
+	start := time.Now()
+	if _, err := r.c.CallAsync(0, addArgs(1, 1)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("CallAsync while open = %v, want ErrBreakerOpen", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("CallAsync fail-fast took %v", d)
+	}
+	// Batch.Call stages through the same gate: the future resolves with
+	// ErrBreakerOpen at stage time, not at flush.
+	bt := r.c.NewBatch()
+	if _, err := bt.Call(0, addArgs(1, 1)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Batch.Call while open = %v, want ErrBreakerOpen", err)
+	}
+	// One-ways share the gate too.
+	if err := r.c.CallOneWay(2, nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("CallOneWay while open = %v, want ErrBreakerOpen", err)
+	}
+	if st := r.c.Stats(); st.BreakerRejects == 0 {
+		t.Fatalf("no breaker rejects recorded: %+v", st)
+	}
+}
+
+// TestAsyncBreakerRecovery: after the peer returns, the cooldown's
+// half-open probe rides an async call to completion and closes the
+// breaker — the probe verdict is never dropped.
+func TestAsyncBreakerRecovery(t *testing.T) {
+	r := newBreakerRig(t)
+	r.setDown(true)
+	for i := 0; i < 10 && r.c.Stats().BreakerOpens == 0; i++ {
+		if f, err := r.c.CallAsync(0, addArgs(1, 1)); err == nil {
+			f.Wait()
+		}
+	}
+	waitBreaker(t, func() bool { return r.c.Stats().BreakerOpens >= 1 }, "breaker open")
+
+	r.setDown(false)
+	// After the cooldown, exactly one async submission is elected the
+	// half-open probe; its completed reply closes the breaker and the
+	// plane drains normally again.
+	waitBreaker(t, func() bool {
+		f, err := r.c.CallAsync(0, addArgs(40, 2))
+		if err != nil {
+			return false
+		}
+		_, err = f.Wait()
+		return err == nil
+	}, "async recovery through half-open probe")
+
+	// Fully closed: a burst of async calls all succeed.
+	futs := make([]*Future, 0, 8)
+	for i := 0; i < 8; i++ {
+		f, err := r.c.CallAsync(0, addArgs(uint32(i), 1))
+		if err != nil {
+			t.Fatalf("post-recovery CallAsync %d: %v", i, err)
+		}
+		futs = append(futs, f)
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("post-recovery future %d: %v", i, err)
+		}
+	}
+	// And a batch flush succeeds end to end.
+	bt := r.c.NewBatch()
+	f, err := bt.Call(0, addArgs(40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatalf("post-recovery batch future: %v", err)
+	}
+}
+
+// TestAsyncBreakerConnDeathCounts: a connection death that strands
+// in-flight async futures counts toward the breaker without any new
+// submission — the async plane's failures are first-class breaker
+// evidence, not just dial errors.
+func TestAsyncBreakerConnDeathCounts(t *testing.T) {
+	sys := NewSystem()
+	hold := make(chan struct{})
+	if _, err := sys.Export(&Interface{
+		Name: "Held",
+		Procs: []Proc{{Name: "Block", Handler: func(c *Call) {
+			<-hold
+			c.ResultsBuf(0)
+		}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer close(hold)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go sys.ServeNetwork(ln)
+
+	var mu sync.Mutex
+	var conns []net.Conn
+	c, err := NewReconnectingClient("Held", DialOptions{
+		Dial: func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err == nil {
+				mu.Lock()
+				conns = append(conns, conn)
+				mu.Unlock()
+			}
+			return conn, err
+		},
+		CallTimeout:      2 * time.Second,
+		RedialAttempts:   1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two in-flight async calls parked inside the held handler.
+	f1, err := c.CallAsync(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c.CallAsync(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the conn under them: both futures die, each counts one breaker
+	// failure, and the threshold (2) opens it with no further traffic.
+	mu.Lock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	mu.Unlock()
+	if _, err := f1.Wait(); err == nil {
+		t.Fatal("future 1 survived its connection")
+	}
+	if _, err := f2.Wait(); err == nil {
+		t.Fatal("future 2 survived its connection")
+	}
+	waitBreaker(t, func() bool { return c.Stats().BreakerOpens >= 1 },
+		"breaker open from swept async futures")
+}

@@ -394,6 +394,22 @@ func (a *Announcement) Close() error {
 	return a.rc.Unregister(a.name, lease)
 }
 
+// Abandon stops the heartbeat WITHOUT withdrawing the registration: the
+// lease lingers in the registry until its TTL expires, exactly as if
+// the announcing process had been SIGKILLed. Fault harnesses use it to
+// simulate crashes from inside a process; production shutdown is Close.
+func (a *Announcement) Abandon() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.stopCh)
+	a.wg.Wait()
+}
+
 func (a *Announcement) renewLoop() {
 	defer a.wg.Done()
 	period := a.ttl / 3

@@ -414,6 +414,30 @@ func (sv *ShmServer) handshake(conn *net.UnixConn) {
 		return
 	}
 	name := string(frame[30 : 30+nameLen])
+	// Optional trailing tenant identity (u16 len + bytes): clients
+	// predating the field send exactly 30+nameLen bytes, so its absence
+	// is not an error — the Admit hook then sees "".
+	tenant := ""
+	if rest := frame[30+nameLen:]; len(rest) > 0 {
+		if len(rest) < 2 {
+			fail("lrpc: truncated shm bind request")
+			return
+		}
+		tl := int(binary.LittleEndian.Uint16(rest[0:2]))
+		if tl > brokerMaxIdent || len(rest) != 2+tl {
+			fail("lrpc: malformed tenant field in shm bind request")
+			return
+		}
+		tenant = string(rest[2 : 2+tl])
+	}
+	// Bind-time tenant admission, ahead of any resource work: a refused
+	// tenant costs the server one reply frame, not a segment.
+	if sv.opts.Admit != nil {
+		if aerr := sv.opts.Admit(tenant, name); aerr != nil {
+			fail(aerr.Error())
+			return
+		}
+	}
 	if slots < 1 {
 		slots = 1
 	}
@@ -930,6 +954,14 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 	req = binary.LittleEndian.AppendUint64(req, uint64(opts.BulkBytes))
 	req = binary.LittleEndian.AppendUint16(req, uint16(len(name)))
 	req = append(req, name...)
+	if opts.Tenant != "" {
+		if len(opts.Tenant) > brokerMaxIdent {
+			conn.Close()
+			return nil, fmt.Errorf("lrpc: tenant identity exceeds %d bytes", brokerMaxIdent)
+		}
+		req = binary.LittleEndian.AppendUint16(req, uint16(len(opts.Tenant)))
+		req = append(req, opts.Tenant...)
+	}
 	if err := writeFrame(conn, req); err != nil {
 		conn.Close()
 		return nil, err
@@ -1038,7 +1070,8 @@ func DialShmOpts(path, name string, opts ShmDialOptions) (*ShmClient, error) {
 // sentinel when the text matches one, so DialShm("missing name") is
 // errors.Is-comparable with the local Import failure.
 func remoteBindError(text string) error {
-	for _, sent := range []error{ErrNotExported, ErrRevoked, ErrTooLarge} {
+	for _, sent := range []error{ErrNotExported, ErrRevoked, ErrTooLarge,
+		ErrNotAdmitted, ErrTenantSuspended, ErrQuotaExceeded} {
 		s := sent.Error()
 		if text == s {
 			return sent

@@ -43,6 +43,10 @@ type ShmDialOptions struct {
 	// shared-memory faults (internal/faultinject wires its schedule in
 	// here). Test hook; nil in production.
 	Faults func() ShmFault
+	// Tenant, when non-empty, is the client domain's tenant identity,
+	// carried in the bind request for the server's ShmServeOptions.Admit
+	// hook (broker.go). Older servers ignore the trailing field.
+	Tenant string
 }
 
 func (o *ShmDialOptions) fill() {
@@ -84,6 +88,16 @@ type ShmServeOptions struct {
 	// Spin bounds a worker's doorbell-polling iterations before it
 	// parks on the shared futex. 0 selects 64.
 	Spin int
+	// Admit, when non-nil, decides at bind time whether a tenant may
+	// import an interface over this plane: it receives the tenant
+	// identity from the bind request ("" for clients that sent none)
+	// and the interface name, and a non-nil return rejects the bind
+	// with the error's text (sentinel prefixes — ErrNotAdmitted,
+	// ErrTenantSuspended — survive to the client's errors.Is). This is
+	// the shm half of the broker plane's admission story: same-machine
+	// tenants are vetted once at bind time and then run the fast path,
+	// while per-call quota enforcement stays on the brokered TCP plane.
+	Admit func(tenant, iface string) error
 }
 
 func (o *ShmServeOptions) fill() {
