@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmtcheck vet build test race stress shmtest haftest brokertest bench benchjson benchjson5 benchjson6 benchjson7 benchjson8 benchjson9 benchcheck fuzz staticcheck vulncheck
+.PHONY: ci fmtcheck vet build test race stress shmtest haftest brokertest chaintest bench benchjson benchjson5 benchjson6 benchjson7 benchjson8 benchjson9 benchjson10 benchcheck fuzz staticcheck vulncheck
 
 # Formatting, vet, static analysis, build, tests (plain and -race), then
 # the perf gates: the whole merge bar in one command. The gates check the
@@ -12,7 +12,7 @@ GO ?= go
 # BENCH_pr5.json against the shm-speedup floor (both deterministic);
 # regenerate the artifacts with `make benchjson benchjson5` (or the full
 # `make bench`) when the call path changes.
-ci: fmtcheck vet staticcheck vulncheck build test race shmtest haftest brokertest benchcheck
+ci: fmtcheck vet staticcheck vulncheck build test race shmtest haftest brokertest chaintest benchcheck
 
 # gofmt -l prints nonconforming files; any output is a failure.
 fmtcheck:
@@ -76,6 +76,14 @@ haftest:
 brokertest:
 	$(GO) test -race -count=1 -run 'TestBroker|TestParseBrokerControl|TestAsyncBreaker' .
 
+# The continuation-chain suite: descriptor round-trips, the server-side
+# executor's vouch semantics (panic at stage K, deadline between stages,
+# Terminate mid-chain), the chain path on every transport, broker
+# per-stage quota charging, and the seeded SIGKILL-mid-chain harness
+# with the at-most-once ledger audited (linux).
+chaintest:
+	$(GO) test -race -count=1 -run 'TestChain|TestShmChain|TestBrokerChain' ./internal/faultinject/ .
+
 # Native Go fuzzing over the wire parsers (net_fuzz_test.go). Short
 # budgets so it's usable as a pre-commit smoke test; raise FUZZTIME for a
 # real session.
@@ -84,6 +92,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRequest$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseBrokerControl$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseChain$$' -fuzztime $(FUZZTIME) .
 
 # Full benchmark sweep with allocation counts (the wall-clock Null path
 # must report 0 allocs/op), then the multiprocessor throughput rig into a
@@ -130,6 +139,13 @@ benchjson8:
 benchjson9:
 	$(GO) run ./cmd/lrpcbench -json broker > BENCH_pr9.json
 
+# Regenerate the continuation-chain artifact: the depth-4 dependent
+# pipeline as sequential calls, a Batch.Then chain, and one server-side
+# CallChain submission, across in-process, shared-memory, and TCP
+# loopback.
+benchjson10:
+	$(GO) run ./cmd/lrpcbench -json chain > BENCH_pr10.json
+
 # Fail if the Null latency regressed >10% against the recorded baseline,
 # if the recorded shm-vs-TCP Null speedup is under its 5x floor, if the
 # failover artifact records a double execution or an off-scale
@@ -137,7 +153,9 @@ benchjson9:
 # 3x the per-call latency, or if shm bulk bandwidth falls below TCP's
 # at any payload of 1 MiB and above, or if the broker artifact records
 # a double execution, a victim p99 flood/unloaded ratio over 3x, or a
-# restart the victim never reattached from.
+# restart the victim never reattached from, or if the depth-4
+# server-side chain fails to beat the client-driven Then pipeline by
+# 2x on shm or TCP.
 benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json BENCH_pr4.json
 	$(GO) run ./cmd/benchcheck BENCH_pr5.json
@@ -145,3 +163,4 @@ benchcheck:
 	$(GO) run ./cmd/benchcheck BENCH_pr7.json
 	$(GO) run ./cmd/benchcheck -min-bulk-bandwidth 1 BENCH_pr8.json
 	$(GO) run ./cmd/benchcheck BENCH_pr9.json
+	$(GO) run ./cmd/benchcheck -min-chain-speedup 2 BENCH_pr10.json

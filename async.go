@@ -39,8 +39,11 @@ import (
 // chained) again — it may already belong to another call.
 var ErrFutureSpent = errors.New("lrpc: future already collected (pooled futures are wait-once)")
 
-// errFutureChained reports a second Then on the same future.
-var errFutureChained = errors.New("lrpc: future already has a continuation")
+// errFutureChained reports a second Then on the same future. A future
+// carries at most one continuation; pipelines deeper than one dependent
+// call belong on the chain plane (NewChain / CallChain), which runs
+// every stage in the server's domain on a single submission.
+var errFutureChained = errors.New("lrpc: future already has a continuation (use Chain for multi-stage pipelines)")
 
 // errAbandonedCont completes the continuation of an abandoned parent.
 var errAbandonedCont = errors.New("lrpc: parent call abandoned before its continuation could run")

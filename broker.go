@@ -449,7 +449,14 @@ func newTokenBucket(ratePerSec float64, burst int) *tokenBucket {
 }
 
 // take consumes one token if available.
-func (tb *tokenBucket) take(nowNs int64) bool {
+func (tb *tokenBucket) take(nowNs int64) bool { return tb.takeN(nowNs, 1) }
+
+// takeN consumes n tokens, all or nothing: a relayed chain is charged
+// one token per stage up front (a chain must not launder quota by
+// riding one frame), and a shed chain — which executes no stage —
+// drains nothing. A chain deeper than the bucket's burst can never be
+// admitted; that is the bound, not a bug.
+func (tb *tokenBucket) takeN(nowNs int64, n int) bool {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	if tb.lastNs != 0 && nowNs > tb.lastNs {
@@ -459,10 +466,10 @@ func (tb *tokenBucket) take(nowNs int64) bool {
 		}
 	}
 	tb.lastNs = nowNs
-	if tb.tokens < 1 {
+	if tb.tokens < float64(n) {
 		return false
 	}
-	tb.tokens--
+	tb.tokens -= float64(n)
 	return true
 }
 
@@ -567,12 +574,24 @@ type BrokerUpstream interface {
 	Close() error
 }
 
+// brokerChainUpstream is the optional chain-relay capability of an
+// upstream: a relayed chain executes in the backend's domain, so the
+// upstream must speak the chain plane (*NetClient forwards the LBC1
+// frame; LocalUpstream runs the executor in-process). Upstreams without
+// it refuse chains with a non-execution vouch.
+type brokerChainUpstream interface {
+	CallChainContext(ctx context.Context, ch *Chain) ([]byte, error)
+}
+
 // localUpstream adapts an in-process Binding (which holds no transport
 // to close) to the BrokerUpstream surface.
 type localUpstream struct{ b *Binding }
 
 func (u localUpstream) CallContext(ctx context.Context, proc int, args []byte) ([]byte, error) {
 	return u.b.CallContext(ctx, proc, args)
+}
+func (u localUpstream) CallChainContext(ctx context.Context, ch *Chain) ([]byte, error) {
+	return u.b.CallChainContext(ctx, ch)
 }
 func (u localUpstream) Close() error { return nil }
 
@@ -1237,7 +1256,7 @@ func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stri
 			break
 		}
 		ts.bytesIn.add(stripe, uint64(4+len(frame)))
-		callID, name, proc, oneWay, bulk, args, perr := parseRequest(frame)
+		callID, name, proc, oneWay, bulk, chain, args, perr := parseRequest(frame)
 		if perr != nil {
 			break
 		}
@@ -1262,6 +1281,23 @@ func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stri
 			}
 			continue
 		}
+		// A chain's reply (or status-4 vouch) is its at-most-once
+		// contract: a one-way chain gets neither, so it is dropped
+		// unanswered (the serveConn contract, net.go). The descriptor is
+		// parsed HERE, ahead of the policy gate, because the gate charges
+		// the token bucket one token per stage — a malformed descriptor
+		// is refused with the broker's non-execution vouch for free.
+		var chainStages []ChainStage
+		if chain {
+			if oneWay {
+				continue
+			}
+			var cherr error
+			if chainStages, cherr = parseChain(args); cherr != nil {
+				reply(callID, 2, []byte(cherr.Error()))
+				continue
+			}
+		}
 		// The HELLO admitted one service; frames for anything else are
 		// refused (a tenant cannot widen its own admission).
 		if service != "" && name != service {
@@ -1284,7 +1320,15 @@ func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stri
 			}
 			continue
 		}
-		if eff.bucket != nil && !eff.bucket.take(time.Now().UnixNano()) {
+		// Rate gate: a chain is charged one token per stage, all or
+		// nothing — N dependent calls in one frame cost what N frames
+		// would, and a shed chain (nothing executed, vouched) drains no
+		// tokens at all.
+		cost := 1
+		if chain {
+			cost = len(chainStages)
+		}
+		if eff.bucket != nil && !eff.bucket.takeN(time.Now().UnixNano(), cost) {
 			ts.quotaSheds.add(stripe, 1)
 			bk.emitShed(ts.name, ErrQuotaExceeded)
 			if !oneWay {
@@ -1327,6 +1371,23 @@ func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stri
 			}
 			continue
 		}
+		// A chain needs a chain-capable upstream (NetClient and
+		// LocalUpstream both are); anything else refuses with the
+		// broker's non-execution vouch before a single stage runs.
+		var chainUp brokerChainUpstream
+		if chain {
+			cu, capable := up.(brokerChainUpstream)
+			if !capable {
+				if eff.adm != nil {
+					eff.adm.exit()
+				}
+				reply(callID, 2, []byte(fmt.Sprintf(
+					"%s: upstream for %q cannot execute chains",
+					ErrNotAdmitted.Error(), name)))
+				continue
+			}
+			chainUp = cu
+		}
 
 		sem <- struct{}{}
 		wg.Add(1)
@@ -1341,7 +1402,13 @@ func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stri
 				wg.Done()
 			}()
 			ctx, cancel := context.WithTimeout(context.Background(), bk.opts.ForwardTimeout)
-			res, cerr := up.CallContext(ctx, proc, args)
+			var res []byte
+			var cerr error
+			if chain {
+				res, cerr = chainUp.CallChainContext(ctx, &Chain{stages: chainStages})
+			} else {
+				res, cerr = up.CallContext(ctx, proc, args)
+			}
 			cancel()
 			if oneWay {
 				ts.oneWays.add(stripe, 1)
@@ -1354,6 +1421,16 @@ func (bk *Broker) relayLoop(conn net.Conn, ts *tenantState, service string, stri
 			default:
 			}
 			if cerr != nil {
+				// A mid-chain failure relays verbatim as status 4: the
+				// tenant's at-most-once classification needs the failing
+				// stage and the executed-through vouch intact across the
+				// broker hop.
+				var ce *ChainError
+				if errors.As(cerr, &ce) {
+					ts.errorsN.add(stripe, 1)
+					reply(callID, 4, appendChainError(nil, ce, 0))
+					return
+				}
 				status, msg := upstreamStatus(cerr)
 				if status != 2 {
 					ts.errorsN.add(stripe, 1)

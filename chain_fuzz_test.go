@@ -1,0 +1,65 @@
+package lrpc
+
+// Native Go fuzz target for the chain-descriptor parser (chain.go).
+// Chain descriptors face attacker-controlled bytes on every transport
+// (a TCP frame's body, a shm slot's payload, a brokered relay), so the
+// invariants are: never panic, never over-read, enforce the canonical
+// form — and any accepted descriptor re-encodes (appendChain) to
+// exactly the bytes parsed, so there is one wire form per chain and
+// caches/ledgers keyed on descriptor bytes cannot be split by
+// equivalent encodings.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func FuzzParseChain(f *testing.F) {
+	// Seed corpus: canonical descriptors of several shapes plus the
+	// rejection boundaries. testdata/fuzz/FuzzParseChain holds the same
+	// shapes as files for `go test` runs without -fuzz.
+	f.Add(appendChain(nil, NewChain().Add(0, nil).stages))
+	f.Add(appendChain(nil, NewChain().Add(1, []byte("head")).Add(2, []byte("p")).stages))
+	f.Add(appendChain(nil, NewChain().Add(3, nil).AddSlice(4, nil, 8, 16).AddSlice(5, []byte("x"), 0, 0).stages))
+	deep := NewChain()
+	for i := 0; i < MaxChainStages; i++ {
+		deep.Add(i, nil)
+	}
+	f.Add(appendChain(nil, deep.stages))
+	f.Add([]byte{})
+	f.Add([]byte("LBC1"))
+	f.Add([]byte{'L', 'B', 'C', '1', 0, 0})       // zero stages
+	f.Add([]byte{'L', 'B', 'C', '1', 0xFF, 0xFF}) // stage count liar
+	headSlice := appendChain(nil, NewChain().Add(0, nil).stages)
+	headSlice[chainHdrSize+4] = 1 // head stage with a slice offset
+	f.Add(headSlice)
+	f.Add(append(appendChain(nil, NewChain().Add(0, nil).stages), 0xEE)) // trailing byte
+	liar := appendChain(nil, NewChain().Add(0, nil).stages)
+	binary.LittleEndian.PutUint32(liar[chainHdrSize+12:], 0xFFFF) // prefixLen past the end
+	f.Add(liar)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stages, err := parseChain(data)
+		if err != nil {
+			return
+		}
+		if len(stages) == 0 || len(stages) > MaxChainStages {
+			t.Fatalf("accepted %d stages", len(stages))
+		}
+		if stages[0].Off != 0 || stages[0].Len != -1 {
+			t.Fatalf("accepted head stage with a slice: %+v", stages[0])
+		}
+		for i, st := range stages {
+			if st.Proc < 0 || st.Off < 0 || st.Len < -1 ||
+				st.Off > MaxOOBSize || st.Len > MaxOOBSize || len(st.Prefix) > MaxOOBSize {
+				t.Fatalf("stage %d out of bounds: %+v", i, st)
+			}
+		}
+		// The canonical-form invariant: accepted bytes are the unique
+		// encoding of what was parsed.
+		if re := appendChain(nil, stages); !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical descriptor accepted:\n  in  %x\n  out %x", data, re)
+		}
+	})
+}

@@ -42,12 +42,21 @@
 // ceiling, and the broker must actually have shed aggressor traffic —
 // the PR-9 acceptance gate for the broker plane.
 //
+// A one-argument artifact whose "bench" field reads "chain" (as written
+// by `lrpcbench -json chain`, see BENCH_pr10.json) is checked as a
+// continuation-chain record: every row must carry positive latencies,
+// and the server-side depth-4 CallChain must beat the client-driven
+// Batch.Then pipeline by the -min-chain-speedup floor on TCP, and on
+// shm when the shm transport is present — the PR-10 acceptance gate
+// for the chain plane.
+//
 //	benchcheck [-max-regress 10] BASELINE.json CURRENT.json
 //	benchcheck [-min-shm-speedup 5] TRANSPORTS.json
 //	benchcheck [-max-converge-ms 30000] FAILOVER.json
 //	benchcheck [-min-batch-speedup 3] BATCH.json
 //	benchcheck [-min-bulk-bandwidth 1] BULK.json
 //	benchcheck [-max-isolation-ratio 3] BROKER.json
+//	benchcheck [-min-chain-speedup 2] CHAIN.json
 package main
 
 import (
@@ -66,6 +75,7 @@ func main() {
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 3, "minimum per-call-vs-batched shm Null speedup for a batch artifact")
 	minBulkBandwidth := flag.Float64("min-bulk-bandwidth", 1, "minimum shm-over-TCP bytes/sec ratio at large payloads for a bulk artifact")
 	maxIsolationRatio := flag.Float64("max-isolation-ratio", 3, "maximum victim p99 inflation under aggressor flood for a broker artifact")
+	minChainSpeedup := flag.Float64("min-chain-speedup", 2, "minimum server-side-chain-vs-Then-pipeline speedup for a chain artifact")
 	flag.Parse()
 	switch flag.NArg() {
 	case 1:
@@ -78,6 +88,8 @@ func main() {
 			checkBulk(flag.Arg(0), *minBulkBandwidth)
 		case "broker":
 			checkBroker(flag.Arg(0), *maxIsolationRatio, *maxConvergeMs)
+		case "chain":
+			checkChain(flag.Arg(0), *minChainSpeedup)
 		default:
 			checkTransports(flag.Arg(0), *minShmSpeedup)
 		}
@@ -298,6 +310,68 @@ func checkBulk(path string, minRatio float64) {
 	if r.ShmOverTCPAtLarge < minRatio {
 		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm bulk bandwidth %.2fx of TCP below floor %.1fx\n",
 			r.ShmOverTCPAtLarge, minRatio)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// checkChain validates a continuation-chain artifact: every row must
+// carry positive latencies for all three arms, and the server-side
+// CallChain must beat the client-driven Batch.Then pipeline by the
+// floor on TCP always, and on shm whenever the shm row is present.
+// Artifacts recorded on hosts without the shm plane (no shm row,
+// ShmChainSpeedup zero) pass the shm half with a notice, matching the
+// transports gate's platform policy; the TCP half always gates.
+func checkChain(path string, minSpeedup float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r experiments.ChainResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(r.Points) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no chain points recorded\n", path)
+		os.Exit(2)
+	}
+	hasShm, hasTCP := false, false
+	for _, p := range r.Points {
+		if p.SequentialNsPerChain <= 0 || p.ThenNsPerChain <= 0 || p.ChainNsPerChain <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %s chain row has a non-positive latency\n",
+				path, p.Transport)
+			os.Exit(1)
+		}
+		switch p.Transport {
+		case "shm":
+			hasShm = true
+		case "tcp":
+			hasTCP = true
+		}
+		fmt.Printf("%-8s depth %d: sequential %.0f ns, Then %.0f ns, CallChain %.0f ns (%.2fx vs Then)\n",
+			p.Transport, p.Depth, p.SequentialNsPerChain, p.ThenNsPerChain, p.ChainNsPerChain,
+			p.SpeedupVsThen)
+	}
+	if !hasTCP {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no tcp chain row recorded\n", path)
+		os.Exit(1)
+	}
+	fmt.Printf("tcp chain speedup vs Then pipeline: %.2fx (floor %.1fx)\n", r.TCPChainSpeedup, minSpeedup)
+	if r.TCPChainSpeedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: tcp chain speedup %.2fx below floor %.1fx\n",
+			r.TCPChainSpeedup, minSpeedup)
+		os.Exit(1)
+	}
+	if !hasShm {
+		fmt.Println("benchcheck: ok (no shm row; platform without the shm plane)")
+		return
+	}
+	fmt.Printf("shm chain speedup vs Then pipeline: %.2fx (floor %.1fx)\n", r.ShmChainSpeedup, minSpeedup)
+	if r.ShmChainSpeedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: shm chain speedup %.2fx below floor %.1fx\n",
+			r.ShmChainSpeedup, minSpeedup)
 		os.Exit(1)
 	}
 	fmt.Println("benchcheck: ok")

@@ -13,6 +13,13 @@
 //	lrpcbench -json failover > BENCH_pr6.json
 //	lrpcbench -json batch > BENCH_pr7.json
 //	lrpcbench -json bulk > BENCH_pr8.json
+//	lrpcbench -json chain > BENCH_pr10.json
+//
+// The chain experiment times the depth-4 dependent pipeline three ways
+// per transport — blocking sequential calls, a client-driven Batch.Then
+// continuation chain, and one server-side CallChain submission — and
+// records the speedup of the server-side chain over the Then pipeline,
+// the artifact cmd/benchcheck's -min-chain-speedup gate reads.
 //
 // The bulk experiment sweeps CallBulk payloads (4 KiB to 64 MiB)
 // through the same three transports and records bytes/sec per size —
@@ -158,6 +165,22 @@ func main() {
 			} else {
 				fmt.Println(experiments.BatchTable(r).Render())
 				fmt.Println(experiments.PipelineTable(r).Render())
+			}
+		case "chain":
+			r, err := runChainBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrpcbench: chain: %v\n", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "lrpcbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(experiments.ChainTable(r).Render())
 			}
 		case "bulk":
 			r, err := runBulkBench()
@@ -316,6 +339,103 @@ func runBatchBench() (experiments.BatchResult, error) {
 	}
 
 	return experiments.FinishBatchResult(points, pipeline), nil
+}
+
+// runChainBench is the parent role of the chain experiment: the same
+// three transports as runBatchBench (re-execing this binary as the
+// serving process for shm and TCP), each timing the depth-4 dependent
+// pipeline three ways — sequential, Batch.Then, and one server-side
+// CallChain submission. The shm session dials with a slot count
+// covering the Then arm's staging so it never blocks mid-measurement.
+func runChainBench() (experiments.ChainResult, error) {
+	var points []experiments.ChainPoint
+	measure := func(name string, c experiments.ChainClient) error {
+		p, err := experiments.MeasureChain(name, c, experiments.ChainDepth)
+		if err != nil {
+			return err
+		}
+		points = append(points, p)
+		return nil
+	}
+
+	// In-process reference: the chain executor with no boundary at all.
+	sys := lrpc.NewSystem()
+	if _, err := sys.Export(experiments.TransportInterface()); err != nil {
+		return experiments.ChainResult{}, err
+	}
+	b, err := sys.Import("Transport")
+	if err != nil {
+		return experiments.ChainResult{}, err
+	}
+	if err := measure("inproc", b); err != nil {
+		return experiments.ChainResult{}, err
+	}
+
+	// Server process: a real protection domain on the other side.
+	exe, err := os.Executable()
+	if err != nil {
+		return experiments.ChainResult{}, err
+	}
+	dir, err := os.MkdirTemp("", "lrpcbench-chain-")
+	if err != nil {
+		return experiments.ChainResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "bench.sock")
+
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), lrpcbenchShmChild+"=1", lrpcbenchShmSock+"="+sock)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return experiments.ChainResult{}, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return experiments.ChainResult{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return experiments.ChainResult{}, err
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		return experiments.ChainResult{}, fmt.Errorf("server handshake: %w", err)
+	}
+	tcpAddr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "READY"))
+	if tcpAddr == "" {
+		return experiments.ChainResult{}, fmt.Errorf("server handshake: %q", line)
+	}
+
+	if c, err := lrpc.DialShmOpts(sock, "Transport", lrpc.ShmDialOptions{
+		Slots: experiments.ChainDepth * 2, Spin: 8192,
+	}); err != nil {
+		if !errors.Is(err, lrpc.ErrShmUnsupported) {
+			return experiments.ChainResult{}, fmt.Errorf("dial shm: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "lrpcbench: shm transport unsupported on this platform; omitting row")
+	} else {
+		err := measure("shm", c)
+		c.Close()
+		if err != nil {
+			return experiments.ChainResult{}, err
+		}
+	}
+
+	nc, err := lrpc.DialInterface("tcp", tcpAddr, "Transport")
+	if err != nil {
+		return experiments.ChainResult{}, fmt.Errorf("dial tcp: %w", err)
+	}
+	err = measure("tcp", nc)
+	nc.Close()
+	if err != nil {
+		return experiments.ChainResult{}, err
+	}
+
+	return experiments.FinishChainResult(points), nil
 }
 
 // runBulkBench is the parent role of the bulk experiment: the payload

@@ -1,0 +1,154 @@
+//go:build linux
+
+package faultinject
+
+// SIGKILL-mid-chain: a client domain submitting continuation chains
+// over shared memory is killed outright while chains are in flight.
+// The at-most-once invariant under test is the chain executor's vouch
+// made real: every stage id the server's ledger ever recorded must
+// appear exactly once — a descriptor must never be dispatched twice,
+// no matter where in the chain the client died — and the server must
+// reclaim the session like any other peer crash.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lrpc"
+)
+
+const shmChainSockEnv = "LRPC_SHM_CHAIN_SOCK"
+
+// TestShmChainChildRole is the scripted client for
+// TestShmChainKilledMidChain: it floods depth-4 chains with globally
+// unique per-stage ids until the parent kills it.
+func TestShmChainChildRole(t *testing.T) {
+	if !IsChild("shm-chain-client") {
+		t.Skip("helper role; driven by TestShmChainKilledMidChain")
+	}
+	c, err := lrpc.DialShm(os.Getenv(shmChainSockEnv), "ChainLedger")
+	if err != nil {
+		Emit("ERR dial: %v", err)
+		os.Exit(1)
+	}
+	Emit("READY")
+	rng := rand.New(rand.NewSource(7))
+	var seq uint64
+	for {
+		ch := lrpc.NewChain()
+		for k := 0; k < 4; k++ {
+			id := make([]byte, 8)
+			binary.LittleEndian.PutUint64(id, seq*4+uint64(k))
+			ch.Add(0, id)
+		}
+		seq++
+		if _, err := c.CallChain(ch); err != nil {
+			Emit("ERR chain %d: %v", seq, err)
+			os.Exit(1)
+		}
+		// Jitter keeps the kill landing at varied points of the chain's
+		// submit/execute/reply window across runs.
+		if rng.Intn(4) == 0 {
+			time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+		}
+	}
+}
+
+func TestShmChainKilledMidChain(t *testing.T) {
+	if IsChild("shm-chain-client") {
+		t.Skip("child role runs only its own test")
+	}
+	sys := lrpc.NewSystem()
+	// The ledger: every stage execution records its 8-byte id. A count
+	// above 1 is a double execution — the invariant the vouch promises
+	// can never happen.
+	var mu sync.Mutex
+	ledger := make(map[uint64]int)
+	if _, err := sys.Export(&lrpc.Interface{
+		Name: "ChainLedger",
+		Procs: []lrpc.Proc{{Name: "Mark", Handler: func(c *lrpc.Call) {
+			args := c.Args()
+			if len(args) < 8 {
+				panic(fmt.Sprintf("mark with %d-byte args", len(args)))
+			}
+			id := binary.LittleEndian.Uint64(args[:8])
+			mu.Lock()
+			ledger[id]++
+			mu.Unlock()
+			// Result = this stage's id, so the next stage's arguments
+			// exercise the prefix-plus-previous-result path.
+			copy(c.ResultsBuf(8), args[:8])
+		}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "chain.sock")
+	l, err := lrpc.ListenShm(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := lrpc.NewShmServer(sys, lrpc.ShmServeOptions{Workers: 2})
+	go sv.Serve(l)
+	defer sv.Close()
+
+	child, err := StartChild("TestShmChainChildRole", "shm-chain-client",
+		shmChainSockEnv+"="+sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := child.ReadLine(10 * time.Second)
+	if err != nil || line != "READY" {
+		child.Kill()
+		t.Fatalf("child handshake: %q, %v", line, err)
+	}
+	// Let real chain traffic accumulate, then kill the domain outright
+	// — with high likelihood mid-chain, given the continuous flood.
+	waitState(t, 10*time.Second, func() bool {
+		mu.Lock()
+		n := len(ledger)
+		mu.Unlock()
+		return n >= 200
+	}, func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return fmt.Sprintf("ledger has %d ids", len(ledger))
+	})
+	if err := child.Kill(); err != nil {
+		t.Logf("kill: %v (expected: killed children report an error)", err)
+	}
+
+	// The server must classify the death and reclaim the session.
+	waitState(t, 10*time.Second, func() bool {
+		st := sv.Stats()
+		return st.ActiveSessions == 0 && st.SegmentsReclaimed == 1 && st.PeerCrashes == 1
+	}, func() string { return fmt.Sprintf("%+v", sv.Stats()) })
+
+	// The at-most-once audit: every stage id executed exactly once, and
+	// the executed set is a clean per-chain prefix — a chain the kill
+	// interrupted stops at some stage K with nothing beyond it.
+	mu.Lock()
+	defer mu.Unlock()
+	chains := make(map[uint64]uint64) // chain seq -> executed-stage bitmap
+	for id, n := range ledger {
+		if n != 1 {
+			t.Fatalf("stage id %d executed %d times (at-most-once violation)", id, n)
+		}
+		chains[id/4] |= 1 << (id % 4)
+	}
+	for seq, bits := range chains {
+		switch bits {
+		case 0b0001, 0b0011, 0b0111, 0b1111:
+		default:
+			t.Fatalf("chain %d executed stage set %04b — not a prefix: a later stage ran without its predecessor", seq, bits)
+		}
+	}
+	if len(ledger) < 200 {
+		t.Fatalf("ledger holds %d ids; the flood never ran", len(ledger))
+	}
+}

@@ -283,6 +283,13 @@ type Export struct {
 	// the at-most-once contract's "nobody is listening" half (async.go).
 	oneWayDrops atomic.Uint64
 
+	// Chain plane accounting (chain.go): chains completed end to end
+	// and individual stages executed in this server's domain. Stages
+	// also count in calls — these counters separate pipelined traffic
+	// from single-call traffic for lrpcstat.
+	chains      atomic.Uint64
+	chainStages atomic.Uint64
+
 	// metrics is the observability recorder (see metrics.go): nil until
 	// EnableMetrics, consulted with one atomic load per dispatch — when
 	// nil the call path does not even read the clock.

@@ -444,6 +444,13 @@ type ExportSnapshot struct {
 	Orphans     int    `json:"orphans"`       // live orphaned activations
 	OneWayDrops uint64 `json:"one_way_drops"` // one-way errors discarded (async.go)
 
+	// Chain plane (chain.go). Chains counts executed chain submissions;
+	// ChainStages counts the individual stages those chains ran (a
+	// depth-4 chain adds 1 and 4 respectively). Omitted when zero so
+	// pre-chain snapshots round-trip unchanged.
+	Chains      uint64 `json:"chains,omitempty"`       // chain executions completed or vouched
+	ChainStages uint64 `json:"chain_stages,omitempty"` // stages run inside chains
+
 	// Admission reports the overload controller's configuration and
 	// occupancy; nil when admission control is off.
 	Admission *AdmissionSnapshot `json:"admission,omitempty"`
@@ -493,6 +500,8 @@ func (e *Export) MetricsSnapshot() ExportSnapshot {
 		Orphans:    e.Orphans(),
 	}
 	sn.OneWayDrops = e.OneWayDrops()
+	sn.Chains = e.Chains()
+	sn.ChainStages = e.ChainStages()
 	if a := e.admission.Load(); a != nil {
 		sn.Admission = &AdmissionSnapshot{
 			MaxConcurrent: a.cfg.MaxConcurrent,
@@ -572,6 +581,13 @@ func (s *System) WriteMetricsText(w io.Writer) error {
 			lbl, e.Calls, lbl, e.Active, lbl, e.Abandoned, lbl, e.Panics,
 			lbl, e.Sheds, lbl, e.Orphans, lbl, e.OneWayDrops); err != nil {
 			return err
+		}
+		if e.Chains > 0 {
+			if _, err := fmt.Fprintf(w,
+				"lrpc_chains_total%s %d\nlrpc_chain_stages_total%s %d\n",
+				lbl, e.Chains, lbl, e.ChainStages); err != nil {
+				return err
+			}
 		}
 		if a := e.Admission; a != nil {
 			if _, err := fmt.Fprintf(w,
@@ -656,6 +672,10 @@ func (e ExportSnapshot) Render() string {
 	fmt.Fprintf(&b, "interface %s%s\n", e.Name, state)
 	fmt.Fprintf(&b, "  calls %d   active %d   abandoned %d   panics %d   sheds %d   orphans %d\n",
 		e.Calls, e.Active, e.Abandoned, e.Panics, e.Sheds, e.Orphans)
+	if e.Chains > 0 {
+		fmt.Fprintf(&b, "  chains %d   stages %d   (mean depth %.1f)\n",
+			e.Chains, e.ChainStages, float64(e.ChainStages)/float64(e.Chains))
+	}
 	if a := e.Admission; a != nil {
 		fmt.Fprintf(&b, "  admission: cap %d, queue %d; %d inflight, %d queued\n",
 			a.MaxConcurrent, a.MaxQueue, a.Inflight, a.Queued)

@@ -55,6 +55,16 @@ import (
 // status 3 ("ok + bulk"): body = u64 produced, results; the produced
 // payload bytes stream after the reply frame the same way. Frames stay
 // small; payloads move as raw chunked stream the kernel can splice.
+//
+// Bit 29 of the proc word is the chain flag (wireFlagChain, chain.go):
+// the request's args are an LBC1 chain descriptor — a pipeline of
+// dependent calls the server executes entirely in its own domain, one
+// frame in, one reply out. The proc bits are unused (each stage names
+// its own procedure inside the descriptor). A chain reply is status 0
+// (body = the final stage's results) or status 4 ("chain failed":
+// body = u32 failing stage, u32 executed-through vouch, u32 sentinel
+// code, error text — appendChainError/parseChainError), so at-most-once
+// classification stays exact per stage even across the wire.
 
 // ErrConnClosed reports a call on a closed network binding, or a call
 // whose connection died after the request may have reached the server
@@ -128,6 +138,10 @@ const wireFlagOneWay = uint32(1) << 31
 // wireFlagBulk marks a request that carries an out-of-frame bulk
 // payload (bit 30 of the proc word); see the wire protocol comment.
 const wireFlagBulk = uint32(1) << 30
+
+// wireFlagChain marks a request whose args are a chain descriptor
+// (bit 29 of the proc word); see the wire protocol comment and chain.go.
+const wireFlagChain = uint32(1) << 29
 
 // bulkReqHdrSize is the bulk header prefixed to a bulk request's args:
 // u8 direction + u64 length/capacity.
@@ -291,7 +305,7 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 		if err != nil {
 			break
 		}
-		callID, name, proc, oneWay, bulk, args, err := parseRequest(frame)
+		callID, name, proc, oneWay, bulk, chain, args, err := parseRequest(frame)
 		if err != nil {
 			break
 		}
@@ -330,6 +344,19 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 					break
 				}
 			}
+		}
+		if chain && (oneWay || bulk) {
+			// A chain's reply (or status-4 vouch) is its at-most-once
+			// contract, so it cannot be one-way; bulk payloads move on
+			// the bulk plane, not inside a descriptor. Any consumed bulk
+			// payload was drained above, so the stream stays framed.
+			if oneWay {
+				s.emitTrace(TraceOneWayDrop, name, "",
+					errors.New("lrpc: a chain call cannot be one-way"))
+				continue
+			}
+			reply(name, callID, 2, []byte("lrpc: a chain call cannot carry a bulk payload"))
+			continue
 		}
 		b, ok := bindings[name]
 		if !ok {
@@ -389,6 +416,38 @@ func (s *System) serveConn(conn net.Conn, opts ServeOptions) {
 					return
 				}
 				replyBulk(name, callID, res, outBuf[:produced])
+				return
+			}
+			if chain {
+				// One frame in, one reply out: every stage executes in
+				// this server's domain through the same dispatch funnel a
+				// single call takes (execChain, chain.go).
+				stages, perr := parseChain(args)
+				if perr != nil {
+					select {
+					case <-closing:
+						return
+					default:
+					}
+					// Nothing dispatched: vouch non-execution.
+					reply(name, callID, 2, []byte(perr.Error()))
+					return
+				}
+				out, cerr := b.execChain(stages, time.Time{})
+				select {
+				case <-closing:
+					return
+				default:
+				}
+				if cerr != nil {
+					reply(name, callID, 4, appendChainError(nil, cerr, 0))
+					return
+				}
+				if len(out) > MaxOOBSize {
+					reply(name, callID, 1, []byte(oversizedResults(len(out))))
+					return
+				}
+				reply(name, callID, 0, out)
 				return
 			}
 			res, err := b.Call(proc, args)
@@ -713,8 +772,11 @@ func (c *NetClient) brObserve(probe bool, err error) {
 		return
 	}
 	var remote *RemoteError
+	var chain *ChainError
 	switch {
-	case err == nil, errors.As(err, &remote):
+	// A *ChainError is a reply too (status 4): the peer provably
+	// answered, whatever happened mid-chain.
+	case err == nil, errors.As(err, &remote), errors.As(err, &chain):
 		if c.br.success() {
 			c.emitEvent(TraceBreakerClose, nil)
 		}
@@ -809,7 +871,12 @@ func (c *NetClient) readLoop(conn net.Conn, gen uint64) {
 			<-c.sem
 			if reply.status != 0 {
 				c.failures.Add(1)
-				rerr := &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2}
+				var rerr error
+				if reply.status == 4 {
+					rerr = parseChainError(reply.body)
+				} else {
+					rerr = &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2}
+				}
 				c.brObserve(p.probe, rerr)
 				p.fut.complete(nil, rerr)
 			} else {
@@ -1050,12 +1117,56 @@ func (c *NetClient) CallContext(ctx context.Context, proc int, args []byte) ([]b
 			return nil, err
 		}
 	}
-	res, err := c.doCall(ctx, proc, args)
+	res, err := c.doCall(ctx, uint32(proc), args)
 	c.brObserve(probe, err)
 	return res, err
 }
 
-func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, error) {
+// CallChain submits a whole dependent pipeline as one request frame and
+// one reply: the server executes every stage in its own domain
+// (chain.go) and returns only the final stage's results. The client's
+// default CallTimeout, when configured, bounds the single round trip.
+func (c *NetClient) CallChain(ch *Chain) ([]byte, error) {
+	ctx := context.Background()
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
+	return c.CallChainContext(ctx, ch)
+}
+
+// CallChainContext is CallChain under a context. A mid-chain failure
+// surfaces as a *ChainError carrying the failing stage's index and the
+// server's executed-through vouch; errors.Is(err, ErrNotExecuted) holds
+// exactly when the server vouches no stage ran, so Supervise* failover
+// classification stays exact per stage.
+func (c *NetClient) CallChainContext(ctx context.Context, ch *Chain) ([]byte, error) {
+	if err := ch.check(); err != nil {
+		return nil, err
+	}
+	desc := appendChain(nil, ch.stages)
+	if err := c.checkRequestSize(desc, 0); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.calls.Add(1)
+	var probe bool
+	if c.br != nil {
+		var err error
+		probe, err = c.br.allow(time.Now())
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := c.doCall(ctx, wireFlagChain, desc)
+	c.brObserve(probe, err)
+	return res, err
+}
+
+func (c *NetClient) doCall(ctx context.Context, procWord uint32, args []byte) ([]byte, error) {
 	// Bounded in-flight window: backpressure instead of unbounded
 	// pipelining.
 	select {
@@ -1091,7 +1202,7 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 		c.wait[id] = p
 		c.mu.Unlock()
 
-		wrote, werr := c.writeRequest(ctx, conn, id, uint32(proc), args)
+		wrote, werr := c.writeRequest(ctx, conn, id, procWord, args)
 		if werr != nil {
 			c.mu.Lock()
 			delete(c.wait, id)
@@ -1117,6 +1228,9 @@ func (c *NetClient) doCall(ctx context.Context, proc int, args []byte) ([]byte, 
 			}
 			if reply.status != 0 {
 				c.failures.Add(1)
+				if reply.status == 4 {
+					return nil, parseChainError(reply.body)
+				}
 				return nil, &RemoteError{Msg: string(reply.body), NotExecuted: reply.status == 2}
 			}
 			return reply.body, nil
@@ -1588,24 +1702,25 @@ func writeReply(conn net.Conn, wmu *sync.Mutex, timeout time.Duration, callID ui
 	return err
 }
 
-func parseRequest(frame []byte) (callID uint64, name string, proc int, oneWay, bulk bool, args []byte, err error) {
+func parseRequest(frame []byte) (callID uint64, name string, proc int, oneWay, bulk, chain bool, args []byte, err error) {
 	if len(frame) < 10 {
-		return 0, "", 0, false, false, nil, errors.New("lrpc: short request")
+		return 0, "", 0, false, false, false, nil, errors.New("lrpc: short request")
 	}
 	callID = binary.LittleEndian.Uint64(frame[0:8])
 	nameLen := int(binary.LittleEndian.Uint16(frame[8:10]))
 	if len(frame) < 10+nameLen+4 {
-		return 0, "", 0, false, false, nil, errors.New("lrpc: truncated request")
+		return 0, "", 0, false, false, false, nil, errors.New("lrpc: truncated request")
 	}
 	name = string(frame[10 : 10+nameLen])
 	procWord := binary.LittleEndian.Uint32(frame[10+nameLen:])
 	oneWay = procWord&wireFlagOneWay != 0
 	bulk = procWord&wireFlagBulk != 0
+	chain = procWord&wireFlagChain != 0
 	// Mask the flag bits off unconditionally: a hostile flag must not be
 	// able to alias one procedure index onto another.
-	proc = int(procWord &^ (wireFlagOneWay | wireFlagBulk))
+	proc = int(procWord &^ (wireFlagOneWay | wireFlagBulk | wireFlagChain))
 	args = frame[10+nameLen+4:]
-	return callID, name, proc, oneWay, bulk, args, nil
+	return callID, name, proc, oneWay, bulk, chain, args, nil
 }
 
 // parseBulkHeader splits a bulk request's args into the bulk header —

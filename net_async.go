@@ -42,7 +42,7 @@ import (
 // connection machinery (read loop, connBroken, or Close) now owns the
 // future and will complete it exactly once; an error return means the
 // future was never handed off and the caller must complete it.
-func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Future) error {
+func (c *NetClient) sendAsync(ctx context.Context, procWord uint32, args []byte, f *Future) error {
 	if err := c.checkRequestSize(args, 0); err != nil {
 		return err
 	}
@@ -82,7 +82,7 @@ func (c *NetClient) sendAsync(ctx context.Context, proc int, args []byte, f *Fut
 	c.wait[id] = &pendingCall{fut: f, gen: gen, probe: probe}
 	c.mu.Unlock()
 
-	wrote, werr := c.writeRequest(ctx, conn, id, uint32(proc), args)
+	wrote, werr := c.writeRequest(ctx, conn, id, procWord, args)
 	if werr != nil {
 		c.emitEvent(TraceWriteFail, werr)
 		// Claim the pending entry back. If connBroken swept it first, it
@@ -129,7 +129,27 @@ func (c *NetClient) asyncObserve(probe bool, err error) error {
 func (c *NetClient) CallAsync(proc int, args []byte) (*Future, error) {
 	f := newFuture()
 	f.abandons = &c.timeouts
-	if err := c.sendAsync(context.Background(), proc, args, f); err != nil {
+	if err := c.sendAsync(context.Background(), uint32(proc), args, f); err != nil {
+		f.complete(nil, err)
+		f.Wait()
+		return nil, err
+	}
+	return f, nil
+}
+
+// CallChainAsync submits a whole dependent pipeline without waiting:
+// one chain frame goes out now, and the returned future resolves with
+// the final stage's results — or a *ChainError carrying the failing
+// stage and the server's executed-through vouch — when the server's
+// chain executor answers. The chain must not be mutated until then.
+func (c *NetClient) CallChainAsync(ch *Chain) (*Future, error) {
+	if err := ch.check(); err != nil {
+		return nil, err
+	}
+	desc := appendChain(nil, ch.stages)
+	f := newFuture()
+	f.abandons = &c.timeouts
+	if err := c.sendAsync(context.Background(), wireFlagChain, desc, f); err != nil {
 		f.complete(nil, err)
 		f.Wait()
 		return nil, err
@@ -336,7 +356,7 @@ func (nb *netBatch) retire(cause error) {
 func (nb *netBatch) submitNow(proc int, args []byte, f *Future) {
 	c := nb.c
 	go func() {
-		if err := c.sendAsync(context.Background(), proc, args, f); err != nil {
+		if err := c.sendAsync(context.Background(), uint32(proc), args, f); err != nil {
 			f.complete(nil, err)
 		}
 	}()

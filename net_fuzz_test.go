@@ -62,9 +62,19 @@ func FuzzParseRequest(f *testing.F) {
 	truncBulk = binary.LittleEndian.AppendUint32(truncBulk, 3|wireFlagBulk)
 	truncBulk = append(truncBulk, byte(BulkOut)) // header cut short
 	f.Add(truncBulk)
+	// A chain frame: the flag with an LBC1 descriptor as args — the
+	// parser only surfaces the flag; descriptor validation is
+	// parseChain's job (FuzzParseChain).
+	chainy := make([]byte, 0, 48)
+	chainy = binary.LittleEndian.AppendUint64(chainy, 13)
+	chainy = binary.LittleEndian.AppendUint16(chainy, 4)
+	chainy = append(chainy, "Echo"...)
+	chainy = binary.LittleEndian.AppendUint32(chainy, wireFlagChain)
+	chainy = appendChain(chainy, []ChainStage{{Proc: 1}, {Proc: 2}})
+	f.Add(chainy)
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		callID, name, proc, oneWay, bulk, args, err := parseRequest(frame)
+		callID, name, proc, oneWay, bulk, chain, args, err := parseRequest(frame)
 		if err != nil {
 			return
 		}
@@ -92,8 +102,11 @@ func FuzzParseRequest(f *testing.F) {
 		if bulk != (procWord&wireFlagBulk != 0) {
 			t.Fatalf("bulk %v does not match wire bit in proc word %#x", bulk, procWord)
 		}
-		if uint32(proc)&(wireFlagOneWay|wireFlagBulk) != 0 ||
-			uint32(proc) != procWord&^(wireFlagOneWay|wireFlagBulk) {
+		if chain != (procWord&wireFlagChain != 0) {
+			t.Fatalf("chain %v does not match wire bit in proc word %#x", chain, procWord)
+		}
+		if uint32(proc)&(wireFlagOneWay|wireFlagBulk|wireFlagChain) != 0 ||
+			uint32(proc) != procWord&^(wireFlagOneWay|wireFlagBulk|wireFlagChain) {
 			t.Fatalf("flag bits leaked into proc index %#x (wire word %#x)", proc, procWord)
 		}
 		// The parsed name and args must alias or equal the frame's bytes.

@@ -211,13 +211,13 @@ func TestFrameLimits(t *testing.T) {
 }
 
 func TestParseRequestErrors(t *testing.T) {
-	if _, _, _, _, _, _, err := parseRequest([]byte{1, 2}); err == nil {
+	if _, _, _, _, _, _, _, err := parseRequest([]byte{1, 2}); err == nil {
 		t.Error("short request accepted")
 	}
 	// nameLen pointing past the end.
 	bad := make([]byte, 12)
 	binary.LittleEndian.PutUint16(bad[8:10], 500)
-	if _, _, _, _, _, _, err := parseRequest(bad); err == nil {
+	if _, _, _, _, _, _, _, err := parseRequest(bad); err == nil {
 		t.Error("truncated request accepted")
 	}
 }

@@ -193,6 +193,17 @@ func shmErrFromCode(code uint32, text string) error {
 	return &RemoteError{Msg: text}
 }
 
+// shmDecodeErr maps one slot's error reply onto a Go error: a chain
+// reply (shmErrCodeChain, chain.go) carries the structured chain-error
+// body with the failing stage and executed-through vouch; every other
+// code is the flat code + text of shmErrFromCode.
+func shmDecodeErr(code uint32, body []byte) error {
+	if code == shmErrCodeChain {
+		return parseChainError(body)
+	}
+	return shmErrFromCode(code, string(body))
+}
+
 // --- segment creation ---
 
 // newShmSegment creates an anonymous shared segment of the given size
@@ -663,6 +674,8 @@ func (ss *shmSession) dispatch(v uint64) {
 			ErrTooLarge, argLen, ss.lay.slotSize)
 	case dir == 0:
 		resLen, oob, err = ss.b.callShared(proc, payload, argLen)
+	case dir == uint32(bulkDirChain):
+		resLen, err = ss.dispatchChain(payload, argLen)
 	default:
 		resLen, oob, produced, err = ss.dispatchBulk(base, dir, proc, payload, argLen)
 	}
@@ -677,14 +690,25 @@ func (ss *shmSession) dispatch(v uint64) {
 		shmU64(ss.seg, base+slotOffBulkLen).Store(uint64(produced))
 	}
 	if err != nil {
-		text := err.Error()
-		if len(text) > ss.lay.slotSize {
-			text = text[:ss.lay.slotSize]
+		// A chain failure carries structure — the failing stage and the
+		// executed-through vouch — so its body is the chain error wire
+		// form under its own code, not flat text.
+		var ce *ChainError
+		if errors.As(err, &ce) {
+			body := appendChainError(payload[:0], ce, ss.lay.slotSize)
+			shmU32(ss.seg, base+slotOffResLen).Store(uint32(len(body)))
+			shmU32(ss.seg, base+slotOffCode).Store(shmErrCodeChain)
+			state.Store(slotDoneErr)
+		} else {
+			text := err.Error()
+			if len(text) > ss.lay.slotSize {
+				text = text[:ss.lay.slotSize]
+			}
+			copy(payload, text)
+			shmU32(ss.seg, base+slotOffResLen).Store(uint32(len(text)))
+			shmU32(ss.seg, base+slotOffCode).Store(shmErrCode(err))
+			state.Store(slotDoneErr)
 		}
-		copy(payload, text)
-		shmU32(ss.seg, base+slotOffResLen).Store(uint32(len(text)))
-		shmU32(ss.seg, base+slotOffCode).Store(shmErrCode(err))
-		state.Store(slotDoneErr)
 	} else {
 		shmU32(ss.seg, base+slotOffResLen).Store(uint32(resLen))
 		shmU32(ss.seg, base+slotOffCode).Store(0)
@@ -789,6 +813,31 @@ func (ss *shmSession) dispatchBulk(base int, dir uint32, proc int, payload []byt
 		return ss.b.callSharedBulk(proc, payload, payload[:argLen], segs, BulkDir(dir), int(bulkLen))
 	}
 	return 0, nil, 0, fmt.Errorf("lrpc: shm bulk direction %d invalid", dir)
+}
+
+// dispatchChain runs one chain-carrying doorbell: the slot payload is
+// an LBC1 descriptor, and the whole dependent pipeline executes in this
+// domain (execChain, chain.go) before the single reply doorbell rings
+// back — the paper's domain-crossing elimination applied to N dependent
+// calls at once. A failure surfaces as a *ChainError so dispatch writes
+// the structured body under shmErrCodeChain.
+func (ss *shmSession) dispatchChain(payload []byte, argLen int) (int, error) {
+	stages, perr := parseChain(payload[:argLen])
+	if perr != nil {
+		// Malformed descriptor: nothing dispatched, vouch zero stages.
+		return 0, &ChainError{Stage: 0, Executed: 0, Err: perr}
+	}
+	out, cerr := ss.b.execChain(stages, time.Time{})
+	if cerr != nil {
+		return 0, cerr
+	}
+	if len(out) > ss.lay.slotSize {
+		// The slot is the only reply channel; an oversized final result
+		// is the size exception, same as a plain shm call's oob case.
+		return 0, fmt.Errorf("%w: %d result bytes exceed the %d-byte slot",
+			ErrTooLarge, len(out), ss.lay.slotSize)
+	}
+	return copy(payload, out), nil
 }
 
 // callShared is the dispatch half of a shared-memory call: the same
@@ -918,6 +967,7 @@ type ShmClient struct {
 	unmapped bool
 
 	calls       atomic.Uint64
+	chains      atomic.Uint64
 	failures    atomic.Uint64
 	timeouts    atomic.Uint64
 	spinReplies atomic.Uint64
@@ -1114,6 +1164,7 @@ func (c *ShmClient) SlotSize() int { return c.lay.slotSize }
 func (c *ShmClient) Stats() ShmClientStats {
 	return ShmClientStats{
 		Calls:        c.calls.Load(),
+		Chains:       c.chains.Load(),
 		Failures:     c.failures.Load(),
 		Timeouts:     c.timeouts.Load(),
 		SpinReplies:  c.spinReplies.Load(),
@@ -1227,6 +1278,97 @@ func (c *ShmClient) callContext(ctx context.Context, proc int, args, dst []byte)
 	return out, err
 }
 
+// CallChain submits the whole dependent pipeline as one slot post and
+// one doorbell: the server's chain executor (chain.go) runs every stage
+// in its own domain, and the single reply carries only the final
+// stage's results. The encoded descriptor must fit the slot — chains
+// carry control flow, not payload; oversized descriptors (or final
+// results past the slot) are the plane's usual size exception.
+func (c *ShmClient) CallChain(ch *Chain) ([]byte, error) {
+	return c.CallChainContext(context.Background(), ch)
+}
+
+// CallChainContext is CallChain under ctx; at the deadline the caller
+// abandons the slot exactly like a plain call (the orphan watcher
+// reclaims it when the chain's reply eventually lands). A mid-chain
+// failure decodes to a *ChainError with the failing stage and the
+// server's executed-through vouch intact.
+func (c *ShmClient) CallChainContext(ctx context.Context, ch *Chain) ([]byte, error) {
+	if err := ch.check(); err != nil {
+		return nil, err
+	}
+	desc := appendChain(nil, ch.stages)
+	c.calls.Add(1)
+	c.chains.Add(1)
+	if len(desc) > c.lay.slotSize {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("%w: %d-byte chain descriptor exceeds the %d-byte slot",
+			ErrTooLarge, len(desc), c.lay.slotSize)
+	}
+	if err := c.begin(); err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	var id uint32
+	select {
+	case id = <-c.free:
+	default:
+		select {
+		case id = <-c.free:
+		case <-c.dead:
+			c.failures.Add(1)
+			c.end()
+			return nil, c.deadErr(false)
+		case <-ctx.Done():
+			c.timeouts.Add(1)
+			c.end()
+			return nil, timeoutError(ctx.Err())
+		}
+	}
+	base := c.lay.slotBase(id)
+	state := shmU32(c.seg, base+slotOffState)
+	select {
+	case <-c.sigs[id]: // drain a stale wakeup from a prior occupant
+	default:
+	}
+	payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
+	copy(payload, desc) // the single descriptor copy into the shared A-stack
+	shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(desc)))
+	shmU32(c.seg, base+slotOffBulkDir).Store(uint32(bulkDirChain))
+	shmU32(c.seg, base+slotOffProc).Store(0)
+	shmU32(c.seg, base+slotOffResLen).Store(0)
+	shmU32(c.seg, base+slotOffCode).Store(0)
+	shmU64(c.seg, base+slotOffCallID).Store(c.callID.Add(1))
+	state.Store(slotPosted)
+	if err := c.ringDoorbell(uint64(id)); err != nil {
+		c.failures.Add(1)
+		c.end()
+		return nil, err
+	}
+	if err := c.awaitReply(ctx, id, state); err != nil {
+		return nil, err
+	}
+	code := shmU32(c.seg, base+slotOffCode).Load()
+	resLen := int(shmU32(c.seg, base+slotOffResLen).Load())
+	if resLen > c.lay.slotSize {
+		resLen = c.lay.slotSize
+	}
+	st := state.Load()
+	var out []byte
+	var err error
+	if st == slotDoneOK {
+		if resLen > 0 {
+			out = append([]byte(nil), payload[:resLen]...) // the single result copy out
+		}
+	} else {
+		err = shmDecodeErr(code, payload[:resLen])
+		c.failures.Add(1)
+	}
+	c.recycle(id, state)
+	c.end()
+	return out, err
+}
+
 // ringDoorbell pushes a slot index to the server and bumps the futex
 // word. The ring holds twice the slot count, so with at most one
 // doorbell per posted slot it cannot stay full; the retry loop only
@@ -1275,8 +1417,12 @@ func (c *ShmClient) abandon(id uint32, state *atomic.Uint32) {
 // pages can never leak with their slot. Plain calls skip the allocator
 // lock via the bulkHeld fast check.
 func (c *ShmClient) recycle(id uint32, state *atomic.Uint32) {
+	// The direction word is cleared unconditionally: a chain posts
+	// bulkDirChain with no bulk pages (and possibly no bulk region at
+	// all), and a stale direction would route the slot's next occupant
+	// down the wrong dispatch path.
+	shmU32(c.seg, c.lay.slotBase(id)+slotOffBulkDir).Store(0)
 	if c.bulk != nil {
-		shmU32(c.seg, c.lay.slotBase(id)+slotOffBulkDir).Store(0)
 		if c.bulkHeld[id].Load() {
 			c.bulk.release(id)
 			c.bulkHeld[id].Store(false)

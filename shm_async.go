@@ -48,6 +48,108 @@ func (c *ShmClient) CallAsync(proc int, args []byte) (*Future, error) {
 	return f, nil
 }
 
+// CallChainAsync submits a whole dependent pipeline through the shared
+// segment without waiting: one slot, one doorbell, and a future that
+// resolves with the final stage's results — or a *ChainError carrying
+// the failing stage and the server's executed-through vouch — when the
+// chain executor rings back. The chain must not be mutated until then.
+func (c *ShmClient) CallChainAsync(ch *Chain) (*Future, error) {
+	if err := ch.check(); err != nil {
+		return nil, err
+	}
+	desc := appendChain(nil, ch.stages)
+	c.asyncCalls.Add(1)
+	c.chains.Add(1)
+	f := newFuture()
+	f.abandons = &c.timeouts
+	if err := c.submitChain(desc, f); err != nil {
+		f.complete(nil, err)
+		f.Wait()
+		return nil, err
+	}
+	return f, nil
+}
+
+// submitChain is submitAsync for a chain descriptor: the descriptor
+// must fit the slot (chains carry control flow, not payload), the slot
+// posts under bulkDirChain, and the reply retires like any kindAsync
+// completion — finishAsync decodes the chain error body by its code.
+func (c *ShmClient) submitChain(desc []byte, fut *Future) error {
+	if len(desc) > c.lay.slotSize {
+		c.failures.Add(1)
+		return fmt.Errorf("%w: %d-byte chain descriptor exceeds the %d-byte slot",
+			ErrTooLarge, len(desc), c.lay.slotSize)
+	}
+	if err := c.begin(); err != nil {
+		c.failures.Add(1)
+		return err
+	}
+	var id uint32
+	select {
+	case id = <-c.free:
+	default:
+		select {
+		case id = <-c.free:
+		case <-c.dead:
+			c.failures.Add(1)
+			c.end()
+			return c.deadErr(false)
+		}
+	}
+	switch err := c.postChainSlot(id, desc, fut); err {
+	case nil, errSweptPosted:
+		// Either the completion path or the dead sweep owns the future
+		// (and the inflight reference) now.
+		return nil
+	default:
+		c.end()
+		return err
+	}
+}
+
+// postChainSlot is postSlot with the descriptor staged in-slot and the
+// direction word routing the server onto the chain dispatch path.
+func (c *ShmClient) postChainSlot(id uint32, desc []byte, fut *Future) error {
+	base := c.lay.slotBase(id)
+	state := shmU32(c.seg, base+slotOffState)
+	select {
+	case <-c.sigs[id]: // drain a stale wakeup from a prior occupant
+	default:
+	}
+	payload := c.seg[base+slotPayloadOff : base+slotPayloadOff+c.lay.slotSize]
+	copy(payload, desc)
+	shmU32(c.seg, base+slotOffArgLen).Store(uint32(len(desc)))
+	shmU32(c.seg, base+slotOffBulkDir).Store(uint32(bulkDirChain))
+	shmU32(c.seg, base+slotOffProc).Store(0)
+	shmU32(c.seg, base+slotOffResLen).Store(0)
+	shmU32(c.seg, base+slotOffCode).Store(0)
+	shmU64(c.seg, base+slotOffCallID).Store(c.callID.Add(1))
+	c.futs[id].Store(fut)
+	c.kinds[id].Store(kindAsync)
+	state.Store(slotPosted)
+	c.parked.Add(1)
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	for !c.c2s.Push(uint64(id)) {
+		select {
+		case <-c.dead:
+			return c.unpostSlot(id, state)
+		default:
+			runtime.Gosched()
+			shmring.OSYield()
+		}
+	}
+	select {
+	case <-c.dead:
+		return c.unpostSlot(id, state)
+	default:
+	}
+	c.c2s.Bump()
+	return nil
+}
+
 // CallOneWay submits proc fire-and-forget: it returns once the
 // submission is posted and the doorbell rung. The handler runs at most
 // once; its error, if any, is dropped on this side (counted in
@@ -221,7 +323,7 @@ func (c *ShmClient) finishAsync(id uint32) {
 			out = append([]byte(nil), payload[:resLen]...) // the single result copy out
 		}
 	} else {
-		err = shmErrFromCode(code, string(payload[:resLen]))
+		err = shmDecodeErr(code, payload[:resLen])
 		c.failures.Add(1)
 	}
 	c.kinds[id].Store(kindSync)

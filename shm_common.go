@@ -137,6 +137,7 @@ type ShmServerStats struct {
 // ShmClientStats is a point-in-time snapshot of one client session.
 type ShmClientStats struct {
 	Calls       uint64 // synchronous calls attempted
+	Chains      uint64 // chain submissions (sync and async)
 	Failures    uint64 // calls resolved with an error
 	Timeouts    uint64 // calls abandoned at their deadline
 	SpinReplies uint64 // replies consumed within the spin window

@@ -335,6 +335,171 @@ func TestShmTransparentBindingThreeWay(t *testing.T) {
 	}
 }
 
+// shmChainIface is the chain fixture for the shm plane: Echo, Inc
+// (observable data flow), Boom (panic mid-chain), Big (results that
+// cannot fit a small slot).
+func shmChainIface() *Interface {
+	return &Interface{
+		Name: "ShmPipe",
+		Procs: []Proc{
+			{Name: "Echo", Handler: func(c *Call) {
+				args := c.Args()
+				copy(c.ResultsBuf(len(args)), args)
+			}},
+			{Name: "Inc", Handler: func(c *Call) {
+				args := c.Args()
+				out := c.ResultsBuf(len(args))
+				for i, b := range args {
+					out[i] = b + 1
+				}
+			}},
+			{Name: "Boom", Handler: func(c *Call) { panic("boom") }},
+			{Name: "Big", Handler: func(c *Call) {
+				buf := c.ResultsBuf(64 << 10)
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+			}},
+		},
+	}
+}
+
+func TestShmChainRoundTrip(t *testing.T) {
+	_, sock, exp := startShm(t, shmChainIface(), ShmServeOptions{})
+	c, err := DialShm(sock, "ShmPipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One descriptor, one doorbell, three stages in the server's domain.
+	out, err := c.CallChain(NewChain().Add(0, []byte("ab")).Add(1, nil).Add(1, nil))
+	if err != nil || string(out) != "cd" {
+		t.Fatalf("shm chain = %q, %v", out, err)
+	}
+	// Slicing works across the slot boundary too.
+	out, err = c.CallChain(NewChain().Add(0, []byte("abcdefg")).AddSlice(1, nil, 2, 3))
+	if err != nil || string(out) != "def" {
+		t.Fatalf("shm sliced chain = %q, %v", out, err)
+	}
+	if exp.Chains() != 2 || exp.ChainStages() != 5 {
+		t.Fatalf("server chain counters %d/%d, want 2/5", exp.Chains(), exp.ChainStages())
+	}
+	if st := c.Stats(); st.Chains != 2 {
+		t.Fatalf("client stats %+v", st)
+	}
+	// The slot that carried a chain descriptor recycles cleanly into a
+	// plain call: the direction word must not leak into the next
+	// occupant.
+	if out, err := c.Call(0, []byte("plain")); err != nil || string(out) != "plain" {
+		t.Fatalf("plain call after chain = %q, %v", out, err)
+	}
+}
+
+func TestShmChainVouchAcrossSlot(t *testing.T) {
+	_, sock, _ := startShm(t, shmChainIface(), ShmServeOptions{})
+	c, err := DialShm(sock, "ShmPipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A panic at stage 1 crosses the slot as a structured chain error
+	// (code 7) and rebuilds the full vouch.
+	_, err = c.CallChain(NewChain().Add(0, []byte("a")).Add(2, nil).Add(0, nil))
+	var ce *ChainError
+	if !errors.As(err, &ce) || ce.Stage != 1 || ce.Executed != 2 {
+		t.Fatalf("shm chain panic: %v", err)
+	}
+	if !errors.Is(err, ErrCallFailed) || errors.Is(err, ErrNotExecuted) {
+		t.Fatalf("shm chain panic classification: %v", err)
+	}
+	// A head-stage failure keeps the replay-safe classification.
+	_, err = c.CallChain(NewChain().Add(99, nil).Add(0, nil))
+	if !errors.As(err, &ce) || ce.Executed != 0 ||
+		!errors.Is(err, ErrBadProcedure) || !errors.Is(err, ErrNotExecuted) {
+		t.Fatalf("shm head failure: %v", err)
+	}
+	// A final result that cannot fit the slot surfaces as the size
+	// exception with every stage vouched executed (the work ran; only
+	// the reply could not cross).
+	_, err = c.CallChain(NewChain().Add(0, nil).Add(3, nil))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized chain result: %v", err)
+	}
+	// A descriptor that cannot fit the slot is refused client-side.
+	huge := NewChain().Add(0, make([]byte, c.SlotSize()))
+	if _, err := c.CallChain(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized descriptor: %v", err)
+	}
+}
+
+func TestShmChainAsync(t *testing.T) {
+	_, sock, _ := startShm(t, shmChainIface(), ShmServeOptions{})
+	c, err := DialShm(sock, "ShmPipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.CallChainAsync(NewChain().Add(0, []byte("ab")).Add(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Wait()
+	if err != nil || string(out) != "bc" {
+		t.Fatalf("shm async chain = %q, %v", out, err)
+	}
+	f, err = c.CallChainAsync(NewChain().Add(0, []byte("a")).Add(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Wait()
+	var ce *ChainError
+	if !errors.As(err, &ce) || ce.Stage != 1 || ce.Executed != 2 {
+		t.Fatalf("shm async chain failure: %v", err)
+	}
+	// Async chains and async calls share the completion plane.
+	af, err := c.CallAsync(0, []byte("mix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := af.Wait(); err != nil || string(out) != "mix" {
+		t.Fatalf("async call after async chain = %q, %v", out, err)
+	}
+}
+
+func TestShmChainConcurrent(t *testing.T) {
+	_, sock, _ := startShm(t, shmChainIface(), ShmServeOptions{Workers: 4})
+	c, err := DialShmOpts(sock, "ShmPipe", ShmDialOptions{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := []byte{byte(g)}
+			for i := 0; i < 50; i++ {
+				out, err := c.CallChain(NewChain().Add(0, seed).Add(1, nil).Add(1, nil))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d chain %d: %w", g, i, err)
+					return
+				}
+				if len(out) != 1 || out[0] != byte(g)+2 {
+					errs <- fmt.Errorf("goroutine %d chain %d = %v", g, i, out)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 // shmWaitFor polls cond until it holds or the deadline passes.
 func shmWaitFor(t *testing.T, d time.Duration, cond func() bool, state func() string) {
 	t.Helper()

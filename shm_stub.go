@@ -97,6 +97,19 @@ func (c *ShmClient) CallAsync(proc int, args []byte) (*Future, error) {
 	return nil, ErrShmUnsupported
 }
 
+// CallChain fails with ErrShmUnsupported.
+func (c *ShmClient) CallChain(ch *Chain) ([]byte, error) { return nil, ErrShmUnsupported }
+
+// CallChainContext fails with ErrShmUnsupported.
+func (c *ShmClient) CallChainContext(ctx context.Context, ch *Chain) ([]byte, error) {
+	return nil, ErrShmUnsupported
+}
+
+// CallChainAsync fails with ErrShmUnsupported.
+func (c *ShmClient) CallChainAsync(ch *Chain) (*Future, error) {
+	return nil, ErrShmUnsupported
+}
+
 // CallOneWay fails with ErrShmUnsupported.
 func (c *ShmClient) CallOneWay(proc int, args []byte) error { return ErrShmUnsupported }
 

@@ -194,6 +194,18 @@ func (s *BrokerSession) CallContext(ctx context.Context, proc int, args []byte) 
 	return s.client.CallContext(ctx, proc, args)
 }
 
+// CallChain runs a staged pipeline in the upstream server's domain,
+// submitted through the broker as one frame; the broker charges every
+// stage against the tenant's rate bucket before relaying.
+func (s *BrokerSession) CallChain(ch *Chain) ([]byte, error) {
+	return s.client.CallChain(ch)
+}
+
+// CallChainContext is CallChain under ctx.
+func (s *BrokerSession) CallChainContext(ctx context.Context, ch *Chain) ([]byte, error) {
+	return s.client.CallChainContext(ctx, ch)
+}
+
 // Client exposes the underlying NetClient (async plane, batches).
 func (s *BrokerSession) Client() *NetClient { return s.client }
 
